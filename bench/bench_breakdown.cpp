@@ -1,0 +1,112 @@
+// Reproduces the per-domain observations of §5.3/§5.4:
+//   * in one-socket (24 ranks) deployments, the nominally idle package
+//     consumes only ~50-60% less than the busy one (not near-zero);
+//   * DRAM power gap between IMe and ScaLAPACK (12-18% typical, larger at
+//     144 ranks);
+//   * full-load deployments are the most energy-efficient.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  const std::vector<hw::LoadLayout> layouts = {
+      hw::LoadLayout::kFullLoad, hw::LoadLayout::kHalfLoadOneSocket,
+      hw::LoadLayout::kHalfLoadTwoSockets};
+  const bench::PaperSweep sweep(layouts);
+
+  std::cout << "Per-domain breakdown (replay tier) — the paper's §5.3/§5.4 "
+               "observations\n\n";
+
+  std::cout << "-- package 0 vs package 1 in the one-socket deployment --\n";
+  {
+    TextTable table({"algorithm", "n", "ranks", "pkg0", "pkg1",
+                     "pkg1 lower by"});
+    for (perfsim::Algorithm algorithm :
+         {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+      for (std::size_t n : {17280ul, 34560ul}) {
+        for (int ranks : hw::kPaperRankCounts) {
+          const auto& p = sweep.at(algorithm, n, ranks,
+                                   hw::LoadLayout::kHalfLoadOneSocket);
+          const double drop = 1.0 - p.pkg_j[1] / p.pkg_j[0];
+          table.add_row({perfsim::to_string(algorithm), std::to_string(n),
+                         std::to_string(ranks), format_energy(p.pkg_j[0]),
+                         format_energy(p.pkg_j[1]),
+                         format_fixed(100.0 * drop, 1) + " %"});
+        }
+      }
+      table.add_rule();
+    }
+    table.print(std::cout);
+    std::cout << "(the paper found the idle socket consuming 50-60% less "
+                 "than the busy one\n rather than being near zero — a Slurm "
+                 "pinning artifact we model as leakage)\n\n";
+  }
+
+  std::cout << "-- DRAM power gap IMe vs ScaLAPACK (full load) --\n";
+  {
+    TextTable table({"n", "ranks", "IMe DRAM W", "SCAL DRAM W", "gap"});
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      for (int ranks : hw::kPaperRankCounts) {
+        const auto& ime = sweep.at(perfsim::Algorithm::kIme, n, ranks);
+        const auto& sca = sweep.at(perfsim::Algorithm::kScalapack, n, ranks);
+        table.add_row(
+            {std::to_string(n), std::to_string(ranks),
+             format_power(ime.dram_power_w()),
+             format_power(sca.dram_power_w()),
+             format_fixed(
+                 100.0 * (ime.dram_power_w() / sca.dram_power_w() - 1.0),
+                 1) +
+                 " %"});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "-- energy per layout (n = 17280, both algorithms) --\n";
+  {
+    TextTable table({"algorithm", "ranks", "full", "half 1-socket",
+                     "half 2-socket"});
+    for (perfsim::Algorithm algorithm :
+         {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+      for (int ranks : hw::kPaperRankCounts) {
+        table.add_row(
+            {perfsim::to_string(algorithm), std::to_string(ranks),
+             format_energy(sweep.at(algorithm, 17280, ranks,
+                                    hw::LoadLayout::kFullLoad)
+                               .total_j()),
+             format_energy(sweep.at(algorithm, 17280, ranks,
+                                    hw::LoadLayout::kHalfLoadOneSocket)
+                               .total_j()),
+             format_energy(sweep.at(algorithm, 17280, ranks,
+                                    hw::LoadLayout::kHalfLoadTwoSockets)
+                               .total_j())});
+      }
+    }
+    table.print(std::cout);
+  }
+
+  bench::csv_block_header(std::cout, "breakdown");
+  CsvWriter csv(std::cout);
+  csv.write_row({"algorithm", "n", "ranks", "layout", "pkg0_j", "pkg1_j",
+                 "dram0_j", "dram1_j", "duration_s"});
+  for (perfsim::Algorithm algorithm :
+       {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      for (int ranks : hw::kPaperRankCounts) {
+        for (hw::LoadLayout layout : layouts) {
+          const auto& p = sweep.at(algorithm, n, ranks, layout);
+          csv.write_row({perfsim::to_string(algorithm), std::to_string(n),
+                         std::to_string(ranks), hw::to_string(layout),
+                         format_fixed(p.pkg_j[0], 3),
+                         format_fixed(p.pkg_j[1], 3),
+                         format_fixed(p.dram_j[0], 3),
+                         format_fixed(p.dram_j[1], 3),
+                         format_fixed(p.duration_s, 6)});
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Figure 2 as an executable trace: the structure of the MPI
+// program in the common-nodes solution. Runs a 4-node miniature and prints
+// each rank's protocol events in virtual-time order, showing the
+// communicator split, the monitoring-rank election, the barrier-bracketed
+// measurement window and the solver phase.
+#include <algorithm>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+
+  struct Event {
+    double time;
+    int rank;
+    int node;
+    std::string what;
+  };
+  std::vector<Event> events;
+  std::mutex mutex;
+  const auto log_event = [&](xmpi::Comm& comm, const std::string& what) {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.push_back(Event{comm.now(), comm.rank(), comm.my_node(), what});
+  };
+
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(4, 2);  // 4 nodes x 2x2 cores
+  config.placement =
+      hw::make_placement(16, hw::LoadLayout::kFullLoad, config.machine);
+
+  xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+    log_event(world, "MPI init");
+    xmpi::Comm node_comm = world.split_shared_node();
+    const bool monitoring = node_comm.rank() == node_comm.size() - 1;
+    if (monitoring) {
+      log_event(world, "elected monitoring rank of node " +
+                           std::to_string(world.my_node()));
+    }
+    node_comm.barrier();
+    log_event(world, "MPI barrier sync COMM_NODE");
+    monitor::MonitoringSession session;
+    if (monitoring) {
+      session.start(world);
+      log_event(world, "starts monitoring");
+    }
+    world.barrier();
+    log_event(world, "MPI barrier sync COMM_WORLD");
+
+    solvers::ImepOptions options;
+    options.n = 384;
+    options.seed = 2;
+    (void)solve_imep(world, options);
+    log_event(world, "runs its linear system solver part: done");
+
+    node_comm.barrier();
+    log_event(world, "MPI barrier sync COMM_NODE");
+    if (monitoring) {
+      session.stop(world);
+      log_event(world,
+                "stops monitoring: " +
+                    format_energy(session.total_pkg_j() +
+                                  session.total_dram_j()) +
+                    " in " + format_duration(session.duration_s()));
+      session.terminate();
+    }
+    world.barrier();
+    log_event(world, "MPI finalize");
+  });
+
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.rank < b.rank;
+  });
+
+  std::cout << "Figure 2 — structure of the MPI program (executed trace, "
+               "16 ranks on 4 nodes)\n\n";
+  TextTable table({"virtual time", "rank", "node", "event"});
+  // The full trace is long; print the interesting subset: every event of
+  // the monitoring ranks plus rank 0, and all election/monitoring events.
+  for (const Event& event : events) {
+    const bool interesting =
+        event.rank == 0 || event.what.find("monitor") != std::string::npos ||
+        event.what.find("elected") != std::string::npos;
+    if (!interesting) continue;
+    table.add_row({format_duration(event.time), std::to_string(event.rank),
+                   std::to_string(event.node), event.what});
+  }
+  table.print(std::cout);
+  std::cout << "\n(total events traced: " << events.size() << " across "
+            << config.placement.ranks << " ranks)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 3: energy consumption of fully loaded processors
+// (48 ranks/node) versus the two half-loaded deployments (24 ranks on one
+// socket; 12+12 across both sockets), for IMe and ScaLAPACK across the
+// four matrix sizes.
+//
+// Paper findings to check against: the full-load configuration always
+// consumes least; the two half-load variants are close to each other.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  using bench::PaperSweep;
+  const std::vector<hw::LoadLayout> layouts = {
+      hw::LoadLayout::kFullLoad, hw::LoadLayout::kHalfLoadOneSocket,
+      hw::LoadLayout::kHalfLoadTwoSockets};
+  const PaperSweep sweep(layouts);
+
+  std::cout << "Figure 3 — full-load vs half-load energy (replay tier, "
+               "Marconi A3)\n\n";
+  for (int ranks : hw::kPaperRankCounts) {
+    TextTable table({"algorithm", "n", "full 48r/n", "half 24r/1skt",
+                     "half 12+12", "full is lowest"});
+    for (perfsim::Algorithm algorithm :
+         {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+      for (std::size_t n : hw::kPaperMatrixSizes) {
+        const double full =
+            sweep.at(algorithm, n, ranks, hw::LoadLayout::kFullLoad)
+                .total_j();
+        const double half1 =
+            sweep.at(algorithm, n, ranks, hw::LoadLayout::kHalfLoadOneSocket)
+                .total_j();
+        const double half2 =
+            sweep
+                .at(algorithm, n, ranks, hw::LoadLayout::kHalfLoadTwoSockets)
+                .total_j();
+        table.add_row({perfsim::to_string(algorithm), std::to_string(n),
+                       format_energy(full), format_energy(half1),
+                       format_energy(half2),
+                       (full <= half1 && full <= half2) ? "yes" : "NO"});
+      }
+      table.add_rule();
+    }
+    std::cout << "-- " << ranks << " ranks --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::csv_block_header(std::cout, "fig3_load");
+  CsvWriter csv(std::cout);
+  csv.write_row({"algorithm", "n", "ranks", "layout", "duration_s",
+                 "total_j"});
+  for (perfsim::Algorithm algorithm :
+       {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      for (int ranks : hw::kPaperRankCounts) {
+        for (hw::LoadLayout layout : layouts) {
+          const perfsim::Prediction& p = sweep.at(algorithm, n, ranks, layout);
+          csv.write_row({perfsim::to_string(algorithm), std::to_string(n),
+                         std::to_string(ranks), hw::to_string(layout),
+                         format_fixed(p.duration_s, 6),
+                         format_fixed(p.total_j(), 3)});
+        }
+      }
+    }
+  }
+
+  bench::run_numeric_miniature(std::cout);
+  return 0;
+}

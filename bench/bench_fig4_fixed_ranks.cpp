@@ -1,0 +1,55 @@
+// Reproduces Figure 4: total energy consumption and duration for fixed
+// rank counts (144, 576, 1296 at 48 ranks/node), sweeping the matrix
+// dimension.
+//
+// Paper findings to check against: energy and duration grow superlinearly
+// with n; IMe's energy is always >= ScaLAPACK's; energy tracks duration.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  const bench::PaperSweep sweep;
+
+  std::cout << "Figure 4 — energy and time at fixed ranks, varying matrix "
+               "size (replay tier)\n\n";
+  for (int ranks : hw::kPaperRankCounts) {
+    TextTable table({"n", "IMe time", "ScaLAPACK time", "IMe energy",
+                     "ScaLAPACK energy", "E ratio IMe/SCAL"});
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      const auto& ime = sweep.at(perfsim::Algorithm::kIme, n, ranks);
+      const auto& sca = sweep.at(perfsim::Algorithm::kScalapack, n, ranks);
+      table.add_row({std::to_string(n), format_duration(ime.duration_s),
+                     format_duration(sca.duration_s),
+                     format_energy(ime.total_j()),
+                     format_energy(sca.total_j()),
+                     format_fixed(ime.total_j() / sca.total_j(), 2)});
+    }
+    std::cout << "-- " << ranks << " ranks (48 per node) --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::csv_block_header(std::cout, "fig4_fixed_ranks");
+  CsvWriter csv(std::cout);
+  csv.write_row(
+      {"ranks", "n", "algorithm", "duration_s", "total_j", "pkg_j", "dram_j"});
+  for (int ranks : hw::kPaperRankCounts) {
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      for (perfsim::Algorithm algorithm :
+           {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+        const auto& p = sweep.at(algorithm, n, ranks);
+        csv.write_row({std::to_string(ranks), std::to_string(n),
+                       perfsim::to_string(algorithm),
+                       format_fixed(p.duration_s, 6),
+                       format_fixed(p.total_j(), 3),
+                       format_fixed(p.total_pkg_j(), 3),
+                       format_fixed(p.total_dram_j(), 3)});
+      }
+    }
+  }
+
+  bench::run_numeric_miniature(std::cout);
+  return 0;
+}

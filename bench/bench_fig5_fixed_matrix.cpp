@@ -1,0 +1,53 @@
+// Reproduces Figure 5: total energy consumption and duration for fixed
+// matrix sizes, sweeping the number of ranks (strong scaling).
+//
+// Paper findings to check against: duration falls as ranks increase
+// (strong scalability); ScaLAPACK is faster in the dense configurations
+// while IMe wins the more distributed ones (576/1296 ranks at n = 8640 and
+// 17280).
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  const bench::PaperSweep sweep;
+
+  std::cout << "Figure 5 — energy and time at fixed matrix size, varying "
+               "ranks (replay tier)\n\n";
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    TextTable table({"ranks", "IMe time", "ScaLAPACK time", "faster",
+                     "IMe energy", "ScaLAPACK energy"});
+    for (int ranks : hw::kPaperRankCounts) {
+      const auto& ime = sweep.at(perfsim::Algorithm::kIme, n, ranks);
+      const auto& sca = sweep.at(perfsim::Algorithm::kScalapack, n, ranks);
+      table.add_row({std::to_string(ranks), format_duration(ime.duration_s),
+                     format_duration(sca.duration_s),
+                     ime.duration_s < sca.duration_s ? "IMe" : "ScaLAPACK",
+                     format_energy(ime.total_j()),
+                     format_energy(sca.total_j())});
+    }
+    std::cout << "-- n = " << n << " --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::csv_block_header(std::cout, "fig5_fixed_matrix");
+  CsvWriter csv(std::cout);
+  csv.write_row({"n", "ranks", "algorithm", "duration_s", "total_j"});
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    for (int ranks : hw::kPaperRankCounts) {
+      for (perfsim::Algorithm algorithm :
+           {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+        const auto& p = sweep.at(algorithm, n, ranks);
+        csv.write_row({std::to_string(n), std::to_string(ranks),
+                       perfsim::to_string(algorithm),
+                       format_fixed(p.duration_s, 6),
+                       format_fixed(p.total_j(), 3)});
+      }
+    }
+  }
+
+  bench::run_numeric_miniature(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 6: energy consumption and average power at fixed rank
+// counts, varying the matrix dimension.
+//
+// Paper findings to check against: power (energy over duration) is a
+// near-horizontal line across matrix sizes, and the IMe vs ScaLAPACK power
+// values differ by roughly 12-18%.
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  const bench::PaperSweep sweep;
+
+  std::cout << "Figure 6 — energy and power at fixed ranks, varying matrix "
+               "size (replay tier)\n\n";
+  for (int ranks : hw::kPaperRankCounts) {
+    TextTable table({"n", "IMe energy", "SCAL energy", "IMe power",
+                     "SCAL power", "power ratio"});
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      const auto& ime = sweep.at(perfsim::Algorithm::kIme, n, ranks);
+      const auto& sca = sweep.at(perfsim::Algorithm::kScalapack, n, ranks);
+      table.add_row(
+          {std::to_string(n), format_energy(ime.total_j()),
+           format_energy(sca.total_j()), format_power(ime.avg_power_w()),
+           format_power(sca.avg_power_w()),
+           format_fixed(ime.avg_power_w() / sca.avg_power_w(), 3)});
+    }
+    std::cout << "-- " << ranks << " ranks --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::csv_block_header(std::cout, "fig6_power_fixed_ranks");
+  CsvWriter csv(std::cout);
+  csv.write_row({"ranks", "n", "algorithm", "total_j", "power_w",
+                 "dram_power_w"});
+  for (int ranks : hw::kPaperRankCounts) {
+    for (std::size_t n : hw::kPaperMatrixSizes) {
+      for (perfsim::Algorithm algorithm :
+           {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+        const auto& p = sweep.at(algorithm, n, ranks);
+        csv.write_row({std::to_string(ranks), std::to_string(n),
+                       perfsim::to_string(algorithm),
+                       format_fixed(p.total_j(), 3),
+                       format_fixed(p.avg_power_w(), 3),
+                       format_fixed(p.dram_power_w(), 3)});
+      }
+    }
+  }
+
+  bench::run_numeric_miniature(std::cout);
+  return 0;
+}

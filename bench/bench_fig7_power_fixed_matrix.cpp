@@ -1,0 +1,52 @@
+// Reproduces Figure 7: energy consumption and average power at fixed
+// matrix sizes, varying the number of ranks.
+//
+// Paper findings to check against: power grows roughly proportionally with
+// the deployed ranks for both algorithms (the energy trend alone looks
+// erratic; power "enhances the real trend").
+#include <iostream>
+
+#include "common.hpp"
+
+int main() {
+  using namespace plin;
+  const bench::PaperSweep sweep;
+
+  std::cout << "Figure 7 — energy and power at fixed matrix size, varying "
+               "ranks (replay tier)\n\n";
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    TextTable table({"ranks", "IMe energy", "SCAL energy", "IMe power",
+                     "SCAL power", "power per rank (IMe)"});
+    for (int ranks : hw::kPaperRankCounts) {
+      const auto& ime = sweep.at(perfsim::Algorithm::kIme, n, ranks);
+      const auto& sca = sweep.at(perfsim::Algorithm::kScalapack, n, ranks);
+      table.add_row({std::to_string(ranks), format_energy(ime.total_j()),
+                     format_energy(sca.total_j()),
+                     format_power(ime.avg_power_w()),
+                     format_power(sca.avg_power_w()),
+                     format_power(ime.avg_power_w() / ranks)});
+    }
+    std::cout << "-- n = " << n << " --\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  bench::csv_block_header(std::cout, "fig7_power_fixed_matrix");
+  CsvWriter csv(std::cout);
+  csv.write_row({"n", "ranks", "algorithm", "total_j", "power_w"});
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    for (int ranks : hw::kPaperRankCounts) {
+      for (perfsim::Algorithm algorithm :
+           {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
+        const auto& p = sweep.at(algorithm, n, ranks);
+        csv.write_row({std::to_string(n), std::to_string(ranks),
+                       perfsim::to_string(algorithm),
+                       format_fixed(p.total_j(), 3),
+                       format_fixed(p.avg_power_w(), 3)});
+      }
+    }
+  }
+
+  bench::run_numeric_miniature(std::cout);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Reproduces the paper's §2 fault-tolerance motivation (citing Artioli,
+// Loreti & Ciampolini 2019): IMe's integrated algorithm-based fault
+// tolerance (a local checksum column, rebuilt in place) versus the
+// checkpoint/restart technique usually applied to Gaussian elimination.
+// Both are run fault-free (pure protection overhead) and with one injected
+// fault (protection + recovery), against their unprotected baselines.
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+  const std::size_t n = 512;
+  const std::size_t nb = 16;
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(8, 4);
+  config.placement =
+      hw::make_placement(16, hw::LoadLayout::kFullLoad, config.machine);
+
+  const auto run_ime = [&](bool protect, bool fault) {
+    return xmpi::Runtime::run(config, [&](xmpi::Comm& comm) {
+      solvers::ImepOptions options;
+      options.n = n;
+      options.seed = 71;
+      options.checksum_ft = protect;
+      if (fault) {
+        options.inject_faults = {{n / 2, 3}};
+      }
+      (void)solve_imep(comm, options);
+    });
+  };
+  const auto run_lu = [&](bool protect, bool fault) {
+    return xmpi::Runtime::run(config, [&](xmpi::Comm& comm) {
+      if (protect) {
+        solvers::PdgetrfFtOptions options;
+        options.base.n = n;
+        options.base.seed = 71;
+        options.base.nb = nb;
+        options.checkpoint_every_panels = 4;
+        if (fault) {
+          options.inject_fault_at_panel = n / nb / 2 + 3;
+        }
+        (void)pdgetrf_checkpointed(comm, options);
+      } else {
+        solvers::PdgesvOptions options;
+        options.n = n;
+        options.seed = 71;
+        options.nb = nb;
+        (void)pdgetrf(comm, options);
+      }
+    });
+  };
+
+  std::cout << "Fault-tolerance comparison (numeric tier, n=" << n
+            << ", 16 ranks): IMe checksum ABFT vs\nLU checkpoint/restart "
+               "(checkpoint every 4 panels)\n\n";
+  TextTable table({"technique", "mode", "duration", "energy",
+                   "overhead vs baseline"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  struct Case {
+    const char* technique;
+    const char* mode;
+    xmpi::RunResult result;
+    double baseline_j;
+  };
+  const xmpi::RunResult ime_base = run_ime(false, false);
+  const xmpi::RunResult lu_base = run_lu(false, false);
+  const std::vector<Case> cases = {
+      {"IMe checksum", "baseline (off)", ime_base, ime_base.energy.total_j()},
+      {"IMe checksum", "protected, no fault", run_ime(true, false),
+       ime_base.energy.total_j()},
+      {"IMe checksum", "protected + 1 fault", run_ime(true, true),
+       ime_base.energy.total_j()},
+      {"LU checkpoint", "baseline (off)", lu_base, lu_base.energy.total_j()},
+      {"LU checkpoint", "protected, no fault", run_lu(true, false),
+       lu_base.energy.total_j()},
+      {"LU checkpoint", "protected + 1 fault", run_lu(true, true),
+       lu_base.energy.total_j()},
+  };
+  for (const Case& c : cases) {
+    const double overhead =
+        100.0 * (c.result.energy.total_j() / c.baseline_j - 1.0);
+    table.add_row({c.technique, c.mode, format_duration(c.result.duration_s),
+                   format_energy(c.result.energy.total_j()),
+                   format_fixed(overhead, 1) + " %"});
+    csv_rows.push_back({c.technique, c.mode,
+                        format_fixed(c.result.duration_s, 9),
+                        format_fixed(c.result.energy.total_j(), 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nIMe's integrated fault tolerance costs a checksum column "
+               "per rank and recovers\nlocally; checkpoint/restart pays "
+               "snapshot traffic continuously and recomputes\nlost panels "
+               "on a fault — the relation the paper cites from the IMe "
+               "literature.\n";
+
+  std::cout << "\n== CSV ft_comparison ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"technique", "mode", "duration_s", "total_j"});
+  for (const auto& row : csv_rows) csv.write_row(row);
+  return 0;
+}

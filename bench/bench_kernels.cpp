@@ -1,0 +1,116 @@
+// google-benchmark microbenchmarks for the numeric kernels: GEMM,
+// triangular solves, the IMe level update, and the two sequential solvers.
+// These measure HOST throughput of the real arithmetic (the virtual-time
+// cost model is exercised by the figure benches).
+#include <benchmark/benchmark.h>
+
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "solvers/gepp/sequential.hpp"
+#include "solvers/ime/sequential.hpp"
+
+namespace {
+
+using namespace plin;
+
+void BM_Dgemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::generate_system_matrix(1, n);
+  const linalg::Matrix b = linalg::generate_system_matrix(2, n);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::dgemm(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmLowerUnit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix l = linalg::generate_system_matrix(3, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+    l(i, i) = 1.0;
+  }
+  linalg::Matrix b = linalg::generate_system_matrix(4, n);
+  for (auto _ : state) {
+    linalg::Matrix x = b;
+    linalg::dtrsm_lower_unit(l.view(), x.view());
+    benchmark::DoNotOptimize(x.flat().data());
+  }
+}
+BENCHMARK(BM_TrsmLowerUnit)->Arg(128)->Arg(256);
+
+void BM_ImeLevelUpdate(benchmark::State& state) {
+  // One IMe level on an n x n table: the g-factor scaling plus the
+  // pivot-column subtraction over all equations.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::Matrix m = linalg::generate_system_matrix(5, n);
+  std::vector<double> c(n, 1.01);
+  const std::size_t l = n - 1;
+  for (auto _ : state) {
+    const double inv = 1.0 / m(l, l);
+    for (std::size_t j = 0; j < n - 1; ++j) {
+      const double g = m(l, j) * inv;
+      for (std::size_t r = 0; r <= l; ++r) m(r, j) -= g * c[r];
+    }
+    benchmark::DoNotOptimize(m.flat().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * (n - 1),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ImeLevelUpdate)->Arg(256)->Arg(512);
+
+void BM_SolveImeBlocked(benchmark::State& state) {
+  // The level-blocked variant: block size is the sweep parameter. Larger
+  // blocks trade rank-1 sweeps for rank-k updates (better cache reuse on
+  // tables that exceed cache).
+  const std::size_t n = 384;
+  const std::size_t kb = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::generate_system_matrix(8, n);
+  const std::vector<double> b = linalg::generate_rhs(8, n);
+  for (auto _ : state) {
+    auto x = solvers::solve_ime_blocked(a, b, kb);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SolveImeBlocked)->Arg(1)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_SolveGepp(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::generate_system_matrix(6, n);
+  const std::vector<double> b = linalg::generate_rhs(6, n);
+  for (auto _ : state) {
+    auto x = solvers::solve_gepp(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SolveGepp)->Arg(128)->Arg(256);
+
+void BM_SolveIme(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::generate_system_matrix(6, n);
+  const std::vector<double> b = linalg::generate_rhs(6, n);
+  for (auto _ : state) {
+    auto x = solvers::solve_ime(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_SolveIme)->Arg(128)->Arg(256);
+
+void BM_GenerateSystem(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto a = linalg::generate_system_matrix(7, n);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+BENCHMARK(BM_GenerateSystem)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Pins the replay tier against the execution tier: for configurations
+// small enough to run, the analytic predictions must track the virtual
+// durations and energies of the actually-executed solvers. This is the
+// license for generating the paper-scale figures from perfsim
+// (tests/model_validation_test.cpp asserts the bounds; this bench prints
+// the full comparison).
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "perfsim/simulator.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+  const hw::MachineSpec machine = hw::mini_cluster(32, 4);
+  const perfsim::Simulator simulator(machine);
+
+  std::cout << "Replay tier vs execution tier (mini-cluster, 2x4-core "
+               "nodes)\n\n";
+  TextTable table({"algorithm", "n", "ranks", "layout", "T executed",
+                   "T predicted", "T err", "E executed", "E predicted",
+                   "E err"});
+  struct Cell {
+    perfsim::Algorithm alg;
+    std::size_t n;
+    int ranks;
+    hw::LoadLayout layout;
+  };
+  const std::vector<Cell> cells = {
+      {perfsim::Algorithm::kIme, 256, 8, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kIme, 512, 8, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kIme, 512, 16, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kIme, 512, 16, hw::LoadLayout::kHalfLoadTwoSockets},
+      {perfsim::Algorithm::kScalapack, 256, 8, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kScalapack, 512, 8, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kScalapack, 512, 16, hw::LoadLayout::kFullLoad},
+      {perfsim::Algorithm::kScalapack, 512, 16,
+       hw::LoadLayout::kHalfLoadTwoSockets},
+  };
+
+  std::vector<std::vector<std::string>> csv_rows;
+  for (const Cell& cell : cells) {
+    xmpi::RunConfig config;
+    config.machine = machine;
+    config.placement = hw::make_placement(cell.ranks, cell.layout, machine);
+    const std::size_t nb = 16;
+
+    const xmpi::RunResult executed = xmpi::Runtime::run(
+        config, [&](xmpi::Comm& comm) {
+          if (cell.alg == perfsim::Algorithm::kIme) {
+            solvers::ImepOptions options;
+            options.n = cell.n;
+            options.seed = 7;
+            (void)solve_imep(comm, options);
+          } else {
+            solvers::PdgesvOptions options;
+            options.n = cell.n;
+            options.seed = 7;
+            options.nb = nb;
+            (void)solve_pdgesv(comm, options);
+          }
+        });
+    const perfsim::Prediction predicted = simulator.predict(
+        perfsim::Workload{cell.alg, cell.n, nb}, config.placement);
+
+    const double terr = rel_diff(predicted.duration_s, executed.duration_s);
+    const double eerr =
+        rel_diff(predicted.total_j(), executed.energy.total_j());
+    table.add_row({perfsim::to_string(cell.alg), std::to_string(cell.n),
+                   std::to_string(cell.ranks), hw::to_string(cell.layout),
+                   format_duration(executed.duration_s),
+                   format_duration(predicted.duration_s),
+                   format_fixed(100.0 * terr, 1) + " %",
+                   format_energy(executed.energy.total_j()),
+                   format_energy(predicted.total_j()),
+                   format_fixed(100.0 * eerr, 1) + " %"});
+    csv_rows.push_back({perfsim::to_string(cell.alg), std::to_string(cell.n),
+                        std::to_string(cell.ranks),
+                        hw::to_string(cell.layout),
+                        format_fixed(executed.duration_s, 9),
+                        format_fixed(predicted.duration_s, 9),
+                        format_fixed(executed.energy.total_j(), 6),
+                        format_fixed(predicted.total_j(), 6)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n== CSV model_validation ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"algorithm", "n", "ranks", "layout", "executed_s",
+                 "predicted_s", "executed_j", "predicted_j"});
+  for (const auto& row : csv_rows) csv.write_row(row);
+  return 0;
+}

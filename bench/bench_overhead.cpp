@@ -1,0 +1,75 @@
+// Quantifies the monitoring overhead the paper accepts as its accuracy
+// compromise (§4): the white-box protocol's extra communicator splits and
+// synchronization barriers versus an unmonitored run, plus the black-box
+// variant without world-alignment barriers.
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+  const hw::MachineSpec machine = hw::mini_cluster(8, 4);
+
+  std::cout << "Monitoring overhead (numeric tier, executed)\n\n";
+  TextTable table({"n", "ranks", "bare", "white-box", "black-box",
+                   "white-box overhead"});
+  struct Row {
+    std::size_t n;
+    int ranks;
+    double bare, white, black;
+  };
+  std::vector<Row> rows;
+
+  for (const auto& [n, ranks] :
+       std::vector<std::pair<std::size_t, int>>{{256, 8}, {512, 8},
+                                                {512, 16}, {768, 16}}) {
+    xmpi::RunConfig config;
+    config.machine = machine;
+    config.placement =
+        hw::make_placement(ranks, hw::LoadLayout::kFullLoad, machine);
+    const auto solve = [n = n](xmpi::Comm& comm) {
+      solvers::ImepOptions options;
+      options.n = n;
+      options.seed = 17;
+      (void)solve_imep(comm, options);
+    };
+
+    const double bare = xmpi::Runtime::run(config, solve).duration_s;
+    const double white =
+        xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+          (void)monitor::monitored_run(world, monitor::MonitorOptions{},
+                                       solve);
+        }).duration_s;
+    const double black =
+        xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+          (void)monitor::blackbox_run(world, monitor::MonitorOptions{},
+                                      solve);
+        }).duration_s;
+
+    rows.push_back(Row{n, ranks, bare, white, black});
+    table.add_row({std::to_string(n), std::to_string(ranks),
+                   format_duration(bare), format_duration(white),
+                   format_duration(black),
+                   format_fixed(100.0 * (white / bare - 1.0), 2) + " %"});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe paper: \"despite a slight overhead compromise due to "
+               "synchronization,\nthis design permits accurate "
+               "measurements.\"\n";
+
+  std::cout << "\n== CSV overhead ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"n", "ranks", "bare_s", "whitebox_s", "blackbox_s"});
+  for (const Row& row : rows) {
+    csv.write_row({std::to_string(row.n), std::to_string(row.ranks),
+                   format_fixed(row.bare, 9), format_fixed(row.white, 9),
+                   format_fixed(row.black, 9)});
+  }
+  return 0;
+}

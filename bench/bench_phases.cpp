@@ -1,0 +1,95 @@
+// Reproduces the paper's §5.1/§5.3 phase comparison: the campaign monitors
+// both the general execution and the matrix allocation/deallocation phase
+// separately, and finds "the data pertaining to the general execution and
+// the computation phase of the algorithm do not exhibit significant
+// differences" — i.e., allocation is not where the energy goes.
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(8, 4);
+  config.placement =
+      hw::make_placement(16, hw::LoadLayout::kFullLoad, config.machine);
+
+  std::cout << "Phase-separated monitoring (numeric tier, 16 ranks): "
+               "allocation vs execution\n\n";
+  TextTable table({"algorithm", "n", "phase", "duration", "energy",
+                   "share of total"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const bool use_ime : {true, false}) {
+    for (const std::size_t n : {512ul, 768ul}) {
+      monitor::PhasedMeasurement measurement;
+      xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+        std::vector<monitor::Phase> phases;
+        // Allocation phase: first-touch of this rank's share of the table
+        // (the solvers also charge their own allocation internally; this
+        // standalone phase isolates the cost the paper's §5.1 discusses).
+        phases.push_back(monitor::Phase{
+            "allocation", [n](xmpi::Comm& comm) {
+              const double local_bytes =
+                  8.0 * static_cast<double>(n) * static_cast<double>(n) /
+                  comm.size();
+              comm.memory_touch(local_bytes);
+            }});
+        phases.push_back(monitor::Phase{
+            "execution", [n, use_ime](xmpi::Comm& comm) {
+              if (use_ime) {
+                solvers::ImepOptions options;
+                options.n = n;
+                options.seed = 31;
+                (void)solve_imep(comm, options);
+              } else {
+                solvers::PdgesvOptions options;
+                options.n = n;
+                options.seed = 31;
+                options.nb = 32;
+                (void)solve_pdgesv(comm, options);
+              }
+            }});
+        const monitor::PhasedMeasurement m = monitor::monitored_run_phases(
+            world, monitor::MonitorOptions{}, std::move(phases));
+        if (world.rank() == 0) measurement = m;
+      });
+
+      const char* alg = use_ime ? "IMe" : "ScaLAPACK";
+      for (const auto& [name, phase] : measurement.phases) {
+        const double share =
+            measurement.total.total_j() > 0.0
+                ? phase.total_j() / measurement.total.total_j()
+                : 0.0;
+        table.add_row({alg, std::to_string(n), name,
+                       format_duration(phase.duration_s),
+                       format_energy(phase.total_j()),
+                       format_fixed(100.0 * share, 1) + " %"});
+        csv_rows.push_back({alg, std::to_string(n), name,
+                            format_fixed(phase.duration_s, 9),
+                            format_fixed(phase.total_j(), 6)});
+      }
+      table.add_row({alg, std::to_string(n), "total",
+                     format_duration(measurement.total.duration_s),
+                     format_energy(measurement.total.total_j()), "100 %"});
+      table.add_rule();
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nAs in the paper, the execution phase dominates: general "
+               "execution and computation\nphase barely differ, and "
+               "allocation is a small slice despite hitting DRAM.\n";
+
+  std::cout << "\n== CSV phases ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"algorithm", "n", "phase", "duration_s", "total_j"});
+  for (const auto& row : csv_rows) csv.write_row(row);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation for the paper's stated next phase (§6): applying RAPL power
+// caps during execution. Sweeps per-package power limits on a numeric-tier
+// IMe run and reports the duration/energy trade-off: capping stretches
+// execution (DVFS cube-root law) while clamping package power — the
+// energy-vs-time Pareto the paper wants to explore.
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "papisim/papi.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+int main() {
+  using namespace plin;
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(8, 4);
+  config.placement =
+      hw::make_placement(8, hw::LoadLayout::kFullLoad, config.machine);
+  // Nominal package power: base + 4 cores flat out.
+  const double nominal = hw::PowerModel(config.machine.power)
+                             .package_full_power_w(4);
+
+  std::cout << "Power-cap ablation (numeric tier, IMe n=512 on 8 ranks; "
+               "nominal package power "
+            << format_power(nominal) << ")\n\n";
+  TextTable table({"cap per package", "duration", "PKG energy",
+                   "total energy", "avg power"});
+
+  struct Row {
+    double cap, duration, pkg, total;
+  };
+  std::vector<Row> rows;
+  for (const double cap_w :
+       {0.0, nominal * 1.2, nominal * 0.8, nominal * 0.6, nominal * 0.45}) {
+    double duration = 0.0;
+    double pkg = 0.0;
+    double total = 0.0;
+    xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+      const monitor::RunMeasurement m = monitor::monitored_run(
+          world, monitor::MonitorOptions{}, [&](xmpi::Comm& comm) {
+            if (cap_w > 0.0) {
+              // Every node's lowest rank programs its two packages.
+              if (comm.my_location().core == 0 &&
+                  comm.my_location().socket == 0) {
+                (void)papisim::set_powercap_limit(
+                    "powercap:::POWER_LIMIT_A_UW:ZONE0",
+                    static_cast<long long>(cap_w * 1e6));
+                (void)papisim::set_powercap_limit(
+                    "powercap:::POWER_LIMIT_A_UW:ZONE1",
+                    static_cast<long long>(cap_w * 1e6));
+              }
+              comm.barrier();
+            }
+            solvers::ImepOptions options;
+            options.n = 512;
+            options.seed = 19;
+            (void)solve_imep(comm, options);
+          });
+      if (world.rank() == 0) {
+        duration = m.duration_s;
+        pkg = m.total_pkg_j();
+        total = m.total_j();
+      }
+    });
+    rows.push_back(Row{cap_w, duration, pkg, total});
+    table.add_row({cap_w > 0.0 ? format_power(cap_w) : std::string("none"),
+                   format_duration(duration), format_energy(pkg),
+                   format_energy(total),
+                   format_power(duration > 0.0 ? total / duration : 0.0)});
+  }
+  table.print(std::cout);
+  std::cout << "\nTight caps trade longer runtimes for lower power; the "
+               "energy optimum depends on\nhow much static (base) power the "
+               "stretched runtime keeps burning.\n";
+
+  std::cout << "\n== CSV powercap ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"cap_w", "duration_s", "pkg_j", "total_j"});
+  for (const Row& row : rows) {
+    csv.write_row({format_fixed(row.cap, 2), format_fixed(row.duration, 9),
+                   format_fixed(row.pkg, 6), format_fixed(row.total, 6)});
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table 1: the nine (ranks, nodes, ranks-per-node, sockets)
+// test configurations on Marconi A3.
+#include <iostream>
+
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace plin;
+  const hw::MachineSpec machine = hw::marconi_a3();
+  const auto rows = hw::table1_configurations(machine);
+
+  std::cout << "Table 1 — test configurations for nodes, ranks and sockets ("
+            << machine.name << ")\n\n";
+  TextTable table({"Ranks", "Nodes", "Ranks per Node", "Sockets",
+                   "Ranks socket 0", "Ranks socket 1", "layout"});
+  int last_ranks = 0;
+  for (const hw::Table1Row& row : rows) {
+    const hw::Placement& p = row.placement;
+    if (p.ranks != last_ranks && last_ranks != 0) table.add_rule();
+    last_ranks = p.ranks;
+    table.add_row({std::to_string(p.ranks), std::to_string(p.nodes),
+                   std::to_string(p.ranks_per_node),
+                   std::to_string(p.sockets_used),
+                   std::to_string(p.ranks_socket0),
+                   std::to_string(p.ranks_socket1),
+                   hw::to_string(p.layout)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\n== CSV table1 ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"ranks", "nodes", "ranks_per_node", "sockets",
+                 "ranks_socket0", "ranks_socket1", "layout"});
+  for (const hw::Table1Row& row : rows) {
+    const hw::Placement& p = row.placement;
+    csv.write_row({std::to_string(p.ranks), std::to_string(p.nodes),
+                   std::to_string(p.ranks_per_node),
+                   std::to_string(p.sockets_used),
+                   std::to_string(p.ranks_socket0),
+                   std::to_string(p.ranks_socket1),
+                   hw::to_string(p.layout)});
+  }
+  return 0;
+}

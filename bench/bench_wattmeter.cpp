@@ -1,0 +1,108 @@
+// The simulated external wattmeter — the paper's §6 plan to "integrate our
+// analysis with external ground-truth measurements". Samples each node's
+// power on a fixed virtual-time grid (no RAPL quantization, every domain
+// visible) while the solvers run, then compares the wattmeter's energy
+// against the PAPI-window measurement the white-box monitor reports —
+// quantifying the accuracy concern the paper raises about PAPI.
+#include <algorithm>
+#include <iostream>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace {
+
+using namespace plin;
+
+/// ASCII sparkline for a power series.
+std::string sparkline(const std::vector<xmpi::TimelineSample>& samples) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double hi = 0.0;
+  for (const auto& s : samples) hi = std::max(hi, s.node_w());
+  std::string line;
+  for (const auto& s : samples) {
+    const int level =
+        hi > 0.0 ? std::min(7, static_cast<int>(8.0 * s.node_w() / hi)) : 0;
+    line += kLevels[level];
+  }
+  return line;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 768;
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(8, 4);
+  config.placement =
+      hw::make_placement(16, hw::LoadLayout::kFullLoad, config.machine);
+  config.timeline_period_s = 0.0005;  // 0.5 ms wattmeter
+
+  std::cout << "Simulated external wattmeter vs PAPI windows (n=" << n
+            << ", 16 ranks, 0.5 ms sampling)\n\n";
+
+  TextTable table({"solver", "duration", "wattmeter energy", "PAPI energy",
+                   "PAPI error", "node-0 power profile"});
+  std::vector<std::vector<std::string>> csv_rows;
+
+  for (const bool use_ime : {true, false}) {
+    double papi_j = 0.0;
+    const xmpi::RunResult run =
+        xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+          const monitor::RunMeasurement m = monitor::monitored_run(
+              world, monitor::MonitorOptions{}, [&](xmpi::Comm& comm) {
+                if (use_ime) {
+                  solvers::ImepOptions options;
+                  options.n = n;
+                  options.seed = 81;
+                  (void)solve_imep(comm, options);
+                } else {
+                  solvers::PdgesvOptions options;
+                  options.n = n;
+                  options.seed = 81;
+                  options.nb = 32;
+                  (void)solve_pdgesv(comm, options);
+                }
+              });
+          if (world.rank() == 0) papi_j = m.total_j();
+        });
+
+    // Integrate the wattmeter over the whole run.
+    double meter_j = 0.0;
+    for (const xmpi::NodeTimeline& node : run.timeline) {
+      double prev_t = 0.0;
+      for (const xmpi::TimelineSample& s : node.samples) {
+        meter_j += s.node_w() * (s.t - prev_t);
+        prev_t = s.t;
+      }
+    }
+
+    const char* name = use_ime ? "IMe" : "ScaLAPACK";
+    table.add_row({name, format_duration(run.duration_s),
+                   format_energy(meter_j), format_energy(papi_j),
+                   format_fixed(100.0 * (papi_j / meter_j - 1.0), 2) + " %",
+                   sparkline(run.timeline[0].samples)});
+    for (const xmpi::TimelineSample& s : run.timeline[0].samples) {
+      csv_rows.push_back({name, format_fixed(s.t, 6),
+                          format_fixed(s.pkg_w[0] + s.pkg_w[1], 3),
+                          format_fixed(s.dram_w[0] + s.dram_w[1], 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nThe PAPI window undershoots the wattmeter: it opens after "
+               "setup and closes at the\nlast node barrier, and its "
+               "counters tick once per millisecond — the accuracy gap\nthe "
+               "paper plans to quantify with a real external meter.\n";
+
+  std::cout << "\n== CSV wattmeter ==\n";
+  CsvWriter csv(std::cout);
+  csv.write_row({"solver", "t_s", "pkg_w", "dram_w"});
+  for (const auto& row : csv_rows) csv.write_row(row);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks for the xmpi runtime: host cost of
+// spawning a world, point-to-point messaging, and collectives. Reported
+// virtual times for the same operations come out of the figure benches.
+#include <benchmark/benchmark.h>
+
+#include "hwmodel/placement.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace {
+
+using namespace plin;
+
+xmpi::RunConfig config_for(int ranks) {
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(16, 4);
+  config.placement =
+      hw::make_placement(ranks, hw::LoadLayout::kFullLoad, config.machine);
+  return config;
+}
+
+void BM_RuntimeSpawn(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const xmpi::RunConfig config = config_for(ranks);
+  for (auto _ : state) {
+    const auto result =
+        xmpi::Runtime::run(config, [](xmpi::Comm&) {});
+    benchmark::DoNotOptimize(result.duration_s);
+  }
+}
+BENCHMARK(BM_RuntimeSpawn)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PingPong(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  const xmpi::RunConfig config = config_for(2);
+  const std::size_t count = bytes / sizeof(double);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [count](xmpi::Comm& comm) {
+      std::vector<double> buffer(count, 1.0);
+      for (int i = 0; i < 64; ++i) {
+        if (comm.rank() == 0) {
+          comm.send(std::span<const double>(buffer), 1, 0);
+          comm.recv(std::span<double>(buffer), 1, 0);
+        } else {
+          comm.recv(std::span<double>(buffer), 0, 0);
+          comm.send(std::span<const double>(buffer), 0, 0);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(8192)->Arg(262144);
+
+void BM_Bcast(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const xmpi::RunConfig config = config_for(ranks);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [](xmpi::Comm& comm) {
+      std::vector<double> data(1024, comm.rank() * 1.0);
+      for (int i = 0; i < 16; ++i) {
+        comm.bcast(std::span<double>(data), 0);
+      }
+    });
+  }
+}
+BENCHMARK(BM_Bcast)->Arg(8)->Arg(32);
+
+void BM_Barrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const xmpi::RunConfig config = config_for(ranks);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [](xmpi::Comm& comm) {
+      for (int i = 0; i < 16; ++i) comm.barrier();
+    });
+  }
+}
+BENCHMARK(BM_Barrier)->Arg(8)->Arg(32);
+
+void BM_AllreduceMaxloc(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const xmpi::RunConfig config = config_for(ranks);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [](xmpi::Comm& comm) {
+      for (int i = 0; i < 16; ++i) {
+        (void)comm.allreduce_maxloc(comm.rank() * 1.0 + i, comm.rank());
+      }
+    });
+  }
+}
+BENCHMARK(BM_AllreduceMaxloc)->Arg(8)->Arg(32);
+
+void BM_NonblockingOverlap(benchmark::State& state) {
+  // irecv posted early, compute overlapped, wait late.
+  const xmpi::RunConfig config = config_for(8);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [](xmpi::Comm& comm) {
+      std::vector<double> in(1024);
+      std::vector<double> out(1024, 1.0);
+      const int peer = comm.rank() ^ 1;
+      for (int i = 0; i < 16; ++i) {
+        xmpi::Request recv = comm.irecv(std::span<double>(in), peer, 0);
+        (void)comm.isend(std::span<const double>(out), peer, 0);
+        comm.compute(xmpi::ComputeCost{1e5, 0.0, 1.0});
+        recv.wait();
+      }
+    });
+  }
+}
+BENCHMARK(BM_NonblockingOverlap);
+
+void BM_CommSplit(benchmark::State& state) {
+  const xmpi::RunConfig config = config_for(32);
+  for (auto _ : state) {
+    xmpi::Runtime::run(config, [](xmpi::Comm& comm) {
+      xmpi::Comm node = comm.split_shared_node();
+      benchmark::DoNotOptimize(node.rank());
+    });
+  }
+}
+BENCHMARK(BM_CommSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Turn the bench binaries' CSV blocks into the paper's figures.
+
+Usage:
+    build/bench/bench_fig4_fixed_ranks > fig4.txt
+    scripts/plot_figures.py fig4.txt -o figures/
+
+Each bench prints one or more blocks of the form
+
+    == CSV <name> ==
+    header,...
+    row,...
+
+This script extracts every block, writes it as figures/<name>.csv, and (if
+matplotlib is available) renders a line chart per block mirroring the
+paper's combined energy/duration/power charts. Without matplotlib it still
+produces the CSV files, so the data pipeline works on a bare container.
+"""
+
+import argparse
+import csv
+import io
+import pathlib
+import re
+import sys
+
+
+def extract_blocks(text: str):
+    """Yields (name, list_of_rows) for every '== CSV name ==' block."""
+    pattern = re.compile(r"^== CSV (\S+) ==$", re.MULTILINE)
+    matches = list(pattern.finditer(text))
+    for index, match in enumerate(matches):
+        start = match.end() + 1
+        end = matches[index + 1].start() if index + 1 < len(matches) else len(text)
+        body = text[start:end]
+        rows = []
+        for line in body.splitlines():
+            line = line.strip()
+            if not line:
+                break  # blocks end at the first blank line
+            if line.startswith(("==", "+", "|", "#", "--")):
+                break
+            rows.append(line)
+        if len(rows) >= 2:
+            parsed = list(csv.reader(io.StringIO("\n".join(rows))))
+            yield match.group(1), parsed
+
+
+def numeric(value: str):
+    try:
+        return float(value)
+    except ValueError:
+        return None
+
+
+def plot_block(name, rows, outdir):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+
+    header, data = rows[0], rows[1:]
+    # Choose an x axis: prefer 'n', then 'ranks'; group lines by the
+    # remaining categorical columns (algorithm, layout, ...).
+    x_candidates = [c for c in ("n", "ranks", "cap_w") if c in header]
+    y_candidates = [
+        c
+        for c in ("total_j", "duration_s", "power_w", "energy_j",
+                  "predicted_j", "executed_j")
+        if c in header
+    ]
+    if not x_candidates or not y_candidates:
+        return False
+    x_col = header.index(x_candidates[0])
+    cat_cols = [
+        i
+        for i, c in enumerate(header)
+        if numeric(data[0][i]) is None and i != x_col
+    ]
+
+    for y_name in y_candidates:
+        y_col = header.index(y_name)
+        series = {}
+        for row in data:
+            key = ", ".join(row[i] for i in cat_cols) or "all"
+            x = numeric(row[x_col])
+            y = numeric(row[y_col])
+            if x is None or y is None:
+                continue
+            series.setdefault(key, []).append((x, y))
+        if not series:
+            continue
+        fig, ax = plt.subplots(figsize=(6.5, 4.0))
+        for key, points in sorted(series.items()):
+            points.sort()
+            ax.plot([p[0] for p in points], [p[1] for p in points],
+                    marker="o", label=key)
+        ax.set_xlabel(header[x_col])
+        ax.set_ylabel(y_name)
+        ax.set_title(f"{name}: {y_name} vs {header[x_col]}")
+        if len(series) > 1:
+            ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+        fig.tight_layout()
+        path = outdir / f"{name}_{y_name}.png"
+        fig.savefig(path, dpi=130)
+        plt.close(fig)
+        print(f"  wrote {path}")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="bench output files (or '-' for stdin)")
+    parser.add_argument("-o", "--outdir", default="figures",
+                        help="output directory (default: figures/)")
+    args = parser.parse_args()
+
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    found = 0
+    for source in args.inputs:
+        text = sys.stdin.read() if source == "-" else pathlib.Path(
+            source).read_text()
+        for name, rows in extract_blocks(text):
+            found += 1
+            csv_path = outdir / f"{name}.csv"
+            with open(csv_path, "w", newline="") as handle:
+                csv.writer(handle).writerows(rows)
+            print(f"wrote {csv_path} ({len(rows) - 1} rows)")
+            if not plot_block(name, rows, outdir):
+                print("  (matplotlib unavailable or block not plottable; "
+                      "CSV only)")
+    if found == 0:
+        print("no '== CSV <name> ==' blocks found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

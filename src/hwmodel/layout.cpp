@@ -1,0 +1,61 @@
+#include "hwmodel/layout.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::hw {
+
+ClusterLayout::ClusterLayout(MachineSpec machine, Placement placement)
+    : machine_(std::move(machine)), placement_(placement) {
+  PLIN_CHECK(placement_.ranks > 0);
+  locations_.reserve(placement_.ranks);
+  node_ranks_.resize(placement_.nodes);
+
+  int rank = 0;
+  for (int node = 0; node < placement_.nodes && rank < placement_.ranks;
+       ++node) {
+    const int per_socket[2] = {placement_.ranks_socket0,
+                               placement_.ranks_socket1};
+    for (int socket = 0; socket < machine_.node.sockets; ++socket) {
+      const int count = socket < 2 ? per_socket[socket] : 0;
+      for (int core = 0; core < count && rank < placement_.ranks; ++core) {
+        PLIN_CHECK_MSG(core < machine_.node.socket.cores,
+                       "placement oversubscribes a socket");
+        locations_.push_back(RankLocation{node, socket, core});
+        node_ranks_[node].push_back(rank);
+        ++rank;
+      }
+    }
+  }
+  PLIN_CHECK_MSG(rank == placement_.ranks,
+                 "placement does not cover all ranks");
+}
+
+const RankLocation& ClusterLayout::location_of(int rank) const {
+  PLIN_CHECK_MSG(rank >= 0 && rank < static_cast<int>(locations_.size()),
+                 "rank out of range");
+  return locations_[static_cast<std::size_t>(rank)];
+}
+
+const std::vector<int>& ClusterLayout::ranks_on_node(int node) const {
+  PLIN_CHECK_MSG(node >= 0 && node < static_cast<int>(node_ranks_.size()),
+                 "node out of range");
+  return node_ranks_[static_cast<std::size_t>(node)];
+}
+
+int ClusterLayout::ranks_on_socket(int node, int socket) const {
+  int count = 0;
+  for (int rank : ranks_on_node(node)) {
+    if (location_of(rank).socket == socket) ++count;
+  }
+  return count;
+}
+
+LinkClass ClusterLayout::link_between(int rank_a, int rank_b) const {
+  const RankLocation& a = location_of(rank_a);
+  const RankLocation& b = location_of(rank_b);
+  if (a.node != b.node) return LinkClass::kCrossNode;
+  if (a.socket != b.socket) return LinkClass::kCrossSocket;
+  return LinkClass::kSameSocket;
+}
+
+}  // namespace plin::hw

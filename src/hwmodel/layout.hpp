@@ -1,0 +1,54 @@
+// ClusterLayout — the concrete rank → (node, socket, core) map for a
+// Placement, plus link classification between ranks. Both the executing
+// runtime (xmpi) and the analytic replay (perfsim) consume this, so the two
+// tiers see identical topology.
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+
+namespace plin::hw {
+
+struct RankLocation {
+  int node = 0;
+  int socket = 0;
+  int core = 0;  // core index within the socket
+};
+
+enum class LinkClass { kSameSocket, kCrossSocket, kCrossNode };
+
+class ClusterLayout {
+ public:
+  /// Fills nodes sequentially with ranks in order: a node's socket-0 slots
+  /// first, then socket-1 slots (matching a block Slurm distribution).
+  ClusterLayout(MachineSpec machine, Placement placement);
+
+  int ranks() const { return placement_.ranks; }
+  int nodes() const { return placement_.nodes; }
+  const MachineSpec& machine() const { return machine_; }
+  const Placement& placement() const { return placement_; }
+
+  const RankLocation& location_of(int rank) const;
+  int node_of(int rank) const { return location_of(rank).node; }
+
+  /// All ranks placed on `node`, in rank order.
+  const std::vector<int>& ranks_on_node(int node) const;
+
+  /// Ranks on a given (node, socket).
+  int ranks_on_socket(int node, int socket) const;
+
+  LinkClass link_between(int rank_a, int rank_b) const;
+
+  /// True if both sockets of every used node receive ranks.
+  bool uses_both_sockets() const { return placement_.sockets_used == 2; }
+
+ private:
+  MachineSpec machine_;
+  Placement placement_;
+  std::vector<RankLocation> locations_;
+  std::vector<std::vector<int>> node_ranks_;
+};
+
+}  // namespace plin::hw

@@ -1,0 +1,55 @@
+#include "hwmodel/machine.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::hw {
+
+MachineSpec marconi_a3() {
+  MachineSpec spec;
+  spec.name = "Marconi-A3";
+  spec.total_nodes = 3188;
+  // NodeSpec/SocketSpec/CoreSpec defaults are the Marconi A3 numbers.
+  return spec;
+}
+
+MachineSpec epyc_cluster() {
+  MachineSpec spec;
+  spec.name = "EPYC-cluster";
+  spec.total_nodes = 1024;
+  spec.node.sockets = 2;
+  spec.node.socket.cores = 64;
+  spec.node.socket.core.clock_ghz = 2.4;
+  spec.node.socket.core.flops_per_cycle = 16.0;  // 2x AVX-512-as-2x256 FMA
+  spec.node.socket.dram_bandwidth_bs = 300e9;    // 8-channel DDR
+  spec.node.socket.per_core_bandwidth_bs = 22e9;
+  spec.node.dram_gib = 512.0;
+  // 200 Gb/s fabric, slightly lower latency than the Omni-Path numbers
+  // (same MPI-software-path calibration factor).
+  spec.network.internode_latency_s = 3.4e-6;
+  spec.network.internode_bandwidth_bs = 2.3e10;
+  spec.network.intersocket_latency_s = 1.1e-6;
+  spec.network.intersocket_bandwidth_bs = 4.5e10;
+  spec.network.intrasocket_latency_s = 4.0e-7;
+  spec.network.intrasocket_bandwidth_bs = 8.0e10;
+  // Denser cores draw less each; the uncore/IO die draws more.
+  spec.power.pkg_base_w = 95.0;
+  spec.power.core_compute_w = 2.6;
+  spec.power.core_membound_w = 2.0;
+  spec.power.core_commwait_w = 1.8;
+  spec.power.core_commactive_w = 1.7;
+  spec.power.core_idle_w = 0.4;
+  spec.power.dram_base_w = 18.0;
+  return spec;
+}
+
+MachineSpec mini_cluster(int nodes, int cores_per_socket) {
+  PLIN_CHECK(nodes >= 1);
+  PLIN_CHECK(cores_per_socket >= 1);
+  MachineSpec spec = marconi_a3();
+  spec.name = "mini-cluster";
+  spec.total_nodes = nodes;
+  spec.node.socket.cores = cores_per_socket;
+  return spec;
+}
+
+}  // namespace plin::hw

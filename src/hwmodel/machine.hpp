@@ -1,0 +1,114 @@
+// Machine description for the simulated cluster.
+//
+// All paper experiments ran on CINECA Marconi A3: 3188 nodes, each with
+// 2 × 24-core Intel Xeon 8160 (Skylake) @ 2.10 GHz, 192 GB DDR4, Intel
+// Omni-Path interconnect, 3.2 TFlop/s node peak. marconi_a3() encodes those
+// numbers; every other component (layout, network model, power model,
+// perfsim) is parameterized on a MachineSpec so other machines can be
+// described for sensitivity studies.
+#pragma once
+
+#include <string>
+
+namespace plin::hw {
+
+/// One CPU core.
+struct CoreSpec {
+  double clock_ghz = 2.10;
+  /// Peak double-precision flops per cycle (2 × AVX-512 FMA units).
+  double flops_per_cycle = 32.0;
+
+  double peak_flops() const { return clock_ghz * 1e9 * flops_per_cycle; }
+};
+
+/// One socket (= one RAPL package, with one attached DRAM domain).
+struct SocketSpec {
+  int cores = 24;
+  CoreSpec core;
+  /// Sustained memory bandwidth of the socket's DRAM channels (bytes/s).
+  double dram_bandwidth_bs = 96e9;
+  /// Streaming bandwidth one core can pull when the socket is otherwise
+  /// quiet (load/store unit limit, not a fair share).
+  double per_core_bandwidth_bs = 14e9;
+};
+
+/// One compute node.
+struct NodeSpec {
+  int sockets = 2;
+  SocketSpec socket;
+  double dram_gib = 192.0;
+
+  int cores() const { return sockets * socket.cores; }
+  double peak_flops() const { return cores() * socket.core.peak_flops(); }
+};
+
+/// Interconnect cost coefficients for the Hockney model t = alpha + beta*m.
+/// Three link classes: two ranks on the same socket exchange through the
+/// shared L3/memory, cross-socket goes over UPI, cross-node over Omni-Path.
+struct NetworkSpec {
+  // Latencies include the MPI software path (matching, progression), not
+  // just the wire: calibrated so the replay tier lands the paper's
+  // IMe-vs-ScaLAPACK duration crossovers (EXPERIMENTS.md, Figure 5).
+  double intrasocket_latency_s = 5.1e-7;
+  double intrasocket_bandwidth_bs = 5.0e10;
+  double intersocket_latency_s = 1.36e-6;
+  double intersocket_bandwidth_bs = 2.2e10;
+  double internode_latency_s = 4.25e-6;
+  double internode_bandwidth_bs = 1.1e10;  // ~100 Gb/s Omni-Path, sustained
+  /// CPU time a rank spends per posted message regardless of link (matching,
+  /// packetization); models the software overhead of the MPI stack.
+  double per_message_overhead_s = 1.2e-7;
+};
+
+/// Power coefficients for the RAPL-visible domains. Calibrated so a fully
+/// loaded node lands near the Xeon 8160's 150 W/socket TDP and so the
+/// evaluation reproduces the paper's observed ratios (see DESIGN.md §5).
+struct PowerSpec {
+  /// Package power with all cores halted (uncore, caches, fabric).
+  double pkg_base_w = 38.0;
+  /// Extra per-core power while executing floating-point compute.
+  double core_compute_w = 4.2;
+  /// Extra per-core power while memory-bound (stalled on DRAM).
+  double core_membound_w = 3.1;
+  /// Extra per-core power while busy-waiting inside MPI (progress engines
+  /// poll, so a blocked rank draws close to compute power).
+  double core_commwait_w = 2.8;
+  /// Extra per-core power while actively driving communication.
+  double core_commactive_w = 2.6;
+  /// Extra per-core power for an idle (unscheduled) core.
+  double core_idle_w = 0.6;
+  /// DRAM domain background power.
+  double dram_base_w = 11.0;
+  /// DRAM access energy per byte actually moved to/from memory.
+  double dram_energy_per_byte_j = 2.5e-10;
+  /// Fraction of the busy socket's *dynamic* power that shows up on a
+  /// nominally idle socket (OS noise, snoop traffic, uncore clocks). The
+  /// paper observed the "idle" socket consuming only 50-60% less than the
+  /// busy one instead of being near zero (§5.3); this models that artifact.
+  double idle_socket_leakage = 0.25;
+};
+
+/// A whole machine.
+struct MachineSpec {
+  std::string name = "unnamed";
+  int total_nodes = 1;
+  NodeSpec node;
+  NetworkSpec network;
+  PowerSpec power;
+};
+
+/// CINECA Marconi A3 as described in the paper (§5) and the CINECA user
+/// guide the paper cites.
+MachineSpec marconi_a3();
+
+/// A small machine that fits comfortably in this container for numeric-tier
+/// runs: `nodes` nodes of 2 sockets × 4 cores. Same network/power models.
+MachineSpec mini_cluster(int nodes, int cores_per_socket = 4);
+
+/// A hypothetical EPYC-generation cluster (2 × 64-core, 8-channel DDR,
+/// 200 Gb/s fabric) for portability studies: would the paper's
+/// conclusions hold on a fatter, higher-bandwidth node?
+/// (bench_machines runs the full evaluation grid on both machines.)
+MachineSpec epyc_cluster();
+
+}  // namespace plin::hw

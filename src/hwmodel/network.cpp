@@ -1,0 +1,23 @@
+#include "hwmodel/network.hpp"
+
+namespace plin::hw {
+
+double NetworkModel::latency(LinkClass link) const {
+  switch (link) {
+    case LinkClass::kSameSocket: return spec_.intrasocket_latency_s;
+    case LinkClass::kCrossSocket: return spec_.intersocket_latency_s;
+    case LinkClass::kCrossNode: return spec_.internode_latency_s;
+  }
+  return spec_.internode_latency_s;
+}
+
+double NetworkModel::bandwidth(LinkClass link) const {
+  switch (link) {
+    case LinkClass::kSameSocket: return spec_.intrasocket_bandwidth_bs;
+    case LinkClass::kCrossSocket: return spec_.intersocket_bandwidth_bs;
+    case LinkClass::kCrossNode: return spec_.internode_bandwidth_bs;
+  }
+  return spec_.internode_bandwidth_bs;
+}
+
+}  // namespace plin::hw

@@ -1,0 +1,74 @@
+// Hockney-model interconnect timing shared by xmpi (execution) and perfsim
+// (analytic replay). A point-to-point transfer of m bytes over link class c
+// costs alpha(c) + m / bandwidth(c); tree collectives pay ceil(log2 P)
+// sequential stages.
+#pragma once
+
+#include <cmath>
+
+#include "hwmodel/layout.hpp"
+#include "hwmodel/machine.hpp"
+
+namespace plin::hw {
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkSpec spec) : spec_(spec) {}
+
+  double latency(LinkClass link) const;
+  double bandwidth(LinkClass link) const;
+
+  /// One point-to-point transfer (wire time, excluding CPU overhead).
+  double transfer_time(LinkClass link, double bytes) const {
+    return latency(link) + bytes / bandwidth(link);
+  }
+
+  /// CPU time a rank pays per posted message (send or receive side).
+  double per_message_overhead() const { return spec_.per_message_overhead_s; }
+
+  /// Number of sequential stages of a binomial tree over `participants`.
+  static int tree_depth(int participants) {
+    int depth = 0;
+    int reach = 1;
+    while (reach < participants) {
+      reach *= 2;
+      ++depth;
+    }
+    return depth;
+  }
+
+  /// Time for a binomial-tree broadcast of `bytes` to `participants` ranks
+  /// whose worst pairwise link is `worst`. Used by perfsim; xmpi reproduces
+  /// the same number implicitly by executing the tree.
+  double tree_bcast_time(double bytes, int participants,
+                         LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    return tree_depth(participants) *
+           (transfer_time(worst, bytes) + per_message_overhead());
+  }
+
+  /// Time for a binomial-tree reduction/allreduce of `bytes` (allreduce =
+  /// reduce + bcast).
+  double tree_reduce_time(double bytes, int participants,
+                          LinkClass worst) const {
+    return tree_bcast_time(bytes, participants, worst);
+  }
+  double tree_allreduce_time(double bytes, int participants,
+                             LinkClass worst) const {
+    return 2.0 * tree_bcast_time(bytes, participants, worst);
+  }
+
+  /// Dissemination barrier over `participants`.
+  double barrier_time(int participants, LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    return tree_depth(participants) *
+           (latency(worst) + per_message_overhead());
+  }
+
+  const NetworkSpec& spec() const { return spec_; }
+
+ private:
+  NetworkSpec spec_;
+};
+
+}  // namespace plin::hw

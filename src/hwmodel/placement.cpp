@@ -1,0 +1,79 @@
+#include "hwmodel/placement.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::hw {
+
+const char* to_string(LoadLayout layout) {
+  switch (layout) {
+    case LoadLayout::kFullLoad: return "full-load";
+    case LoadLayout::kHalfLoadOneSocket: return "half-load-1socket";
+    case LoadLayout::kHalfLoadTwoSockets: return "half-load-2sockets";
+  }
+  return "?";
+}
+
+std::string Placement::describe() const {
+  std::string out = std::to_string(ranks) + " ranks on " +
+                    std::to_string(nodes) + " nodes (" +
+                    std::to_string(ranks_per_node) + "/node, " +
+                    std::to_string(ranks_socket0) + "+" +
+                    std::to_string(ranks_socket1) + " per socket, " +
+                    to_string(layout) + ")";
+  return out;
+}
+
+Placement make_placement(int ranks, LoadLayout layout,
+                         const MachineSpec& machine) {
+  PLIN_CHECK_MSG(ranks > 0, "rank count must be positive");
+  const int cores_per_node = machine.node.cores();
+  const int half_node = cores_per_node / 2;
+  PLIN_CHECK_MSG(half_node > 0, "machine node has no cores");
+
+  Placement p;
+  p.ranks = ranks;
+  p.layout = layout;
+  switch (layout) {
+    case LoadLayout::kFullLoad:
+      p.ranks_per_node = cores_per_node;
+      p.sockets_used = machine.node.sockets;
+      p.ranks_socket0 = half_node;
+      p.ranks_socket1 = cores_per_node - half_node;
+      break;
+    case LoadLayout::kHalfLoadOneSocket:
+      p.ranks_per_node = half_node;
+      p.sockets_used = 1;
+      p.ranks_socket0 = half_node;
+      p.ranks_socket1 = 0;
+      break;
+    case LoadLayout::kHalfLoadTwoSockets:
+      PLIN_CHECK_MSG(half_node % 2 == 0,
+                     "cores/socket must be even to split 50/50");
+      p.ranks_per_node = half_node;
+      p.sockets_used = machine.node.sockets;
+      p.ranks_socket0 = half_node / 2;
+      p.ranks_socket1 = half_node / 2;
+      break;
+  }
+  // The last node may be partially filled (as a block Slurm distribution
+  // would leave it); the paper's Table 1 configurations always divide
+  // evenly.
+  p.nodes = (ranks + p.ranks_per_node - 1) / p.ranks_per_node;
+  PLIN_CHECK_MSG(p.nodes <= machine.total_nodes,
+                 "placement needs more nodes than the machine has");
+  return p;
+}
+
+std::vector<Table1Row> table1_configurations(const MachineSpec& machine) {
+  std::vector<Table1Row> rows;
+  for (int ranks : kPaperRankCounts) {
+    for (LoadLayout layout :
+         {LoadLayout::kFullLoad, LoadLayout::kHalfLoadOneSocket,
+          LoadLayout::kHalfLoadTwoSockets}) {
+      rows.push_back(Table1Row{make_placement(ranks, layout, machine)});
+    }
+  }
+  return rows;
+}
+
+}  // namespace plin::hw

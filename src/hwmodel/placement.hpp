@@ -1,0 +1,56 @@
+// Rank placement policies — the paper's Table 1.
+//
+// For each total rank count the paper tests three layouts:
+//   * full load:          48 ranks/node, both sockets (24 + 24);
+//   * half load/1 socket: 24 ranks/node, all on socket 0, socket 1 idle;
+//   * half load/2 socket: 24 ranks/node, split 12 + 12 across sockets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwmodel/machine.hpp"
+
+namespace plin::hw {
+
+enum class LoadLayout {
+  kFullLoad,           // 48 ranks/node on Marconi: 2 sockets × 24
+  kHalfLoadOneSocket,  // 24 ranks/node: socket 0 full, socket 1 idle
+  kHalfLoadTwoSockets  // 24 ranks/node: 12 + 12
+};
+
+const char* to_string(LoadLayout layout);
+
+/// A concrete assignment of `ranks` MPI ranks onto nodes/sockets.
+struct Placement {
+  int ranks = 0;
+  int nodes = 0;
+  int ranks_per_node = 0;
+  int sockets_used = 0;        // sockets per node that receive ranks
+  int ranks_socket0 = 0;       // ranks per node on socket 0
+  int ranks_socket1 = 0;       // ranks per node on socket 1
+  LoadLayout layout = LoadLayout::kFullLoad;
+
+  std::string describe() const;
+};
+
+/// Builds the placement for `ranks` total ranks under `layout` on `machine`.
+/// Throws InvalidArgument if ranks does not divide evenly or the machine is
+/// too small.
+Placement make_placement(int ranks, LoadLayout layout,
+                         const MachineSpec& machine);
+
+/// One row of the paper's Table 1 plus the layout tag.
+struct Table1Row {
+  Placement placement;
+};
+
+/// The nine configurations of Table 1: ranks ∈ {144, 576, 1296} × 3 layouts.
+std::vector<Table1Row> table1_configurations(const MachineSpec& machine);
+
+/// The rank counts the paper sweeps (square numbers, as IMe requires).
+inline constexpr int kPaperRankCounts[] = {144, 576, 1296};
+/// The matrix dimensions the paper sweeps.
+inline constexpr int kPaperMatrixSizes[] = {8640, 17280, 25920, 34560};
+
+}  // namespace plin::hw

@@ -1,0 +1,27 @@
+#include "hwmodel/power.hpp"
+
+namespace plin::hw {
+
+const char* to_string(ActivityKind kind) {
+  switch (kind) {
+    case ActivityKind::kCompute: return "compute";
+    case ActivityKind::kMemBound: return "membound";
+    case ActivityKind::kCommWait: return "commwait";
+    case ActivityKind::kCommActive: return "commactive";
+    case ActivityKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+double PowerModel::core_power_w(ActivityKind kind) const {
+  switch (kind) {
+    case ActivityKind::kCompute: return spec_.core_compute_w;
+    case ActivityKind::kMemBound: return spec_.core_membound_w;
+    case ActivityKind::kCommWait: return spec_.core_commwait_w;
+    case ActivityKind::kCommActive: return spec_.core_commactive_w;
+    case ActivityKind::kIdle: return spec_.core_idle_w;
+  }
+  return spec_.core_idle_w;
+}
+
+}  // namespace plin::hw

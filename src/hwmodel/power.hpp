@@ -1,0 +1,69 @@
+// PowerModel — converts core activity into RAPL-domain power.
+//
+// Package power = pkg_base + sum over cores of core_power(kind).
+// DRAM power   = dram_base + traffic * energy_per_byte / dt.
+// A per-package power cap (the paper's stated future work, which we
+// implement) reduces core frequency DVFS-style: sustained dynamic power is
+// clamped to (cap - base) and compute slows by the cube-root law.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/machine.hpp"
+
+namespace plin::hw {
+
+/// What a core is doing during an activity segment.
+enum class ActivityKind {
+  kCompute,     // floating-point bound work
+  kMemBound,    // stalled on DRAM traffic
+  kCommWait,    // blocked in MPI waiting for a peer
+  kCommActive,  // actively moving message data
+  kIdle         // no rank scheduled
+};
+
+const char* to_string(ActivityKind kind);
+
+class PowerModel {
+ public:
+  explicit PowerModel(PowerSpec spec) : spec_(spec) {}
+
+  /// Per-core power contribution for a given activity.
+  double core_power_w(ActivityKind kind) const;
+
+  double pkg_base_w() const { return spec_.pkg_base_w; }
+  double dram_base_w() const { return spec_.dram_base_w; }
+  double dram_energy_per_byte() const { return spec_.dram_energy_per_byte_j; }
+  double idle_socket_leakage() const { return spec_.idle_socket_leakage; }
+
+  /// Nominal package power with `cores` cores computing flat out.
+  double package_full_power_w(int cores) const {
+    return spec_.pkg_base_w + cores * core_power_w(ActivityKind::kCompute);
+  }
+
+  /// Effect of capping a package at cap_w while `cores` cores compute.
+  struct CapEffect {
+    double speed_factor = 1.0;   // multiply core throughput by this
+    double dynamic_scale = 1.0;  // multiply per-core dynamic power by this
+  };
+  CapEffect cap_effect(double cap_w, int cores) const {
+    CapEffect effect;
+    if (cap_w <= 0.0 || cores <= 0) return effect;  // cap disabled
+    const double nominal = cores * core_power_w(ActivityKind::kCompute);
+    const double budget = cap_w - spec_.pkg_base_w;
+    if (budget >= nominal) return effect;
+    // Dynamic power scales ~f^3, throughput ~f.
+    const double ratio = std::max(budget / nominal, 0.027);  // f >= 0.3
+    effect.speed_factor = std::cbrt(ratio);
+    effect.dynamic_scale = ratio;
+    return effect;
+  }
+
+  const PowerSpec& spec() const { return spec_; }
+
+ private:
+  PowerSpec spec_;
+};
+
+}  // namespace plin::hw

@@ -1,0 +1,31 @@
+#include "linalg/blockcyclic.hpp"
+
+namespace plin::linalg {
+
+std::size_t numroc(std::size_t n, std::size_t block, int proc, int nprocs) {
+  PLIN_CHECK_MSG(block > 0, "numroc: block size must be positive");
+  PLIN_CHECK_MSG(nprocs > 0 && proc >= 0 && proc < nprocs,
+                 "numroc: bad process index");
+  const std::size_t p = static_cast<std::size_t>(proc);
+  const std::size_t np = static_cast<std::size_t>(nprocs);
+  const std::size_t full_blocks = n / block;
+  std::size_t count = (full_blocks / np) * block;
+  const std::size_t extra = full_blocks % np;
+  if (p < extra) {
+    count += block;
+  } else if (p == extra) {
+    count += n % block;
+  }
+  return count;
+}
+
+ProcessGrid ProcessGrid::squarest(int ranks) {
+  PLIN_CHECK_MSG(ranks > 0, "grid needs at least one rank");
+  int prows = 1;
+  for (int r = 1; r * r <= ranks; ++r) {
+    if (ranks % r == 0) prows = r;
+  }
+  return ProcessGrid{prows, ranks / prows};
+}
+
+}  // namespace plin::linalg

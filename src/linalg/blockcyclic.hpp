@@ -1,0 +1,84 @@
+// Block-cyclic distribution machinery — ScaLAPACK's data layout.
+//
+// A global m x n matrix is tiled in mb x nb blocks dealt round-robin onto a
+// prows x pcols process grid (row-major rank order, source process 0,0).
+// These helpers are the numroc / indxg2l / indxl2g family from ScaLAPACK's
+// TOOLS directory, 0-based.
+#pragma once
+
+#include <cstddef>
+
+#include "support/error.hpp"
+
+namespace plin::linalg {
+
+/// Number of elements of a dimension of size `n`, blocked by `block`, owned
+/// by process `proc` out of `nprocs` (ScaLAPACK NUMROC, 0-based, source 0).
+std::size_t numroc(std::size_t n, std::size_t block, int proc, int nprocs);
+
+/// A prows x pcols process grid with row-major rank numbering.
+struct ProcessGrid {
+  int prows = 1;
+  int pcols = 1;
+
+  int size() const { return prows * pcols; }
+  int row_of(int rank) const { return rank / pcols; }
+  int col_of(int rank) const { return rank % pcols; }
+  int rank_of(int prow, int pcol) const { return prow * pcols + pcol; }
+
+  /// Squarest grid for `ranks` processes (prows <= pcols), matching
+  /// ScaLAPACK practice.
+  static ProcessGrid squarest(int ranks);
+};
+
+/// Descriptor of one block-cyclically distributed global matrix.
+struct BlockCyclicDesc {
+  std::size_t m = 0;   // global rows
+  std::size_t n = 0;   // global cols
+  std::size_t mb = 1;  // row block
+  std::size_t nb = 1;  // col block
+  ProcessGrid grid;
+
+  int owner_prow(std::size_t i) const {
+    PLIN_ASSERT(i < m);
+    return static_cast<int>((i / mb) % static_cast<std::size_t>(grid.prows));
+  }
+  int owner_pcol(std::size_t j) const {
+    PLIN_ASSERT(j < n);
+    return static_cast<int>((j / nb) % static_cast<std::size_t>(grid.pcols));
+  }
+  int owner_rank(std::size_t i, std::size_t j) const {
+    return grid.rank_of(owner_prow(i), owner_pcol(j));
+  }
+
+  /// Local row index of global row i on its owning process row.
+  std::size_t local_row(std::size_t i) const {
+    const std::size_t block = i / mb;
+    return (block / static_cast<std::size_t>(grid.prows)) * mb + i % mb;
+  }
+  std::size_t local_col(std::size_t j) const {
+    const std::size_t block = j / nb;
+    return (block / static_cast<std::size_t>(grid.pcols)) * nb + j % nb;
+  }
+
+  /// Global row index of local row `li` on process row `prow`.
+  std::size_t global_row(std::size_t li, int prow) const {
+    const std::size_t lblock = li / mb;
+    return (lblock * static_cast<std::size_t>(grid.prows) +
+            static_cast<std::size_t>(prow)) * mb + li % mb;
+  }
+  std::size_t global_col(std::size_t lj, int pcol) const {
+    const std::size_t lblock = lj / nb;
+    return (lblock * static_cast<std::size_t>(grid.pcols) +
+            static_cast<std::size_t>(pcol)) * nb + lj % nb;
+  }
+
+  std::size_t local_rows(int prow) const {
+    return numroc(m, mb, prow, grid.prows);
+  }
+  std::size_t local_cols(int pcol) const {
+    return numroc(n, nb, pcol, grid.pcols);
+  }
+};
+
+}  // namespace plin::linalg

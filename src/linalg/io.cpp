@@ -1,0 +1,110 @@
+#include "linalg/io.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace plin::linalg {
+namespace {
+
+constexpr std::uint64_t kMatrixMagic = 0x504C4D31ULL;  // "PLM1"
+constexpr std::uint64_t kVectorMagic = 0x504C5631ULL;  // "PLV1"
+
+void write_u64(std::ofstream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void save_matrix_binary(const Matrix& a, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_u64(os, kMatrixMagic);
+  write_u64(os, a.rows());
+  write_u64(os, a.cols());
+  os.write(reinterpret_cast<const char*>(a.flat().data()),
+           static_cast<std::streamsize>(a.size_bytes()));
+  if (!os) throw IoError("write failed: " + path);
+}
+
+Matrix load_matrix_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  if (read_u64(is) != kMatrixMagic) {
+    throw IoError("bad matrix magic in " + path);
+  }
+  const std::uint64_t rows = read_u64(is);
+  const std::uint64_t cols = read_u64(is);
+  if (!is) throw IoError("truncated header in " + path);
+  Matrix a(rows, cols);
+  is.read(reinterpret_cast<char*>(a.flat().data()),
+          static_cast<std::streamsize>(a.size_bytes()));
+  if (!is) throw IoError("truncated matrix data in " + path);
+  return a;
+}
+
+void save_matrix_text(const Matrix& a, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  os.precision(17);
+  os << a.rows() << ' ' << a.cols() << '\n';
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (j != 0) os << ' ';
+      os << a(i, j);
+    }
+    os << '\n';
+  }
+  if (!os) throw IoError("write failed: " + path);
+}
+
+Matrix load_matrix_text(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  is >> rows >> cols;
+  if (!is) throw IoError("bad text matrix header in " + path);
+  Matrix a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      is >> a(i, j);
+    }
+  }
+  if (!is) throw IoError("truncated text matrix in " + path);
+  return a;
+}
+
+void save_vector_binary(const std::vector<double>& v,
+                        const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  write_u64(os, kVectorMagic);
+  write_u64(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(double)));
+  if (!os) throw IoError("write failed: " + path);
+}
+
+std::vector<double> load_vector_binary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open for reading: " + path);
+  if (read_u64(is) != kVectorMagic) {
+    throw IoError("bad vector magic in " + path);
+  }
+  const std::uint64_t size = read_u64(is);
+  std::vector<double> v(size);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size * sizeof(double)));
+  if (!is) throw IoError("truncated vector data in " + path);
+  return v;
+}
+
+}  // namespace plin::linalg

@@ -1,0 +1,26 @@
+// Matrix and vector file I/O.
+//
+// Two formats:
+//   * binary ".plm": little-endian header (magic, rows, cols) + doubles —
+//     the fast path the paper's campaign would use;
+//   * text: a simple whitespace format ("rows cols" then row-major values),
+//     human-inspectable and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace plin::linalg {
+
+void save_matrix_binary(const Matrix& a, const std::string& path);
+Matrix load_matrix_binary(const std::string& path);
+
+void save_matrix_text(const Matrix& a, const std::string& path);
+Matrix load_matrix_text(const std::string& path);
+
+void save_vector_binary(const std::vector<double>& v, const std::string& path);
+std::vector<double> load_vector_binary(const std::string& path);
+
+}  // namespace plin::linalg

@@ -1,0 +1,158 @@
+#include "linalg/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace plin::linalg {
+
+void daxpy(double alpha, std::span<const double> x, std::span<double> y) {
+  PLIN_CHECK_MSG(x.size() == y.size(), "daxpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void dscal(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+std::size_t idamax(std::span<const double> x) {
+  PLIN_CHECK_MSG(!x.empty(), "idamax on empty vector");
+  std::size_t best = 0;
+  double best_abs = std::fabs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double a = std::fabs(x[i]);
+    if (a > best_abs) {
+      best = i;
+      best_abs = a;
+    }
+  }
+  return best;
+}
+
+void dswap(std::span<double> x, std::span<double> y) {
+  PLIN_CHECK_MSG(x.size() == y.size(), "dswap size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) std::swap(x[i], y[i]);
+}
+
+void dger(double alpha, std::span<const double> x, std::span<const double> y,
+          MatrixView a) {
+  PLIN_CHECK_MSG(a.rows() == x.size() && a.cols() == y.size(),
+                 "dger shape mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ax = alpha * x[i];
+    double* row = a.row(i).data();
+    for (std::size_t j = 0; j < y.size(); ++j) row[j] += ax * y[j];
+  }
+}
+
+void dgemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+           MatrixView c) {
+  PLIN_CHECK_MSG(a.cols() == b.rows(), "dgemm inner dimension mismatch");
+  PLIN_CHECK_MSG(c.rows() == a.rows() && c.cols() == b.cols(),
+                 "dgemm output shape mismatch");
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = a.cols();
+
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c.row(i).data();
+    if (beta == 0.0) {
+      std::fill(crow, crow + n, 0.0);
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    // ikj order: stream rows of B, accumulate into the C row.
+    const double* arow = a.row(i).data();
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = alpha * arow[p];
+      if (aip == 0.0) continue;
+      const double* brow = b.row(p).data();
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void dtrsm_lower_unit(ConstMatrixView l, MatrixView b) {
+  PLIN_CHECK_MSG(l.rows() == l.cols(), "dtrsm: L must be square");
+  PLIN_CHECK_MSG(l.rows() == b.rows(), "dtrsm shape mismatch");
+  const std::size_t n = l.rows();
+  const std::size_t m = b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    double* bi = b.row(i).data();
+    for (std::size_t p = 0; p < i; ++p) {
+      const double lip = l(i, p);
+      if (lip == 0.0) continue;
+      const double* bp = b.row(p).data();
+      for (std::size_t j = 0; j < m; ++j) bi[j] -= lip * bp[j];
+    }
+  }
+}
+
+void dtrsm_upper(ConstMatrixView u, MatrixView b) {
+  PLIN_CHECK_MSG(u.rows() == u.cols(), "dtrsm: U must be square");
+  PLIN_CHECK_MSG(u.rows() == b.rows(), "dtrsm shape mismatch");
+  const std::size_t n = u.rows();
+  const std::size_t m = b.cols();
+  for (std::size_t ii = n; ii-- > 0;) {
+    double* bi = b.row(ii).data();
+    for (std::size_t p = ii + 1; p < n; ++p) {
+      const double uip = u(ii, p);
+      if (uip == 0.0) continue;
+      const double* bp = b.row(p).data();
+      for (std::size_t j = 0; j < m; ++j) bi[j] -= uip * bp[j];
+    }
+    const double diag = u(ii, ii);
+    PLIN_CHECK_MSG(diag != 0.0, "dtrsm: singular U");
+    for (std::size_t j = 0; j < m; ++j) bi[j] /= diag;
+  }
+}
+
+void dlaswp(MatrixView a, std::span<const std::size_t> pivots) {
+  PLIN_CHECK_MSG(pivots.size() <= a.rows(), "dlaswp: too many pivots");
+  for (std::size_t i = 0; i < pivots.size(); ++i) {
+    const std::size_t p = pivots[i];
+    PLIN_CHECK_MSG(p < a.rows(), "dlaswp: pivot out of range");
+    if (p != i) dswap(a.row(i), a.row(p));
+  }
+}
+
+double matrix_inf_norm(ConstMatrixView a) {
+  double norm = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double sum = 0.0;
+    for (double v : a.row(i)) sum += std::fabs(v);
+    norm = std::max(norm, sum);
+  }
+  return norm;
+}
+
+double vector_inf_norm(std::span<const double> x) {
+  double norm = 0.0;
+  for (double v : x) norm = std::max(norm, std::fabs(v));
+  return norm;
+}
+
+double residual_inf_norm(ConstMatrixView a, std::span<const double> x,
+                         std::span<const double> b) {
+  PLIN_CHECK_MSG(a.cols() == x.size() && a.rows() == b.size(),
+                 "residual shape mismatch");
+  double norm = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double dot = 0.0;
+    const double* row = a.row(i).data();
+    for (std::size_t j = 0; j < x.size(); ++j) dot += row[j] * x[j];
+    norm = std::max(norm, std::fabs(dot - b[i]));
+  }
+  return norm;
+}
+
+double scaled_residual(ConstMatrixView a, std::span<const double> x,
+                       std::span<const double> b) {
+  const double num = residual_inf_norm(a, x, b);
+  const double denom = matrix_inf_norm(a) * vector_inf_norm(x) *
+                       static_cast<double>(a.rows());
+  return denom == 0.0 ? num : num / denom;
+}
+
+}  // namespace plin::linalg

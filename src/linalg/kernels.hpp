@@ -1,0 +1,65 @@
+// BLAS-lite kernels on row-major views — exactly what the two solvers need:
+// level-1 helpers, rank-1 update, triangular solves and a blocked GEMM.
+//
+// Each kernel documents its flop count; the distributed solvers charge
+// those counts to xmpi's virtual clock via Comm::compute.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace plin::linalg {
+
+/// y += alpha * x.
+void daxpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void dscal(double alpha, std::span<double> x);
+
+/// Index of the element with the largest absolute value (first on ties);
+/// n must be > 0.
+std::size_t idamax(std::span<const double> x);
+
+/// Swap two equal-length vectors element-wise.
+void dswap(std::span<double> x, std::span<double> y);
+
+/// A += alpha * x * y^T  (rank-1 update; A is rows(x) x cols(y)).
+/// Flops: 2 * x.size() * y.size().
+void dger(double alpha, std::span<const double> x, std::span<const double> y,
+          MatrixView a);
+
+/// C = alpha * A * B + beta * C.
+/// Flops: 2 * M * N * K (+ M*N for the beta scaling).
+void dgemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
+           MatrixView c);
+
+/// Solve L * X = B in place (B := L^{-1} B) where L is unit lower
+/// triangular. Flops: rows(B)^2 * cols(B).
+void dtrsm_lower_unit(ConstMatrixView l, MatrixView b);
+
+/// Solve U * X = B in place (B := U^{-1} B) where U is upper triangular
+/// with general diagonal. Flops: rows(B)^2 * cols(B) + rows*cols divisions.
+void dtrsm_upper(ConstMatrixView u, MatrixView b);
+
+/// Apply row interchanges: for i in [0, pivots.size()), swap rows i and
+/// pivots[i] of A (LAPACK dlaswp with forward order, 0-based pivots).
+void dlaswp(MatrixView a, std::span<const std::size_t> pivots);
+
+/// Infinity norm of a matrix (max absolute row sum).
+double matrix_inf_norm(ConstMatrixView a);
+
+/// Infinity norm of a vector.
+double vector_inf_norm(std::span<const double> x);
+
+/// Componentwise residual ||A*x - b||_inf.
+double residual_inf_norm(ConstMatrixView a, std::span<const double> x,
+                         std::span<const double> b);
+
+/// Scaled residual ||Ax-b||_inf / (||A||_inf * ||x||_inf * n) — the LAPACK
+/// acceptance metric; values of O(machine epsilon) indicate a correct solve.
+double scaled_residual(ConstMatrixView a, std::span<const double> x,
+                       std::span<const double> b);
+
+}  // namespace plin::linalg

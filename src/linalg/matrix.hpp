@@ -1,0 +1,110 @@
+// Dense row-major matrix and lightweight views.
+//
+// Matrix owns storage; MatrixView / ConstMatrixView are non-owning windows
+// with an explicit row stride, so kernels operate on submatrices without
+// copying (LAPACK's leading-dimension idiom, adapted to row-major).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace plin::linalg {
+
+template <typename T>
+class BasicView {
+ public:
+  BasicView() = default;
+  BasicView(T* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    PLIN_ASSERT(stride >= cols || rows == 0);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  T* data() const { return data_; }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    PLIN_ASSERT(i < rows_ && j < cols_);
+    return data_[i * stride_ + j];
+  }
+
+  std::span<T> row(std::size_t i) const {
+    PLIN_ASSERT(i < rows_);
+    return {data_ + i * stride_, cols_};
+  }
+
+  /// Window [r0, r0+r) x [c0, c0+c).
+  BasicView sub(std::size_t r0, std::size_t c0, std::size_t r,
+                std::size_t c) const {
+    PLIN_ASSERT(r0 + r <= rows_ && c0 + c <= cols_);
+    return BasicView(data_ + r0 * stride_ + c0, r, c, stride_);
+  }
+
+  /// Implicit view-to-const-view conversion.
+  operator BasicView<const T>() const {
+    return BasicView<const T>(data_, rows_, cols_, stride_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+using MatrixView = BasicView<double>;
+using ConstMatrixView = BasicView<const double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    PLIN_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    PLIN_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  MatrixView view() {
+    return MatrixView(data_.data(), rows_, cols_, cols_);
+  }
+  ConstMatrixView view() const {
+    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  }
+
+  std::span<double> row(std::size_t i) {
+    PLIN_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    PLIN_ASSERT(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace plin::linalg

@@ -1,0 +1,152 @@
+#include "monitor/campaign.hpp"
+
+#include <algorithm>
+
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "solvers/ime/imep.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace plin::monitor {
+
+std::string JobSpec::describe() const {
+  return std::string(perfsim::to_string(algorithm)) + " n=" +
+         std::to_string(n) + " ranks=" + std::to_string(ranks) + " " +
+         hw::to_string(layout);
+}
+
+double JobResult::mean_duration_s() const {
+  double sum = 0.0;
+  for (const auto& rep : repetitions) sum += rep.measurement.duration_s;
+  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+}
+
+double JobResult::mean_total_j() const {
+  double sum = 0.0;
+  for (const auto& rep : repetitions) sum += rep.measurement.total_j();
+  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+}
+
+double JobResult::mean_pkg_j() const {
+  double sum = 0.0;
+  for (const auto& rep : repetitions) sum += rep.measurement.total_pkg_j();
+  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+}
+
+double JobResult::mean_dram_j() const {
+  double sum = 0.0;
+  for (const auto& rep : repetitions) sum += rep.measurement.total_dram_j();
+  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+}
+
+double JobResult::mean_power_w() const {
+  const double t = mean_duration_s();
+  return t > 0.0 ? mean_total_j() / t : 0.0;
+}
+
+double JobResult::worst_residual() const {
+  double worst = 0.0;
+  for (const auto& rep : repetitions) worst = std::max(worst, rep.residual);
+  return worst;
+}
+
+JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
+                  const MonitorOptions& options) {
+  PLIN_CHECK_MSG(spec.n > 0, "campaign: job needs a matrix size");
+  PLIN_CHECK_MSG(spec.repetitions > 0, "campaign: need >= 1 repetition");
+
+  xmpi::RunConfig config;
+  config.machine = machine;
+  config.placement = hw::make_placement(spec.ranks, spec.layout, machine);
+
+  // Reference data for the residual check (numeric-tier sizes only).
+  const linalg::Matrix a = linalg::generate_system_matrix(spec.seed, spec.n);
+  const std::vector<double> b = linalg::generate_rhs(spec.seed, spec.n);
+
+  JobResult result;
+  result.spec = spec;
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    Stopwatch wall;
+    RepetitionResult rr;
+    xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+      std::vector<double> x;
+      const RunMeasurement measurement = monitored_run(
+          world, options, [&](xmpi::Comm& comm) {
+            if (spec.algorithm == perfsim::Algorithm::kIme) {
+              solvers::ImepOptions opt;
+              opt.n = spec.n;
+              opt.seed = spec.seed;
+              x = solve_imep(comm, opt).x;
+            } else {
+              solvers::PdgesvOptions opt;
+              opt.n = spec.n;
+              opt.seed = spec.seed;
+              opt.nb = spec.nb;
+              x = solve_pdgesv(comm, opt).x;
+            }
+          });
+      if (world.rank() == 0) {
+        rr.measurement = measurement;
+        rr.residual = linalg::scaled_residual(a.view(), x, b);
+      }
+    });
+    rr.host_seconds = wall.elapsed_s();
+    PLIN_CHECK_MSG(rr.residual < 1e-10,
+                   "campaign: solver produced a bad residual");
+    result.repetitions.push_back(std::move(rr));
+  }
+  return result;
+}
+
+void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
+  TextTable table({"algorithm", "n", "ranks", "layout", "reps", "duration",
+                   "PKG energy", "DRAM energy", "total", "power",
+                   "residual"});
+  for (const JobResult& job : jobs) {
+    table.add_row({std::string(perfsim::to_string(job.spec.algorithm)),
+                   std::to_string(job.spec.n),
+                   std::to_string(job.spec.ranks),
+                   hw::to_string(job.spec.layout),
+                   std::to_string(job.spec.repetitions),
+                   format_duration(job.mean_duration_s()),
+                   format_energy(job.mean_pkg_j()),
+                   format_energy(job.mean_dram_j()),
+                   format_energy(job.mean_total_j()),
+                   format_power(job.mean_power_w()),
+                   format_fixed(job.worst_residual() * 1e15, 2) + "e-15"});
+  }
+  table.print(os);
+}
+
+void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
+  CsvWriter csv(os);
+  csv.write_row({"algorithm", "n", "ranks", "layout", "repetition",
+                 "duration_s", "pkg0_j", "pkg1_j", "dram0_j", "dram1_j",
+                 "total_j", "power_w", "residual", "host_s"});
+  for (const JobResult& job : jobs) {
+    for (std::size_t i = 0; i < job.repetitions.size(); ++i) {
+      const RepetitionResult& rep = job.repetitions[i];
+      const RunMeasurement& m = rep.measurement;
+      csv.write_row({std::string(perfsim::to_string(job.spec.algorithm)),
+                     std::to_string(job.spec.n),
+                     std::to_string(job.spec.ranks),
+                     hw::to_string(job.spec.layout), std::to_string(i),
+                     format_fixed(m.duration_s, 9),
+                     format_fixed(m.pkg_j[0], 6), format_fixed(m.pkg_j[1], 6),
+                     format_fixed(m.dram_j[0], 6),
+                     format_fixed(m.dram_j[1], 6),
+                     format_fixed(m.total_j(), 6),
+                     format_fixed(m.avg_power_w(), 3),
+                     format_fixed(rep.residual, 18),
+                     format_fixed(rep.host_seconds, 4)});
+    }
+  }
+}
+
+}  // namespace plin::monitor

@@ -1,0 +1,65 @@
+// Campaign harness — the paper's testing framework (§4, §5.1): runs a
+// configured job (algorithm, matrix size, ranks, layout) a number of times
+// under the white-box monitor, collects per-repetition measurements and
+// stores results both human-readable and as CSV.
+//
+// The input system is generated from a fixed seed — the equivalent of the
+// paper loading the system from a file "to ensure consistent input data
+// for repetitive measurements".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+#include "monitor/white_box.hpp"
+#include "perfsim/prediction.hpp"
+#include "solvers/efficiency.hpp"
+
+namespace plin::monitor {
+
+struct JobSpec {
+  perfsim::Algorithm algorithm = perfsim::Algorithm::kScalapack;
+  std::size_t n = 0;
+  int ranks = 1;
+  hw::LoadLayout layout = hw::LoadLayout::kFullLoad;
+  std::uint64_t seed = 1;
+  std::size_t nb = solvers::kDefaultBlock;  // ScaLAPACK block size
+  int repetitions = 3;  // the paper uses 10 on the real machine
+
+  std::string describe() const;
+};
+
+struct RepetitionResult {
+  RunMeasurement measurement;
+  double residual = 0.0;     // scaled residual of the computed solution
+  double host_seconds = 0.0; // wall time of this repetition (diagnostics)
+};
+
+struct JobResult {
+  JobSpec spec;
+  std::vector<RepetitionResult> repetitions;
+
+  double mean_duration_s() const;
+  double mean_total_j() const;
+  double mean_pkg_j() const;
+  double mean_dram_j() const;
+  double mean_power_w() const;
+  double worst_residual() const;
+};
+
+/// Runs one job on the numeric tier (xmpi execution under the white-box
+/// monitor). Throws on solver failure.
+JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
+                  const MonitorOptions& options = {});
+
+/// Human-readable results table (the framework's "human-readable format").
+void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs);
+
+/// Machine-readable CSV with one row per repetition.
+void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs);
+
+}  // namespace plin::monitor

@@ -1,0 +1,159 @@
+#include "monitor/monitoring.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+#include "papisim/papi.hpp"
+#include "support/error.hpp"
+#include "support/units.hpp"
+
+namespace plin::monitor {
+namespace {
+
+unsigned long thread_id() {
+  return static_cast<unsigned long>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+void check_papi(int status, const char* what) {
+  if (status != papisim::PAPI_OK) {
+    throw Error(std::string("PAPI failure in ") + what + ": " +
+                papisim::strerror(status));
+  }
+}
+
+/// Energy value (J) for the event matching prefix+index, or 0.
+double energy_for(const std::vector<MonitoringSession::Sample>& samples,
+                  const std::string& name) {
+  for (const auto& sample : samples) {
+    if (sample.event == name) {
+      return static_cast<double>(sample.value) * 1e-6;  // uJ -> J
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+MonitoringSession::~MonitoringSession() { terminate(); }
+
+void MonitoringSession::start(xmpi::Comm& comm, const std::string& component) {
+  PLIN_CHECK_MSG(!active_, "monitoring session already active");
+
+  // PWCAP_plot_init(): library initialization, thread initialization,
+  // event-set creation, and the addition of all the desired events.
+  const int version = papisim::library_init(papisim::PAPI_VER_CURRENT);
+  if (version != papisim::PAPI_VER_CURRENT) {
+    throw Error("PAPI library_init version mismatch");
+  }
+  check_papi(papisim::thread_init(&thread_id), "thread_init");
+  check_papi(papisim::create_eventset(&eventset_), "create_eventset");
+
+  event_names_ = papisim::enum_component_events(component);
+  PLIN_CHECK_MSG(!event_names_.empty(),
+                 "component has no events: " + component);
+  for (const std::string& name : event_names_) {
+    // papi_event_name_to_code + add_event, as in the paper's description.
+    int code = 0;
+    check_papi(papisim::event_name_to_code(name, &code),
+               "event_name_to_code");
+    check_papi(papisim::add_event(eventset_, code), "add_event");
+  }
+
+  // PAPI_start_AND_time().
+  check_papi(papisim::start(eventset_), "start");
+  start_time_s_ = comm.now();
+  active_ = true;
+}
+
+double MonitoringSession::sample(xmpi::Comm& comm) {
+  PLIN_CHECK_MSG(active_, "monitoring session is not active");
+  std::vector<long long> values(event_names_.size(), 0);
+  check_papi(papisim::read(eventset_, values.data()), "read");
+  samples_.clear();
+  for (std::size_t i = 0; i < event_names_.size(); ++i) {
+    samples_.push_back(Sample{event_names_[i], values[i]});
+  }
+  return comm.now();
+}
+
+void MonitoringSession::stop(xmpi::Comm& comm) {
+  PLIN_CHECK_MSG(active_, "monitoring session is not active");
+  std::vector<long long> values(event_names_.size(), 0);
+  // PAPI_stop_AND_time().
+  check_papi(papisim::stop(eventset_, values.data()), "stop");
+  stop_time_s_ = comm.now();
+  samples_.clear();
+  for (std::size_t i = 0; i < event_names_.size(); ++i) {
+    samples_.push_back(Sample{event_names_[i], values[i]});
+  }
+  active_ = false;
+}
+
+void MonitoringSession::terminate() {
+  if (eventset_ != papisim::PAPI_NULL) {
+    if (active_) {
+      papisim::stop(eventset_, nullptr);
+      active_ = false;
+    }
+    papisim::cleanup_eventset(eventset_);
+    papisim::destroy_eventset(&eventset_);
+  }
+}
+
+double MonitoringSession::package_j(int package) const {
+  return energy_for(samples_, "powercap:::ENERGY_UJ:ZONE" +
+                                  std::to_string(package));
+}
+
+double MonitoringSession::dram_j(int package) const {
+  return energy_for(samples_, "powercap:::ENERGY_UJ:ZONE" +
+                                  std::to_string(package) + "_SUBZONE0");
+}
+
+int MonitoringSession::packages() const {
+  int count = 0;
+  for (const auto& sample : samples_) {
+    if (sample.event.rfind("powercap:::ENERGY_UJ:ZONE", 0) == 0 &&
+        sample.event.find("_SUBZONE") == std::string::npos) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double MonitoringSession::total_pkg_j() const {
+  double total = 0.0;
+  for (int p = 0; p < packages(); ++p) total += package_j(p);
+  return total;
+}
+
+double MonitoringSession::total_dram_j() const {
+  double total = 0.0;
+  for (int p = 0; p < packages(); ++p) total += dram_j(p);
+  return total;
+}
+
+void write_processor_file(const std::string& dir, int node,
+                          const MonitoringSession& session) {
+  std::filesystem::create_directories(dir);
+  const std::string path =
+      dir + "/processor_" + std::to_string(node) + ".txt";
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open for writing: " + path);
+  os << "# powerlin monitoring report, processor (node) " << node << "\n";
+  os << "monitored_duration_s " << session.duration_s() << "\n";
+  for (const auto& sample : session.samples()) {
+    os << sample.event << " " << sample.value << "\n";
+  }
+  os << "# derived\n";
+  for (int p = 0; p < session.packages(); ++p) {
+    os << "package_" << p << "_J " << session.package_j(p) << "\n";
+    os << "dram_" << p << "_J " << session.dram_j(p) << "\n";
+  }
+  if (!os) throw IoError("write failed: " + path);
+}
+
+}  // namespace plin::monitor

@@ -1,0 +1,81 @@
+// papi_monitoring — a faithful port of the paper's papi_monitoring.h (§4)
+// onto the papisim substrate.
+//
+// The paper's flow for a designated monitoring rank:
+//   start_monitoring()  -> PWCAP_plot_init(): library init, thread init,
+//                          event-set creation, add every powercap event;
+//                          then PAPI_start_AND_time();
+//   ... the node runs its share of the solver ...
+//   end_monitoring()    -> PAPI_stop_AND_time(), file_management() writes
+//                          one result file per processor, PAPI_term()
+//                          cleans up and destroys the event set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xmpi/comm.hpp"
+
+namespace plin::monitor {
+
+/// One node's measurement session, owned by that node's monitoring rank.
+class MonitoringSession {
+ public:
+  struct Sample {
+    std::string event;
+    long long value = 0;  // microjoules for powercap energy events
+  };
+
+  MonitoringSession() = default;
+  MonitoringSession(const MonitoringSession&) = delete;
+  MonitoringSession& operator=(const MonitoringSession&) = delete;
+  ~MonitoringSession();
+
+  /// start_monitoring(): initializes PAPI on this thread, builds the event
+  /// set from every event of `component` (default: the powercap set, as in
+  /// the paper), starts the counters and records the virtual start time.
+  /// Throws Error on any PAPI failure.
+  void start(xmpi::Comm& comm, const std::string& component = "powercap");
+
+  /// end_monitoring(): stops the counters, records the stop time and fills
+  /// samples().
+  void stop(xmpi::Comm& comm);
+
+  /// Mid-flight PAPI read: fills samples() with the counters accumulated
+  /// since start without stopping them (used for per-phase measurements).
+  /// Returns the sample's virtual timestamp.
+  double sample(xmpi::Comm& comm);
+
+  /// PAPI_term(): cleans up and destroys the event set. Idempotent; also
+  /// run by the destructor.
+  void terminate();
+
+  bool active() const { return active_; }
+  double start_time_s() const { return start_time_s_; }
+  double stop_time_s() const { return stop_time_s_; }
+  double duration_s() const { return stop_time_s_ - start_time_s_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Derived RAPL-domain energies in joules (powercap counts microjoules).
+  double package_j(int package) const;
+  double dram_j(int package) const;
+  double total_pkg_j() const;
+  double total_dram_j() const;
+  int packages() const;
+
+ private:
+  int eventset_ = -1;  // papisim::PAPI_NULL
+  bool active_ = false;
+  double start_time_s_ = 0.0;
+  double stop_time_s_ = 0.0;
+  std::vector<std::string> event_names_;
+  std::vector<Sample> samples_;
+};
+
+/// file_management(): writes the session's counters for `node` as a
+/// human-readable per-processor file ("processor_<node>.txt") in `dir`.
+/// Creates the directory if needed; throws IoError on failure.
+void write_processor_file(const std::string& dir, int node,
+                          const MonitoringSession& session);
+
+}  // namespace plin::monitor

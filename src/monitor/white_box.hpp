@@ -1,0 +1,102 @@
+// The white-box monitored run — the paper's Figure 2 protocol.
+//
+//   MPI_Init
+//     -> MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): one communicator per
+//        node;
+//     -> the highest rank of each node communicator becomes the monitoring
+//        rank;
+//     -> node barrier; monitoring ranks start collecting energy values;
+//     -> world barrier; every rank runs its part of the linear system
+//        solver;
+//     -> node barrier; monitoring ranks stop collecting;
+//     -> world barrier; MPI_Finalize.
+//
+// The deliberate compromise the paper discusses — synchronization overhead
+// in exchange for measurement accuracy — is visible here as the extra
+// barriers; bench_overhead quantifies it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "monitor/monitoring.hpp"
+#include "xmpi/comm.hpp"
+
+namespace plin::monitor {
+
+struct MonitorOptions {
+  /// PAPI component whose full event set is monitored.
+  std::string component = "powercap";
+  /// If non-empty, monitoring ranks write per-processor result files here.
+  std::string output_dir;
+};
+
+/// Per-node measurement, as gathered from that node's monitoring rank.
+struct NodeReport {
+  int node = 0;
+  int monitoring_world_rank = 0;
+  double start_s = 0.0;
+  double stop_s = 0.0;
+  double pkg_j[2] = {0.0, 0.0};
+  double dram_j[2] = {0.0, 0.0};
+
+  double duration_s() const { return stop_s - start_s; }
+  double total_j() const {
+    return pkg_j[0] + pkg_j[1] + dram_j[0] + dram_j[1];
+  }
+};
+
+/// Aggregated measurement of one monitored run. The summary fields are
+/// valid on every rank; the per-node reports are gathered on world rank 0.
+struct RunMeasurement {
+  double duration_s = 0.0;  // longest monitored window across nodes
+  double pkg_j[2] = {0.0, 0.0};
+  double dram_j[2] = {0.0, 0.0};
+  std::vector<NodeReport> nodes;  // world rank 0 only
+
+  double total_pkg_j() const { return pkg_j[0] + pkg_j[1]; }
+  double total_dram_j() const { return dram_j[0] + dram_j[1]; }
+  double total_j() const { return total_pkg_j() + total_dram_j(); }
+  double avg_power_w() const {
+    return duration_s > 0.0 ? total_j() / duration_s : 0.0;
+  }
+};
+
+/// Runs `workload` on the world communicator under the white-box protocol
+/// and returns the aggregated energy measurement. Call from every rank.
+RunMeasurement monitored_run(
+    xmpi::Comm& world, const MonitorOptions& options,
+    const std::function<void(xmpi::Comm&)>& workload);
+
+/// A named workload phase for monitored_run_phases.
+struct Phase {
+  std::string name;
+  std::function<void(xmpi::Comm&)> workload;
+};
+
+struct PhasedMeasurement {
+  RunMeasurement total;
+  std::vector<std::pair<std::string, RunMeasurement>> phases;
+};
+
+/// Phase-separated monitored run (§5.1: the paper monitors the matrix
+/// allocation and the execution phase separately). Phases execute in
+/// order; the monitoring ranks take a mid-flight PAPI read at each
+/// node-barrier-aligned phase boundary, so every phase gets its own
+/// energy/duration window on top of the overall measurement. Summaries
+/// are replicated on every rank; per-node detail is rank-0 only.
+PhasedMeasurement monitored_run_phases(xmpi::Comm& world,
+                                       const MonitorOptions& options,
+                                       std::vector<Phase> phases);
+
+/// Black-box variant (extension, DESIGN.md §6): identical measurement
+/// machinery, but no cooperation from the workload is required and no
+/// world-wide alignment barriers are inserted around it — the trade-off is
+/// that per-node windows are not aligned, exactly the accuracy issue the
+/// paper's white-box design removes.
+RunMeasurement blackbox_run(
+    xmpi::Comm& world, const MonitorOptions& options,
+    const std::function<void(xmpi::Comm&)>& workload);
+
+}  // namespace plin::monitor

@@ -1,0 +1,104 @@
+#include "msr/device.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace plin::msr {
+
+CpuModel detect_cpu_model() { return CpuModel{}; }
+
+MsrDevice::MsrDevice(const trace::HardwareContext* context, int package)
+    : context_(context), package_(package) {
+  PLIN_CHECK_MSG(context != nullptr, "MSR device needs a hardware context");
+  PLIN_CHECK_MSG(context->ledger != nullptr && context->clock != nullptr,
+                 "hardware context is not fully bound");
+  PLIN_CHECK_MSG(package >= 0 && package < context->ledger->packages(),
+                 "package out of range for this node");
+}
+
+std::uint64_t MsrDevice::energy_counter(bool dram) const {
+  // Counter updates "approximately once a millisecond": sample the ledger at
+  // the last update boundary before the reader's current virtual time.
+  const double now = context_->clock->now();
+  const double sample_t =
+      std::floor(now / kCounterUpdatePeriodS) * kCounterUpdatePeriodS;
+  const double joules =
+      dram ? context_->ledger->dram_energy_j(package_, sample_t)
+           : context_->ledger->package_energy_j(package_, sample_t);
+  const double unit =
+      dram ? 1.0 / (1u << kSkylakeDramEnergyUnitBits) : units_.energy_unit_j();
+  const auto units_count = static_cast<std::uint64_t>(joules / unit);
+  return units_count & 0xFFFFFFFFu;  // 32-bit wrapping counter
+}
+
+std::uint64_t MsrDevice::read(std::uint32_t msr) const {
+  switch (msr) {
+    case kMsrRaplPowerUnit:
+      return units_.encode();
+    case kMsrPkgEnergyStatus:
+      return energy_counter(/*dram=*/false);
+    case kMsrDramEnergyStatus:
+      return energy_counter(/*dram=*/true);
+    case kMsrPkgPowerLimit: {
+      // The active limit lives in the shared ledger, so every device (and
+      // therefore every PAPI event set) observes the same cap.
+      const double cap = context_->ledger->package_cap(package_);
+      PkgPowerLimit limit;
+      limit.limit_w = cap;
+      limit.enabled = cap > 0.0;
+      return limit.encode(units_);
+    }
+    case kMsrDramPowerLimit:
+      return dram_limit_raw_;
+    default:
+      throw InvalidArgument("unsupported MSR read: " + std::to_string(msr));
+  }
+}
+
+void MsrDevice::write(std::uint32_t msr, std::uint64_t value) {
+  switch (msr) {
+    case kMsrPkgPowerLimit: {
+      const PkgPowerLimit limit = PkgPowerLimit::decode(value, units_);
+      context_->ledger->set_package_cap(package_,
+                                        limit.enabled ? limit.limit_w : 0.0);
+      return;
+    }
+    case kMsrDramPowerLimit:
+      dram_limit_raw_ = value;  // accepted, not modeled
+      return;
+    default:
+      throw InvalidArgument("unsupported MSR write: " + std::to_string(msr));
+  }
+}
+
+RaplEnergyReader::RaplEnergyReader(const MsrDevice* device, Domain domain)
+    : device_(device), domain_(domain) {
+  PLIN_CHECK(device != nullptr);
+  last_raw_ = raw_counter();
+}
+
+double RaplEnergyReader::unit_j() const {
+  if (domain_ == Domain::kDram) {
+    return 1.0 / (1u << kSkylakeDramEnergyUnitBits);
+  }
+  return device_->units().energy_unit_j();
+}
+
+std::uint32_t RaplEnergyReader::raw_counter() const {
+  const std::uint32_t reg = domain_ == Domain::kDram ? kMsrDramEnergyStatus
+                                                     : kMsrPkgEnergyStatus;
+  return static_cast<std::uint32_t>(device_->read(reg));
+}
+
+double RaplEnergyReader::energy_uj() {
+  const std::uint32_t raw = raw_counter();
+  // Unsigned subtraction handles the 32-bit wrap as long as fewer than
+  // 2^32 energy units elapse between reads.
+  const std::uint32_t delta = raw - last_raw_;
+  last_raw_ = raw;
+  accumulated_j_ += static_cast<double>(delta) * unit_j();
+  return accumulated_j_ * 1e6;
+}
+
+}  // namespace plin::msr

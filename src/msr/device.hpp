@@ -1,0 +1,65 @@
+// MsrDevice — the simulated /dev/cpu/*/msr endpoint for one RAPL package.
+//
+// Reading MSR_PKG_ENERGY_STATUS returns the package energy accumulated by
+// the node's EnergyLedger up to the *reader's* current virtual time,
+// quantized to the RAPL update period and truncated to a wrapping 32-bit
+// counter in hardware units. Writes are accepted only for the power-limit
+// registers.
+#pragma once
+
+#include <cstdint>
+
+#include "msr/rapl_msr.hpp"
+#include "trace/hardware_context.hpp"
+
+namespace plin::msr {
+
+class MsrDevice {
+ public:
+  /// `context` supplies the ledger and clock; `package` selects the RAPL
+  /// domain pair (PKG / DRAM) this device fronts.
+  MsrDevice(const trace::HardwareContext* context, int package);
+
+  /// Reads a supported MSR; throws InvalidArgument for unknown registers.
+  std::uint64_t read(std::uint32_t msr) const;
+
+  /// Writes a power-limit MSR; throws InvalidArgument otherwise.
+  void write(std::uint32_t msr, std::uint64_t value);
+
+  int package() const { return package_; }
+  const RaplUnits& units() const { return units_; }
+
+ private:
+  std::uint64_t energy_counter(bool dram) const;
+
+  const trace::HardwareContext* context_;
+  int package_;
+  RaplUnits units_;
+  std::uint64_t dram_limit_raw_ = 0;
+};
+
+/// Wrap-correcting accumulator over an energy-status counter, mirroring how
+/// real RAPL tools (and PAPI) turn the 32-bit register into a monotonic
+/// energy value.
+class RaplEnergyReader {
+ public:
+  enum class Domain { kPackage, kDram };
+
+  RaplEnergyReader(const MsrDevice* device, Domain domain);
+
+  /// Monotonic accumulated energy in microjoules since construction.
+  double energy_uj();
+
+  Domain domain() const { return domain_; }
+
+ private:
+  double unit_j() const;
+  std::uint32_t raw_counter() const;
+
+  const MsrDevice* device_;
+  Domain domain_;
+  std::uint32_t last_raw_ = 0;
+  double accumulated_j_ = 0.0;
+};
+
+}  // namespace plin::msr

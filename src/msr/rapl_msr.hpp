@@ -1,0 +1,82 @@
+// RAPL MSR layout constants and bitfield codecs, following the Intel SDM
+// (vol. 4) definitions the paper describes in §2.3: the RAPL interface is a
+// set of non-architectural MSRs; energy-status counters are 32-bit registers
+// in hardware energy units, updated roughly once a millisecond; readers must
+// first decode MSR_RAPL_POWER_UNIT.
+#pragma once
+
+#include <cstdint>
+
+namespace plin::msr {
+
+// Register addresses (real Intel values).
+inline constexpr std::uint32_t kMsrRaplPowerUnit = 0x606;
+inline constexpr std::uint32_t kMsrPkgPowerLimit = 0x610;
+inline constexpr std::uint32_t kMsrPkgEnergyStatus = 0x611;
+inline constexpr std::uint32_t kMsrDramPowerLimit = 0x618;
+inline constexpr std::uint32_t kMsrDramEnergyStatus = 0x619;
+
+// MSR_RAPL_POWER_UNIT fields.
+struct RaplUnits {
+  int power_unit_bits = 3;    // power unit = 1 / 2^3 W
+  int energy_unit_bits = 14;  // energy unit = 1 / 2^14 J (Skylake-SP pkg)
+  int time_unit_bits = 10;    // time unit  = 1 / 2^10 s
+
+  std::uint64_t encode() const {
+    return (static_cast<std::uint64_t>(time_unit_bits) << 16) |
+           (static_cast<std::uint64_t>(energy_unit_bits) << 8) |
+           static_cast<std::uint64_t>(power_unit_bits);
+  }
+  static RaplUnits decode(std::uint64_t raw) {
+    RaplUnits u;
+    u.power_unit_bits = static_cast<int>(raw & 0xF);
+    u.energy_unit_bits = static_cast<int>((raw >> 8) & 0x1F);
+    u.time_unit_bits = static_cast<int>((raw >> 16) & 0xF);
+    return u;
+  }
+
+  double power_unit_w() const { return 1.0 / (1u << power_unit_bits); }
+  double energy_unit_j() const { return 1.0 / (1u << energy_unit_bits); }
+};
+
+/// Skylake-SP quirk: DRAM energy status uses a fixed 1/2^16 J (15.3 uJ)
+/// unit regardless of MSR_RAPL_POWER_UNIT. Tools that ignore this read DRAM
+/// energy 4x too high on this CPU; we reproduce the quirk faithfully.
+inline constexpr int kSkylakeDramEnergyUnitBits = 16;
+
+/// Counter update period ("approximately once a millisecond").
+inline constexpr double kCounterUpdatePeriodS = 1e-3;
+
+// MSR_PKG_POWER_LIMIT fields (we model limit #1 only).
+struct PkgPowerLimit {
+  double limit_w = 0.0;
+  bool enabled = false;
+
+  std::uint64_t encode(const RaplUnits& units) const {
+    const auto raw_limit = static_cast<std::uint64_t>(
+        limit_w / units.power_unit_w());
+    return (raw_limit & 0x7FFF) |
+           (enabled ? (std::uint64_t{1} << 15) : 0);
+  }
+  static PkgPowerLimit decode(std::uint64_t raw, const RaplUnits& units) {
+    PkgPowerLimit limit;
+    limit.limit_w = static_cast<double>(raw & 0x7FFF) * units.power_unit_w();
+    limit.enabled = (raw >> 15) & 1;
+    return limit;
+  }
+};
+
+/// CPUID-style model identification; RAPL readers must detect the CPU model
+/// before choosing unit interpretations (§2.3).
+struct CpuModel {
+  int family = 6;
+  int model = 0x55;  // Skylake-SP (Xeon 8160)
+  const char* name = "Intel Xeon Platinum 8160 (Skylake-SP)";
+
+  bool is_skylake_sp() const { return family == 6 && model == 0x55; }
+};
+
+/// The simulated machine always reports Skylake-SP, matching Marconi A3.
+CpuModel detect_cpu_model();
+
+}  // namespace plin::msr

@@ -1,0 +1,437 @@
+#include "papisim/papi.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "msr/device.hpp"
+#include "support/error.hpp"
+#include "trace/hardware_context.hpp"
+
+namespace plin::papisim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event model
+// ---------------------------------------------------------------------------
+
+enum class EventKind { kPackageEnergy, kDramEnergy, kPowerLimit };
+
+enum class Component { kPowercap = 0, kRapl = 1 };
+
+struct EventSpec {
+  Component component = Component::kPowercap;
+  EventKind kind = EventKind::kPackageEnergy;
+  int package = 0;
+};
+
+constexpr int kComponentShift = 24;
+constexpr int kKindShift = 16;
+
+int encode_event(const EventSpec& spec) {
+  return (static_cast<int>(spec.component) + 1) << kComponentShift |
+         static_cast<int>(spec.kind) << kKindShift | spec.package;
+}
+
+std::optional<EventSpec> decode_event(int code) {
+  const int component = (code >> kComponentShift) - 1;
+  const int kind = (code >> kKindShift) & 0xFF;
+  const int package = code & 0xFFFF;
+  if (component < 0 || component > 1 || kind > 2 || package < 0) {
+    return std::nullopt;
+  }
+  return EventSpec{static_cast<Component>(component),
+                   static_cast<EventKind>(kind), package};
+}
+
+std::string event_name(const EventSpec& spec) {
+  const std::string p = std::to_string(spec.package);
+  switch (spec.component) {
+    case Component::kPowercap:
+      switch (spec.kind) {
+        case EventKind::kPackageEnergy:
+          return "powercap:::ENERGY_UJ:ZONE" + p;
+        case EventKind::kDramEnergy:
+          return "powercap:::ENERGY_UJ:ZONE" + p + "_SUBZONE0";
+        case EventKind::kPowerLimit:
+          return "powercap:::POWER_LIMIT_A_UW:ZONE" + p;
+      }
+      break;
+    case Component::kRapl:
+      switch (spec.kind) {
+        case EventKind::kPackageEnergy:
+          return "rapl:::PACKAGE_ENERGY:PACKAGE" + p;
+        case EventKind::kDramEnergy:
+          return "rapl:::DRAM_ENERGY:PACKAGE" + p;
+        case EventKind::kPowerLimit:
+          return "rapl:::POWER_LIMIT:PACKAGE" + p;  // not enumerated
+      }
+      break;
+  }
+  return {};
+}
+
+/// Parses "<prefix><number><suffix>"; returns the number or nullopt.
+std::optional<int> parse_indexed(const std::string& text,
+                                 const std::string& prefix,
+                                 const std::string& suffix) {
+  if (text.rfind(prefix, 0) != 0) return std::nullopt;
+  const std::string rest = text.substr(prefix.size());
+  if (rest.size() < 1 + suffix.size()) return std::nullopt;
+  if (rest.compare(rest.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits = rest.substr(0, rest.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  int value = 0;
+  for (char ch : digits) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + (ch - '0');
+  }
+  return value;
+}
+
+std::optional<EventSpec> parse_event_name(const std::string& name) {
+  if (auto p = parse_indexed(name, "powercap:::ENERGY_UJ:ZONE", "_SUBZONE0")) {
+    return EventSpec{Component::kPowercap, EventKind::kDramEnergy, *p};
+  }
+  if (auto p = parse_indexed(name, "powercap:::ENERGY_UJ:ZONE", "")) {
+    return EventSpec{Component::kPowercap, EventKind::kPackageEnergy, *p};
+  }
+  if (auto p = parse_indexed(name, "powercap:::POWER_LIMIT_A_UW:ZONE", "")) {
+    return EventSpec{Component::kPowercap, EventKind::kPowerLimit, *p};
+  }
+  if (auto p = parse_indexed(name, "rapl:::PACKAGE_ENERGY:PACKAGE", "")) {
+    return EventSpec{Component::kRapl, EventKind::kPackageEnergy, *p};
+  }
+  if (auto p = parse_indexed(name, "rapl:::DRAM_ENERGY:PACKAGE", "")) {
+    return EventSpec{Component::kRapl, EventKind::kDramEnergy, *p};
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Library state
+// ---------------------------------------------------------------------------
+
+struct EventState {
+  EventSpec spec;
+  std::unique_ptr<msr::RaplEnergyReader> reader;  // energy events only
+  double base_uj = 0.0;
+};
+
+struct EventSet {
+  std::vector<EventSpec> events;
+  bool running = false;
+  // Populated while running:
+  const trace::HardwareContext* context = nullptr;
+  std::vector<std::unique_ptr<msr::MsrDevice>> devices;  // per package
+  std::vector<EventState> states;
+};
+
+struct Library {
+  std::mutex mutex;
+  bool initialized = false;
+  bool threads_ready = false;
+  unsigned long (*thread_id_fn)() = nullptr;
+  std::map<int, EventSet> sets;
+  int next_set_id = 1;
+};
+
+Library& lib() {
+  static Library instance;
+  return instance;
+}
+
+int packages_on_thread() {
+  const trace::HardwareContext* ctx = trace::thread_hardware();
+  if (ctx == nullptr || ctx->ledger == nullptr) return -1;
+  return ctx->ledger->packages();
+}
+
+msr::MsrDevice* device_for(EventSet& set, int package) {
+  if (static_cast<int>(set.devices.size()) <= package) {
+    set.devices.resize(static_cast<std::size_t>(package) + 1);
+  }
+  auto& slot = set.devices[static_cast<std::size_t>(package)];
+  if (!slot) slot = std::make_unique<msr::MsrDevice>(set.context, package);
+  return slot.get();
+}
+
+long long read_event_locked(EventSet& set, EventState& state) {
+  switch (state.spec.kind) {
+    case EventKind::kPackageEnergy:
+    case EventKind::kDramEnergy: {
+      const double uj = state.reader->energy_uj() - state.base_uj;
+      // powercap counts microjoules, rapl counts nanojoules.
+      return state.spec.component == Component::kRapl
+                 ? static_cast<long long>(uj * 1e3)
+                 : static_cast<long long>(uj);
+    }
+    case EventKind::kPowerLimit: {
+      const msr::MsrDevice* device = device_for(set, state.spec.package);
+      const auto raw = device->read(msr::kMsrPkgPowerLimit);
+      const auto limit = msr::PkgPowerLimit::decode(raw, device->units());
+      return limit.enabled ? static_cast<long long>(limit.limit_w * 1e6) : 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+int library_init(int version) {
+  if (version != PAPI_VER_CURRENT) return PAPI_EINVAL;
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  lib().initialized = true;
+  return PAPI_VER_CURRENT;
+}
+
+bool is_initialized() {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  return lib().initialized;
+}
+
+int thread_init(unsigned long (*id_fn)()) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  if (!lib().initialized) return PAPI_ENOINIT;
+  if (id_fn == nullptr) return PAPI_EINVAL;
+  lib().threads_ready = true;
+  lib().thread_id_fn = id_fn;
+  return PAPI_OK;
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  lib().sets.clear();
+  lib().initialized = false;
+  lib().threads_ready = false;
+  lib().thread_id_fn = nullptr;
+}
+
+int num_components() { return 2; }
+
+const ComponentInfo* get_component_info(int index) {
+  static const ComponentInfo kInfos[2] = {
+      {"powercap", "Linux powercap (RAPL sysfs) energy and power-limit", 0},
+      {"rapl", "Direct RAPL MSR energy counters", 1},
+  };
+  if (index < 0 || index >= 2) return nullptr;
+  return &kInfos[index];
+}
+
+std::vector<std::string> enum_component_events(const std::string& component) {
+  int packages = packages_on_thread();
+  if (packages < 0) packages = 2;  // unbound: describe a standard node
+  std::vector<std::string> names;
+  for (int p = 0; p < packages; ++p) {
+    if (component == "powercap") {
+      names.push_back(
+          event_name({Component::kPowercap, EventKind::kPackageEnergy, p}));
+      names.push_back(
+          event_name({Component::kPowercap, EventKind::kDramEnergy, p}));
+      names.push_back(
+          event_name({Component::kPowercap, EventKind::kPowerLimit, p}));
+    } else if (component == "rapl") {
+      names.push_back(
+          event_name({Component::kRapl, EventKind::kPackageEnergy, p}));
+      names.push_back(
+          event_name({Component::kRapl, EventKind::kDramEnergy, p}));
+    }
+  }
+  return names;
+}
+
+int event_name_to_code(const std::string& name, int* code) {
+  if (code == nullptr) return PAPI_EINVAL;
+  if (!is_initialized()) return PAPI_ENOINIT;
+  const auto spec = parse_event_name(name);
+  if (!spec) return PAPI_ENOEVNT;
+  const int packages = packages_on_thread();
+  if (packages >= 0 && spec->package >= packages) return PAPI_ENOEVNT;
+  *code = encode_event(*spec);
+  return PAPI_OK;
+}
+
+int event_code_to_name(int code, std::string* name) {
+  if (name == nullptr) return PAPI_EINVAL;
+  const auto spec = decode_event(code);
+  if (!spec) return PAPI_ENOEVNT;
+  *name = event_name(*spec);
+  return name->empty() ? PAPI_ENOEVNT : PAPI_OK;
+}
+
+int create_eventset(int* eventset) {
+  if (eventset == nullptr) return PAPI_EINVAL;
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  if (!lib().initialized) return PAPI_ENOINIT;
+  const int id = lib().next_set_id++;
+  lib().sets.emplace(id, EventSet{});
+  *eventset = id;
+  return PAPI_OK;
+}
+
+int add_event(int eventset, int code) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  if (it->second.running) return PAPI_EISRUN;
+  const auto spec = decode_event(code);
+  if (!spec) return PAPI_ENOEVNT;
+  it->second.events.push_back(*spec);
+  return PAPI_OK;
+}
+
+int add_named_event(int eventset, const std::string& name) {
+  int code = 0;
+  const int status = event_name_to_code(name, &code);
+  if (status != PAPI_OK) return status;
+  return add_event(eventset, code);
+}
+
+int num_events(int eventset) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  return static_cast<int>(it->second.events.size());
+}
+
+int start(int eventset) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  EventSet& set = it->second;
+  if (set.running) return PAPI_EISRUN;
+  const trace::HardwareContext* ctx = trace::thread_hardware();
+  if (ctx == nullptr || ctx->ledger == nullptr || ctx->clock == nullptr) {
+    return PAPI_ENOHW;
+  }
+  set.context = ctx;
+  set.devices.clear();
+  set.states.clear();
+  for (const EventSpec& spec : set.events) {
+    if (spec.package >= ctx->ledger->packages()) return PAPI_ENOEVNT;
+    EventState state;
+    state.spec = spec;
+    if (spec.kind != EventKind::kPowerLimit) {
+      const auto domain = spec.kind == EventKind::kDramEnergy
+                              ? msr::RaplEnergyReader::Domain::kDram
+                              : msr::RaplEnergyReader::Domain::kPackage;
+      state.reader = std::make_unique<msr::RaplEnergyReader>(
+          device_for(set, spec.package), domain);
+      state.base_uj = state.reader->energy_uj();
+    }
+    set.states.push_back(std::move(state));
+  }
+  set.running = true;
+  return PAPI_OK;
+}
+
+int read(int eventset, long long* values) {
+  if (values == nullptr) return PAPI_EINVAL;
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  EventSet& set = it->second;
+  if (!set.running) return PAPI_ENOTRUN;
+  for (std::size_t i = 0; i < set.states.size(); ++i) {
+    values[i] = read_event_locked(set, set.states[i]);
+  }
+  return PAPI_OK;
+}
+
+int reset(int eventset) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  EventSet& set = it->second;
+  if (!set.running) return PAPI_ENOTRUN;
+  for (EventState& state : set.states) {
+    if (state.reader) state.base_uj = state.reader->energy_uj();
+  }
+  return PAPI_OK;
+}
+
+int stop(int eventset, long long* values) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  EventSet& set = it->second;
+  if (!set.running) return PAPI_ENOTRUN;
+  if (values != nullptr) {
+    for (std::size_t i = 0; i < set.states.size(); ++i) {
+      values[i] = read_event_locked(set, set.states[i]);
+    }
+  }
+  set.running = false;
+  set.states.clear();
+  set.devices.clear();
+  set.context = nullptr;
+  return PAPI_OK;
+}
+
+int cleanup_eventset(int eventset) {
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  if (it->second.running) return PAPI_EISRUN;
+  it->second.events.clear();
+  return PAPI_OK;
+}
+
+int destroy_eventset(int* eventset) {
+  if (eventset == nullptr) return PAPI_EINVAL;
+  std::lock_guard<std::mutex> lock(lib().mutex);
+  auto it = lib().sets.find(*eventset);
+  if (it == lib().sets.end()) return PAPI_ENOEVST;
+  if (it->second.running) return PAPI_EISRUN;
+  if (!it->second.events.empty()) return PAPI_EINVAL;  // cleanup first
+  lib().sets.erase(it);
+  *eventset = PAPI_NULL;
+  return PAPI_OK;
+}
+
+int set_powercap_limit(const std::string& event_name_str,
+                       long long microwatts) {
+  if (!is_initialized()) return PAPI_ENOINIT;
+  if (microwatts < 0) return PAPI_EINVAL;
+  const auto spec = parse_event_name(event_name_str);
+  if (!spec || spec->kind != EventKind::kPowerLimit ||
+      spec->component != Component::kPowercap) {
+    return PAPI_ENOEVNT;
+  }
+  const trace::HardwareContext* ctx = trace::thread_hardware();
+  if (ctx == nullptr || ctx->ledger == nullptr) return PAPI_ENOHW;
+  if (spec->package >= ctx->ledger->packages()) return PAPI_ENOEVNT;
+  msr::MsrDevice device(ctx, spec->package);
+  msr::PkgPowerLimit limit;
+  limit.limit_w = static_cast<double>(microwatts) * 1e-6;
+  limit.enabled = microwatts > 0;
+  device.write(msr::kMsrPkgPowerLimit, limit.encode(device.units()));
+  return PAPI_OK;
+}
+
+const char* strerror(int status) {
+  switch (status) {
+    case PAPI_OK: return "no error";
+    case PAPI_EINVAL: return "invalid argument";
+    case PAPI_ENOMEM: return "insufficient memory";
+    case PAPI_ECMP: return "component error";
+    case PAPI_ENOEVNT: return "event does not exist";
+    case PAPI_ENOEVST: return "no such event set";
+    case PAPI_EISRUN: return "event set is running";
+    case PAPI_ENOTRUN: return "event set is not running";
+    case PAPI_ENOINIT: return "library not initialized";
+    case PAPI_ENOHW: return "no hardware bound to this thread";
+    default: return "unknown error";
+  }
+}
+
+}  // namespace plin::papisim

@@ -1,0 +1,114 @@
+// papisim — a PAPI-shaped performance/energy API backed by the simulated
+// MSR/RAPL stack.
+//
+// The paper's monitoring layer (papi_monitoring.h) is written against real
+// PAPI: library init, thread init, event-set creation, adding every event of
+// the *powercap* component by name, PAPI_start/PAPI_stop, PAPI_term. This
+// module reproduces that surface (C-style int status codes, long long
+// counter values) so src/monitor can be a faithful port of the paper's flow.
+//
+// Two components are exposed, mirroring real PAPI on an Intel node:
+//   powercap — ENERGY_UJ:ZONE<p> (package energy, microjoules),
+//              ENERGY_UJ:ZONE<p>_SUBZONE0 (DRAM energy, microjoules),
+//              POWER_LIMIT_A_UW:ZONE<p> (read/write power cap, microwatts);
+//   rapl     — PACKAGE_ENERGY:PACKAGE<p> / DRAM_ENERGY:PACKAGE<p>
+//              (nanojoules).
+//
+// Counters are sampled against the calling thread's bound HardwareContext
+// (see trace/hardware_context.hpp), exactly as real PAPI reads the MSRs of
+// the node it executes on. Event sets follow PAPI semantics: counters are
+// zeroed by start(), accumulate until stop(), and may be read mid-flight.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plin::papisim {
+
+// Status codes (values follow real PAPI where one exists).
+inline constexpr int PAPI_OK = 0;
+inline constexpr int PAPI_EINVAL = -1;
+inline constexpr int PAPI_ENOMEM = -2;
+inline constexpr int PAPI_ECMP = -4;
+inline constexpr int PAPI_ENOEVNT = -7;
+inline constexpr int PAPI_ENOEVST = -9;
+inline constexpr int PAPI_EISRUN = -13;
+inline constexpr int PAPI_ENOTRUN = -14;
+inline constexpr int PAPI_ENOINIT = -22;
+inline constexpr int PAPI_ENOHW = -25;
+
+inline constexpr int PAPI_NULL = -1;
+
+/// Version handshake, PAPI-style: library_init must receive the version the
+/// caller was compiled against.
+inline constexpr int PAPI_VER_CURRENT = (7 << 16) | (0 << 8) | 1;
+
+/// Initializes the library. Returns PAPI_VER_CURRENT on success, PAPI_EINVAL
+/// on version mismatch. Idempotent.
+int library_init(int version);
+
+/// True once library_init succeeded.
+bool is_initialized();
+
+/// Registers threading support; `id_fn` must return a stable id for the
+/// calling thread. Returns PAPI_OK.
+int thread_init(unsigned long (*id_fn)());
+
+/// Shuts the library down and destroys all event sets (PAPI_shutdown; the
+/// paper calls its wrapper PAPI_term).
+void shutdown();
+
+// -- Component and event enumeration ---------------------------------------
+
+struct ComponentInfo {
+  std::string name;
+  std::string description;
+  int index = 0;
+};
+
+int num_components();
+/// Returns nullptr for an out-of-range index.
+const ComponentInfo* get_component_info(int index);
+
+/// All event names of a component, for the hardware bound to this thread
+/// (the powercap component exposes one zone per package). This is what the
+/// paper's event_names array is filled from.
+std::vector<std::string> enum_component_events(const std::string& component);
+
+/// Translates an event name to a code (papi_event_name_to_code in the
+/// paper). Requires a bound HardwareContext for zone validation.
+int event_name_to_code(const std::string& name, int* code);
+int event_code_to_name(int code, std::string* name);
+
+// -- Event sets --------------------------------------------------------------
+
+int create_eventset(int* eventset);
+int add_event(int eventset, int code);
+int add_named_event(int eventset, const std::string& name);
+/// Number of events in the set, or a negative status code.
+int num_events(int eventset);
+
+int start(int eventset);
+/// Reads counters without stopping; `values` must hold num_events entries.
+int read(int eventset, long long* values);
+/// Zeroes the running counters.
+int reset(int eventset);
+/// Stops counting and (if `values` non-null) reads final counters.
+int stop(int eventset, long long* values);
+
+/// Removes all events (set must be stopped).
+int cleanup_eventset(int eventset);
+/// Destroys an empty event set and writes PAPI_NULL through `eventset`.
+int destroy_eventset(int* eventset);
+
+// -- Power capping (powercap component write path) ---------------------------
+
+/// Writes a package power limit through the powercap component, e.g.
+/// set_powercap_limit("powercap:::POWER_LIMIT_A_UW:ZONE0", 90'000'000).
+/// Pass 0 to clear the cap. Returns PAPI_OK or an error.
+int set_powercap_limit(const std::string& event_name, long long microwatts);
+
+/// Human-readable status string.
+const char* strerror(int status);
+
+}  // namespace plin::papisim

@@ -1,0 +1,135 @@
+#include "perfsim/activity.hpp"
+
+#include <algorithm>
+
+#include "hwmodel/power.hpp"
+#include "support/error.hpp"
+
+namespace plin::perfsim {
+
+KernelTime kernel_time(const hw::MachineSpec& machine, int socket_sharers,
+                       const solvers::KernelProfile& profile, double flops) {
+  PLIN_ASSERT(flops >= 0.0);
+  KernelTime result;
+  if (flops <= 0.0) return result;
+  const double peak =
+      machine.node.socket.core.peak_flops() * profile.efficiency;
+  const double t_flop = flops / peak;
+  const double bw_share = machine.node.socket.dram_bandwidth_bs /
+                          std::max(1, socket_sharers);
+  const double t_mem = flops * profile.bytes_per_flop / bw_share;
+  result.memory_bound = t_mem > t_flop;
+  result.seconds = std::max(t_flop, t_mem);
+  return result;
+}
+
+void charge_kernel(RankActivity& activity, const hw::MachineSpec& machine,
+                   int socket_sharers, const solvers::KernelProfile& profile,
+                   double flops) {
+  const KernelTime t = kernel_time(machine, socket_sharers, profile, flops);
+  if (t.memory_bound) {
+    activity.membound_s += t.seconds;
+  } else {
+    activity.compute_s += t.seconds;
+  }
+  activity.dram_bytes += flops * profile.bytes_per_flop;
+}
+
+void charge_messages(RankActivity& activity, const hw::NetworkModel& network,
+                     double count, double bytes) {
+  activity.commactive_s += count * network.per_message_overhead();
+  activity.dram_bytes += bytes;
+}
+
+hw::LinkClass group_link(const hw::ClusterLayout& layout,
+                         const std::vector<int>& ranks) {
+  if (ranks.size() < 2) return hw::LinkClass::kSameSocket;
+  const hw::RankLocation& first = layout.location_of(ranks.front());
+  hw::LinkClass worst = hw::LinkClass::kSameSocket;
+  for (int rank : ranks) {
+    const hw::RankLocation& loc = layout.location_of(rank);
+    if (loc.node != first.node) return hw::LinkClass::kCrossNode;
+    if (loc.socket != first.socket) worst = hw::LinkClass::kCrossSocket;
+  }
+  return worst;
+}
+
+double tree_time(const hw::ClusterLayout& layout,
+                 const hw::NetworkModel& network,
+                 const std::vector<int>& members, double bytes) {
+  const int count = static_cast<int>(members.size());
+  if (count < 2) return 0.0;
+  double total = 0.0;
+  for (int mask = 1; mask < count; mask <<= 1) {
+    double stage = 0.0;
+    for (int v = 0; v + mask < count; v += 2 * mask) {
+      const hw::LinkClass link = layout.link_between(
+          members[static_cast<std::size_t>(v)],
+          members[static_cast<std::size_t>(v + mask)]);
+      stage = std::max(stage, network.transfer_time(link, bytes));
+    }
+    total += stage + network.per_message_overhead();
+  }
+  return total;
+}
+
+double successor_hop_time(const hw::ClusterLayout& layout,
+                          const hw::NetworkModel& network, double bytes) {
+  const int ranks = layout.ranks();
+  if (ranks < 2) return 0.0;
+  double total = 0.0;
+  for (int r = 0; r < ranks; ++r) {
+    total += network.transfer_time(layout.link_between(r, (r + 1) % ranks),
+                                   bytes);
+  }
+  return total / ranks;
+}
+
+void fill_energy(Prediction& prediction, const hw::MachineSpec& machine,
+                 const hw::ClusterLayout& layout,
+                 const std::vector<RankActivity>& per_rank,
+                 double duration_s) {
+  PLIN_CHECK(static_cast<int>(per_rank.size()) == layout.ranks());
+  const hw::PowerModel power(machine.power);
+  const double T = duration_s;
+  const double idle_w = power.core_power_w(hw::ActivityKind::kIdle);
+  const int sockets = machine.node.sockets;
+
+  for (int node = 0; node < layout.nodes(); ++node) {
+    std::vector<double> dynamic(static_cast<std::size_t>(sockets), 0.0);
+    std::vector<double> traffic(static_cast<std::size_t>(sockets), 0.0);
+    std::vector<int> ranked(static_cast<std::size_t>(sockets), 0);
+    for (int rank : layout.ranks_on_node(node)) {
+      const hw::RankLocation& loc = layout.location_of(rank);
+      const RankActivity& a = per_rank[static_cast<std::size_t>(rank)];
+      const std::size_t s = static_cast<std::size_t>(loc.socket);
+      ++ranked[s];
+      const double busy = a.compute_s + a.membound_s + a.commactive_s;
+      const double wait = std::max(0.0, T - busy);
+      dynamic[s] +=
+          a.compute_s *
+              (power.core_power_w(hw::ActivityKind::kCompute) - idle_w) +
+          a.membound_s *
+              (power.core_power_w(hw::ActivityKind::kMemBound) - idle_w) +
+          a.commactive_s *
+              (power.core_power_w(hw::ActivityKind::kCommActive) - idle_w) +
+          wait * (power.core_power_w(hw::ActivityKind::kCommWait) - idle_w);
+      traffic[s] += a.dram_bytes;
+    }
+    for (int s = 0; s < sockets && s < 2; ++s) {
+      double dyn = dynamic[static_cast<std::size_t>(s)];
+      if (ranked[static_cast<std::size_t>(s)] == 0 && sockets == 2) {
+        const int sibling = s == 0 ? 1 : 0;
+        dyn = power.idle_socket_leakage() *
+              dynamic[static_cast<std::size_t>(sibling)];
+      }
+      prediction.pkg_j[s] += power.pkg_base_w() * T +
+                             machine.node.socket.cores * idle_w * T + dyn;
+      prediction.dram_j[s] +=
+          power.dram_base_w() * T +
+          traffic[static_cast<std::size_t>(s)] * power.dram_energy_per_byte();
+    }
+  }
+}
+
+}  // namespace plin::perfsim

@@ -1,0 +1,68 @@
+// Per-rank activity accounting for the analytic replay, mirroring what the
+// executing tier's EnergyLedger integrates: time spent computing /
+// memory-bound / driving messages, and DRAM traffic. fill_energy() then
+// applies the same PowerModel arithmetic as trace::EnergyLedger (including
+// the idle-socket leakage artifact), so the two tiers price identical
+// activity identically.
+#pragma once
+
+#include <vector>
+
+#include "hwmodel/layout.hpp"
+#include "hwmodel/network.hpp"
+#include "perfsim/prediction.hpp"
+#include "solvers/efficiency.hpp"
+
+namespace plin::perfsim {
+
+struct RankActivity {
+  double compute_s = 0.0;
+  double membound_s = 0.0;
+  double commactive_s = 0.0;
+  double dram_bytes = 0.0;
+};
+
+/// Time a kernel of `flops` takes on one core (same max(flop, memory)
+/// rule as xmpi::Comm::compute) and its classification.
+struct KernelTime {
+  double seconds = 0.0;
+  bool memory_bound = false;
+};
+KernelTime kernel_time(const hw::MachineSpec& machine, int socket_sharers,
+                       const solvers::KernelProfile& profile, double flops);
+
+/// Adds a kernel execution to a rank's activity.
+void charge_kernel(RankActivity& activity, const hw::MachineSpec& machine,
+                   int socket_sharers, const solvers::KernelProfile& profile,
+                   double flops);
+
+/// Adds message-handling CPU time and the associated memory traffic.
+void charge_messages(RankActivity& activity, const hw::NetworkModel& network,
+                     double count, double bytes);
+
+/// Conservative link classification for a communicator containing `ranks`:
+/// the widest span any tree edge may cross.
+hw::LinkClass group_link(const hw::ClusterLayout& layout,
+                         const std::vector<int>& ranks);
+
+/// Average one-hop transfer time from rank r to rank (r+1) mod N carrying
+/// `bytes` — the IMe pivot-column chain hop.
+double successor_hop_time(const hw::ClusterLayout& layout,
+                          const hw::NetworkModel& network, double bytes);
+
+/// Critical-path time of one binomial-tree collective over `members`
+/// (world ranks, tree rooted at members[0]): sum over stages of the
+/// slowest edge in that stage, plus per-message overhead per stage. This
+/// matches the tree shape xmpi's bcast/reduce use, so mixed link classes
+/// (intra-socket stages vs the one cross-node stage) are priced exactly.
+double tree_time(const hw::ClusterLayout& layout,
+                 const hw::NetworkModel& network,
+                 const std::vector<int>& members, double bytes);
+
+/// Fills prediction.pkg_j / dram_j from per-rank activity over duration T,
+/// replicating trace::EnergyLedger's integration per (node, socket).
+void fill_energy(Prediction& prediction, const hw::MachineSpec& machine,
+                 const hw::ClusterLayout& layout,
+                 const std::vector<RankActivity>& per_rank, double duration_s);
+
+}  // namespace plin::perfsim

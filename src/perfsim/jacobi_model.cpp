@@ -1,0 +1,89 @@
+// Analytic replay of the distributed Jacobi iteration (see
+// solvers/jacobi/jacobi.cpp for the executed twin). Each sweep is bulk
+// synchronous: local matvec, allgather of the iterate (gather to the root
+// plus a broadcast, matching the executed collective), and a scalar
+// allreduce for the convergence test.
+#include <algorithm>
+
+#include "perfsim/activity.hpp"
+#include "perfsim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace plin::perfsim {
+
+Prediction predict_jacobi(const hw::MachineSpec& machine,
+                          const hw::Placement& placement, std::size_t n,
+                          int iterations) {
+  PLIN_CHECK_MSG(n > 0, "perfsim: empty system");
+  PLIN_CHECK_MSG(iterations > 0, "perfsim: need at least one iteration");
+  const hw::ClusterLayout layout(machine, placement);
+  const hw::NetworkModel network(machine.network);
+  const int ranks = placement.ranks;
+  const double ovh = network.per_message_overhead();
+  const int sharers =
+      std::max(placement.ranks_socket0, placement.ranks_socket1);
+  const hw::LinkClass worst =
+      placement.nodes > 1
+          ? hw::LinkClass::kCrossNode
+          : (placement.sockets_used == 2 ? hw::LinkClass::kCrossSocket
+                                         : hw::LinkClass::kSameSocket);
+  std::vector<int> world_members;
+  for (int r = 0; r < ranks; ++r) world_members.push_back(r);
+
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(ranks) - 1) / ranks;
+  const double chunk_bytes = 8.0 * static_cast<double>(chunk);
+  const double x_bytes =
+      chunk_bytes * static_cast<double>(ranks);  // padded iterate
+
+  Prediction prediction;
+  const double bw_share =
+      machine.node.socket.dram_bandwidth_bs / std::max(1, sharers);
+
+  // Allocation: each rank's row slice.
+  const double slice_bytes = 8.0 * static_cast<double>(n) *
+                             static_cast<double>(chunk);
+  double T = slice_bytes / bw_share;
+
+  // Per sweep: the heaviest rank's matvec, the root's gather fan-in, the
+  // iterate broadcast, and the convergence allreduce.
+  const double sweep_flops = 2.0 * static_cast<double>(n) *
+                             static_cast<double>(chunk);
+  const double t_sweep =
+      kernel_time(machine, sharers, solvers::kSubstitution, sweep_flops)
+          .seconds;
+  const double t_gather =
+      static_cast<double>(ranks - 1) * ovh +
+      network.transfer_time(worst, chunk_bytes);  // last arrival
+  const double t_bcast = tree_time(layout, network, world_members, x_bytes) +
+                         x_bytes / bw_share;  // ingestion of the iterate
+  const double t_allreduce =
+      2.0 * tree_time(layout, network, world_members, 8.0);
+  const double t_iter = t_sweep + t_gather + t_bcast + t_allreduce;
+  T += static_cast<double>(iterations) * t_iter;
+
+  prediction.duration_s = T;
+  prediction.comm_s =
+      static_cast<double>(iterations) * (t_gather + t_bcast + t_allreduce);
+  prediction.compute_s = T - prediction.comm_s;
+
+  // Per-rank activity for energy.
+  std::vector<RankActivity> per_rank(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    RankActivity& a = per_rank[static_cast<std::size_t>(r)];
+    charge_kernel(a, machine, sharers, solvers::kSubstitution,
+                  static_cast<double>(iterations) * sweep_flops);
+    a.membound_s += slice_bytes / bw_share +
+                    static_cast<double>(iterations) * x_bytes / bw_share;
+    a.dram_bytes += slice_bytes;
+    // Gather + broadcast message handling, spread evenly.
+    charge_messages(a, network,
+                    static_cast<double>(iterations) * 4.0,
+                    static_cast<double>(iterations) *
+                        (chunk_bytes + 2.0 * x_bytes / ranks));
+  }
+  fill_energy(prediction, machine, layout, per_rank, T);
+  return prediction;
+}
+
+}  // namespace plin::perfsim

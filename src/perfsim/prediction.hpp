@@ -1,0 +1,46 @@
+// Prediction — what the analytic replay reports for one (algorithm,
+// placement, matrix size) configuration: the same quantities the paper's
+// charts plot.
+#pragma once
+
+#include <cstddef>
+
+namespace plin::perfsim {
+
+enum class Algorithm { kIme, kScalapack, kJacobi };
+
+const char* to_string(Algorithm algorithm);
+
+struct Workload {
+  Algorithm algorithm = Algorithm::kScalapack;
+  std::size_t n = 0;
+  std::size_t nb = 64;      // ScaLAPACK block size (ignored by others)
+  int iterations = 100;     // Jacobi sweep count (ignored by the direct
+                            // solvers; pick from the tolerance/dominance
+                            // pair you plan to run)
+};
+
+struct Prediction {
+  double duration_s = 0.0;
+
+  // Energy split by RAPL domain, summed over all nodes of the placement;
+  // index = socket position within a node (package 0 / package 1).
+  double pkg_j[2] = {0.0, 0.0};
+  double dram_j[2] = {0.0, 0.0};
+
+  // Critical-path decomposition (diagnostics and the ablation bench).
+  double compute_s = 0.0;
+  double comm_s = 0.0;
+
+  double total_pkg_j() const { return pkg_j[0] + pkg_j[1]; }
+  double total_dram_j() const { return dram_j[0] + dram_j[1]; }
+  double total_j() const { return total_pkg_j() + total_dram_j(); }
+  double avg_power_w() const {
+    return duration_s > 0.0 ? total_j() / duration_s : 0.0;
+  }
+  double dram_power_w() const {
+    return duration_s > 0.0 ? total_dram_j() / duration_s : 0.0;
+  }
+};
+
+}  // namespace plin::perfsim

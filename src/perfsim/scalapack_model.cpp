@@ -1,0 +1,267 @@
+// Analytic replay of the ScaLAPACK-style LU (see solvers/gepp/pdgesv.cpp
+// for the executed twin). LU is bulk-synchronous per panel — the pivot
+// allreduce serializes the panel process column per matrix column — so the
+// critical path is the sum over panels of communication plus the slowest
+// rank's compute in each stage.
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blockcyclic.hpp"
+#include "perfsim/activity.hpp"
+#include "perfsim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace plin::perfsim {
+namespace {
+
+/// Local rows owned by process row p with global index >= g.
+std::size_t rows_geq(const linalg::BlockCyclicDesc& desc, int p,
+                     std::size_t g) {
+  return linalg::numroc(desc.m, desc.mb, p, desc.grid.prows) -
+         linalg::numroc(std::min(g, desc.m), desc.mb, p, desc.grid.prows);
+}
+std::size_t cols_geq(const linalg::BlockCyclicDesc& desc, int q,
+                     std::size_t g) {
+  return linalg::numroc(desc.n, desc.nb, q, desc.grid.pcols) -
+         linalg::numroc(std::min(g, desc.n), desc.nb, q, desc.grid.pcols);
+}
+
+}  // namespace
+
+Prediction predict_scalapack(const hw::MachineSpec& machine,
+                             const hw::Placement& placement, std::size_t n,
+                             std::size_t nb) {
+  PLIN_CHECK_MSG(n > 0, "perfsim: empty system");
+  PLIN_CHECK_MSG(nb > 0, "perfsim: block size must be positive");
+  const hw::ClusterLayout layout(machine, placement);
+  const hw::NetworkModel network(machine.network);
+  const int ranks = placement.ranks;
+  const double ovh = network.per_message_overhead();
+  const int sharers =
+      std::max(placement.ranks_socket0, placement.ranks_socket1);
+
+  const linalg::ProcessGrid grid = linalg::ProcessGrid::squarest(ranks);
+  const linalg::BlockCyclicDesc desc{n, n, nb, nb, grid};
+
+  // Communicator link classes: a process row is pcols consecutive ranks, a
+  // process column is prows ranks strided by pcols.
+  std::vector<int> row_members;
+  for (int q = 0; q < grid.pcols; ++q) row_members.push_back(q);
+  std::vector<int> col_members;
+  for (int p = 0; p < grid.prows; ++p) col_members.push_back(p * grid.pcols);
+  std::vector<int> world_members;
+  for (int r = 0; r < ranks; ++r) world_members.push_back(r);
+  const hw::LinkClass link_col = group_link(layout, col_members);
+  const auto col_tree = [&](double bytes) {
+    return tree_time(layout, network, col_members, bytes);
+  };
+  const auto row_tree = [&](double bytes) {
+    return tree_time(layout, network, row_members, bytes);
+  };
+  const double offrow_frac =
+      grid.prows > 1 ? 1.0 - 1.0 / grid.prows : 0.0;
+
+  std::vector<RankActivity> per_rank(static_cast<std::size_t>(ranks));
+  Prediction prediction;
+  double T = 0.0;
+  double comm_total = 0.0;
+  double msg_events = 0.0;
+  double msg_bytes = 0.0;
+
+  const auto add_comm = [&](double seconds, double count, double bytes) {
+    T += seconds;
+    comm_total += seconds;
+    msg_events += 2.0 * count;  // send + receive side
+    msg_bytes += 2.0 * bytes;
+  };
+  const auto add_compute = [&](const solvers::KernelProfile& profile,
+                               double max_flops) {
+    T += kernel_time(machine, sharers, profile, max_flops).seconds;
+  };
+
+  // ---- allocation phase ------------------------------------------------------
+  std::size_t max_local = 0;
+  for (int p = 0; p < grid.prows; ++p) {
+    for (int q = 0; q < grid.pcols; ++q) {
+      max_local = std::max(max_local, desc.local_rows(p) * desc.local_cols(q));
+    }
+  }
+  const double bw_share =
+      machine.node.socket.dram_bandwidth_bs / std::max(1, sharers);
+  T += 8.0 * static_cast<double>(max_local) / bw_share;
+  for (int r = 0; r < ranks; ++r) {
+    RankActivity& a = per_rank[static_cast<std::size_t>(r)];
+    const std::size_t mine = desc.local_rows(grid.row_of(r)) *
+                             desc.local_cols(grid.col_of(r));
+    a.membound_s += 8.0 * static_cast<double>(mine) / bw_share;
+    a.dram_bytes += 8.0 * static_cast<double>(mine);
+  }
+
+  // ---- factorization -----------------------------------------------------------
+  for (std::size_t k0 = 0; k0 < n; k0 += nb) {
+    const std::size_t w = std::min(nb, n - k0);
+    const int prow_k = desc.owner_prow(k0);
+
+    // Panel: per-column pivot allreduce (reduce + broadcast; successive
+    // columns overlap the down-phase with the next column's up-phase, so
+    // the effective serial cost is about one tree traversal) + expected
+    // swap + pivot-row bcast.
+    const double t_maxloc = col_tree(16.0);
+    const double t_swap =
+        offrow_frac *
+        (network.transfer_time(link_col, 8.0 * static_cast<double>(w)) +
+         2.0 * ovh);
+    const double t_prow = col_tree(4.0 * static_cast<double>(w));
+    add_comm(static_cast<double>(w) * (t_maxloc + t_swap + t_prow),
+             static_cast<double>(w) *
+                 (2.0 * (grid.prows - 1) + 2.0 * offrow_frac +
+                  (grid.prows - 1)),
+             static_cast<double>(w) *
+                 ((grid.prows - 1) * 16.0 + offrow_frac * 16.0 * w +
+                  (grid.prows - 1) * 4.0 * w));
+
+    // Panel compute: slowest process row.
+    double panel_max = 0.0;
+    for (int p = 0; p < grid.prows; ++p) {
+      double flops = 0.0;
+      for (std::size_t j = k0; j < k0 + w; ++j) {
+        const std::size_t seg = k0 + w - j;
+        flops += static_cast<double>(rows_geq(desc, p, j + 1)) *
+                     (2.0 * static_cast<double>(seg) - 1.0) +
+                 static_cast<double>(rows_geq(desc, p, j));
+      }
+      panel_max = std::max(panel_max, flops);
+    }
+    add_compute(solvers::kPanel, panel_max);
+    // Attribute panel flops to the owning process column's ranks.
+    const int panel_q = desc.owner_pcol(k0);
+    for (int p = 0; p < grid.prows; ++p) {
+      double flops = 0.0;
+      for (std::size_t j = k0; j < k0 + w; ++j) {
+        const std::size_t seg = k0 + w - j;
+        flops += static_cast<double>(rows_geq(desc, p, j + 1)) *
+                     (2.0 * static_cast<double>(seg) - 1.0) +
+                 static_cast<double>(rows_geq(desc, p, j));
+      }
+      charge_kernel(per_rank[static_cast<std::size_t>(
+                        grid.rank_of(p, panel_q))],
+                    machine, sharers, solvers::kPanel, flops);
+    }
+
+    // Pivot indices along the row + trailing swaps in every process column.
+    add_comm(row_tree(8.0 * static_cast<double>(w)),
+             static_cast<double>(grid.pcols - 1),
+             static_cast<double>(grid.pcols - 1) * 8.0 *
+                 static_cast<double>(w));
+    std::size_t max_lcols = 0;
+    for (int q = 0; q < grid.pcols; ++q) {
+      max_lcols = std::max(max_lcols, desc.local_cols(q));
+    }
+    add_comm(static_cast<double>(w) * offrow_frac *
+                 (network.transfer_time(link_col,
+                                        8.0 * static_cast<double>(max_lcols)) +
+                  2.0 * ovh),
+             static_cast<double>(w) * offrow_frac * 2.0 *
+                 static_cast<double>(grid.pcols),
+             static_cast<double>(w) * offrow_frac * 2.0 *
+                 static_cast<double>(grid.pcols) * 8.0 *
+                 static_cast<double>(max_lcols) / 2.0);
+
+    // L panel slab along process rows.
+    std::size_t slab_max = 0;
+    for (int p = 0; p < grid.prows; ++p) {
+      slab_max = std::max(slab_max, rows_geq(desc, p, k0));
+    }
+    const double slab_bytes =
+        8.0 * static_cast<double>(slab_max) * static_cast<double>(w);
+    // Payload ingestion: receivers read the slab out of shared memory once
+    // (see the matching note in ime_model.cpp).
+    add_comm(row_tree(slab_bytes) + slab_bytes / bw_share,
+             static_cast<double>(grid.pcols - 1) * grid.prows,
+             static_cast<double>(grid.pcols - 1) * grid.prows * slab_bytes);
+
+    if (k0 + w >= n) break;
+
+    // U12 triangular solve in the pivot process row, then down columns.
+    std::size_t trail_max = 0;
+    for (int q = 0; q < grid.pcols; ++q) {
+      trail_max = std::max(trail_max, cols_geq(desc, q, k0 + w));
+    }
+    add_compute(solvers::kTrsm, static_cast<double>(w) *
+                                    static_cast<double>(w) *
+                                    static_cast<double>(trail_max));
+    for (int q = 0; q < grid.pcols; ++q) {
+      charge_kernel(
+          per_rank[static_cast<std::size_t>(grid.rank_of(prow_k, q))],
+          machine, sharers, solvers::kTrsm,
+          static_cast<double>(w) * static_cast<double>(w) *
+              static_cast<double>(cols_geq(desc, q, k0 + w)));
+    }
+    const double u12_bytes =
+        8.0 * static_cast<double>(w) * static_cast<double>(trail_max);
+    add_comm(col_tree(u12_bytes) + u12_bytes / bw_share,  // + ingestion
+             static_cast<double>(grid.prows - 1) * grid.pcols,
+             static_cast<double>(grid.prows - 1) * grid.pcols * u12_bytes);
+
+    // Trailing GEMM: slowest rank.
+    double gemm_max = 0.0;
+    for (int p = 0; p < grid.prows; ++p) {
+      for (int q = 0; q < grid.pcols; ++q) {
+        const double flops = 2.0 *
+                             static_cast<double>(rows_geq(desc, p, k0 + w)) *
+                             static_cast<double>(w) *
+                             static_cast<double>(cols_geq(desc, q, k0 + w));
+        gemm_max = std::max(gemm_max, flops);
+        charge_kernel(per_rank[static_cast<std::size_t>(grid.rank_of(p, q))],
+                      machine, sharers, solvers::kGemm, flops);
+      }
+    }
+    add_compute(solvers::kGemm, gemm_max);
+  }
+
+  // ---- solve phase (forward + backward substitution) -------------------------
+  const std::size_t nblocks = (n + nb - 1) / nb;
+  for (std::size_t bk = 0; bk < 2 * nblocks; ++bk) {
+    const std::size_t w = std::min(nb, n - (bk % nblocks) * nb);
+    // gemv on the pivot process row (about half the local columns involved
+    // on average over the sweep).
+    std::size_t max_lcols = 0;
+    for (int q = 0; q < grid.pcols; ++q) {
+      max_lcols = std::max(max_lcols, desc.local_cols(q));
+    }
+    add_compute(solvers::kSubstitution,
+                2.0 * static_cast<double>(w) *
+                    static_cast<double>(max_lcols) / 2.0);
+    add_comm(row_tree(8.0 * static_cast<double>(w)),
+             static_cast<double>(grid.pcols - 1),
+             static_cast<double>(grid.pcols - 1) * 8.0 *
+                 static_cast<double>(w));
+    add_compute(solvers::kSubstitution,
+                static_cast<double>(w) * static_cast<double>(w));
+    add_comm(tree_time(layout, network, world_members,
+                       8.0 * static_cast<double>(w)),
+             static_cast<double>(ranks - 1),
+             static_cast<double>(ranks - 1) * 8.0 * static_cast<double>(w));
+  }
+  // Attribute substitution flops evenly across the pivot rows' ranks.
+  for (int r = 0; r < ranks; ++r) {
+    charge_kernel(per_rank[static_cast<std::size_t>(r)], machine, sharers,
+                  solvers::kSubstitution,
+                  2.0 * static_cast<double>(n) * static_cast<double>(n) /
+                      static_cast<double>(ranks));
+  }
+
+  // Message handling energy, spread evenly.
+  for (int r = 0; r < ranks; ++r) {
+    charge_messages(per_rank[static_cast<std::size_t>(r)], network,
+                    msg_events / ranks, msg_bytes / ranks);
+  }
+
+  prediction.duration_s = T;
+  prediction.comm_s = comm_total;
+  prediction.compute_s = T - comm_total;
+  fill_energy(prediction, machine, layout, per_rank, T);
+  return prediction;
+}
+
+}  // namespace plin::perfsim

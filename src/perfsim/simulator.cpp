@@ -1,0 +1,30 @@
+#include "perfsim/simulator.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::perfsim {
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kIme: return "IMe";
+    case Algorithm::kScalapack: return "ScaLAPACK";
+    case Algorithm::kJacobi: return "Jacobi";
+  }
+  return "?";
+}
+
+Prediction Simulator::predict(const Workload& workload,
+                              const hw::Placement& placement) const {
+  switch (workload.algorithm) {
+    case Algorithm::kIme:
+      return predict_ime(machine_, placement, workload.n);
+    case Algorithm::kScalapack:
+      return predict_scalapack(machine_, placement, workload.n, workload.nb);
+    case Algorithm::kJacobi:
+      return predict_jacobi(machine_, placement, workload.n,
+                            workload.iterations);
+  }
+  throw InvalidArgument("unknown algorithm");
+}
+
+}  // namespace plin::perfsim

@@ -1,0 +1,44 @@
+// Simulator — the paper-scale analytic replay ("replay tier", DESIGN.md §2).
+//
+// For each (algorithm, matrix size, placement) configuration it walks the
+// same per-level / per-panel schedule the executing solvers follow,
+// advancing a critical-path clock with the shared NetworkModel and pricing
+// per-rank activity with the shared KernelProfiles and PowerModel. At
+// container scale its predictions are pinned against the actually-executed
+// solvers (tests/model_validation_test.cpp, bench_model_validation); at
+// Marconi scale (n up to 34560, 1296 ranks) it regenerates the paper's
+// figures in milliseconds instead of node-hours.
+#pragma once
+
+#include "hwmodel/layout.hpp"
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+#include "perfsim/prediction.hpp"
+
+namespace plin::perfsim {
+
+class Simulator {
+ public:
+  explicit Simulator(hw::MachineSpec machine) : machine_(std::move(machine)) {}
+
+  /// Predicts duration, energy and power for one configuration.
+  Prediction predict(const Workload& workload,
+                     const hw::Placement& placement) const;
+
+  const hw::MachineSpec& machine() const { return machine_; }
+
+ private:
+  hw::MachineSpec machine_;
+};
+
+/// Individual models (exposed for targeted tests).
+Prediction predict_ime(const hw::MachineSpec& machine,
+                       const hw::Placement& placement, std::size_t n);
+Prediction predict_scalapack(const hw::MachineSpec& machine,
+                             const hw::Placement& placement, std::size_t n,
+                             std::size_t nb);
+Prediction predict_jacobi(const hw::MachineSpec& machine,
+                          const hw::Placement& placement, std::size_t n,
+                          int iterations);
+
+}  // namespace plin::perfsim

@@ -1,0 +1,60 @@
+// Kernel efficiency and memory-traffic constants shared by the executing
+// solvers (which charge Comm::compute with them) and the analytic replay in
+// perfsim. Keeping them in one place is what makes the model-vs-execution
+// consistency tests meaningful: both tiers price identical work through
+// identical profiles.
+//
+// Efficiencies are fractions of a core's peak double-precision throughput.
+// bytes_per_flop drives both the memory-bandwidth ceiling (a socket's
+// DRAM bandwidth is shared by its resident ranks) and the DRAM-domain
+// energy. The numbers describe *production-grade* kernels on Skylake:
+//
+//   * kGemm — blocked trailing-update DGEMM, heavy cache reuse;
+//   * kPanel — LU panel factorization: pivot search + rank-1 updates,
+//     stream-bound by construction;
+//   * kImeUpdate — the Inhibition Method's table update. Applied naively
+//     (one level at a time) this is a rank-1 outer-product that re-streams
+//     the whole local table every level; any production IMe batches k
+//     levels into a rank-k update (a GEMM), which is what the profile
+//     prices. Our executed kernel applies levels one at a time for clarity
+//     and protocol fidelity — at numeric-tier sizes the table is
+//     cache-resident so the distinction is invisible to correctness, and
+//     both tiers charge this same profile. It remains markedly more
+//     memory-hungry per flop than LU's GEMM (2x), which is what reproduces
+//     the paper's DRAM power gap (§5.4).
+#pragma once
+
+#include <cstddef>
+
+namespace plin::solvers {
+
+struct KernelProfile {
+  double efficiency;      // fraction of core peak flops
+  double bytes_per_flop;  // DRAM traffic per flop
+};
+
+/// Blocked GEMM trailing update (ScaLAPACK's pdgemm workhorse).
+inline constexpr KernelProfile kGemm{0.65, 0.04};
+/// LU panel factorization (pivot search + rank-1 updates, latency-bound).
+inline constexpr KernelProfile kPanel{0.25, 1.0};
+/// Triangular solve of the U12 row block.
+inline constexpr KernelProfile kTrsm{0.50, 0.30};
+/// Row swap during pivoting (pure memory movement).
+inline constexpr KernelProfile kSwap{0.10, 16.0};
+/// Inhibition Method table update (level-blocked rank-k kernel, see above).
+inline constexpr KernelProfile kImeUpdate{0.50, 0.08};
+/// Back/forward substitution in the solve phase.
+inline constexpr KernelProfile kSubstitution{0.30, 1.0};
+
+/// Flop-count coefficient applied to the Inhibition Method's charged work.
+/// The paper states the latest IMe costs 3/2 n^3 + O(n^2); our streamlined
+/// reconstruction executes n^3 + O(n^2) (it does not carry the table's left
+/// half — DESIGN.md §4). To reproduce the published complexity, both tiers
+/// charge the paper's coefficient: every IMe flop is billed at 1.5x.
+inline constexpr double kImeFlopScale = 1.5;
+
+/// Default ScaLAPACK block size (the paper does not state one; 64 is the
+/// common choice for Skylake-era clusters).
+inline constexpr std::size_t kDefaultBlock = 64;
+
+}  // namespace plin::solvers

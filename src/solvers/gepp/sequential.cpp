@@ -1,0 +1,111 @@
+#include "solvers/gepp/sequential.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels.hpp"
+#include "support/error.hpp"
+
+namespace plin::solvers {
+namespace {
+
+/// Factors the panel A[k:, k:k+w) in place with partial pivoting over the
+/// whole trailing height, recording pivots and applying the swaps to the
+/// full rows of A (LAPACK dgetf2 behaviour inside dgetrf).
+void factor_panel(linalg::MatrixView a, std::size_t k, std::size_t w,
+                  std::vector<std::size_t>& pivots) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = k; j < k + w; ++j) {
+    // Pivot search in column j, rows j..n.
+    std::size_t piv = j;
+    double best = std::fabs(a(j, j));
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double v = std::fabs(a(i, j));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    PLIN_CHECK_MSG(best != 0.0, "lu_factor: matrix is singular");
+    pivots[j] = piv;
+    if (piv != j) linalg::dswap(a.row(j), a.row(piv));
+
+    const double inv = 1.0 / a(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      a(i, j) *= inv;
+      const double lij = a(i, j);
+      if (lij == 0.0) continue;
+      // Update only within the panel; trailing update happens per block.
+      double* arow = a.row(i).data();
+      const double* jrow = a.row(j).data();
+      for (std::size_t c = j + 1; c < k + w; ++c) arow[c] -= lij * jrow[c];
+    }
+  }
+}
+
+}  // namespace
+
+void lu_factor_blocked(linalg::Matrix& a, std::vector<std::size_t>& pivots,
+                       std::size_t nb) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "lu_factor: matrix must be square");
+  PLIN_CHECK_MSG(nb > 0, "lu_factor: block size must be positive");
+  const std::size_t n = a.rows();
+  pivots.assign(n, 0);
+  linalg::MatrixView av = a.view();
+
+  for (std::size_t k = 0; k < n; k += nb) {
+    const std::size_t w = std::min(nb, n - k);
+    factor_panel(av, k, w, pivots);
+    if (k + w >= n) break;
+
+    // U12 := L11^{-1} * A12.
+    linalg::ConstMatrixView l11 = av.sub(k, k, w, w);
+    linalg::MatrixView a12 = av.sub(k, k + w, w, n - k - w);
+    linalg::dtrsm_lower_unit(l11, a12);
+
+    // A22 := A22 - L21 * U12.
+    linalg::ConstMatrixView l21 = av.sub(k + w, k, n - k - w, w);
+    linalg::MatrixView a22 = av.sub(k + w, k + w, n - k - w, n - k - w);
+    linalg::dgemm(-1.0, l21, a12, 1.0, a22);
+  }
+}
+
+void lu_factor(linalg::Matrix& a, std::vector<std::size_t>& pivots) {
+  lu_factor_blocked(a, pivots, /*nb=*/1);
+}
+
+std::vector<double> lu_solve(const linalg::Matrix& lu,
+                             const std::vector<std::size_t>& pivots,
+                             std::vector<double> b) {
+  const std::size_t n = lu.rows();
+  PLIN_CHECK_MSG(b.size() == n && pivots.size() == n,
+                 "lu_solve: size mismatch");
+  // Apply the pivot permutation to b.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
+  }
+  // Forward substitution with unit L.
+  for (std::size_t i = 1; i < n; ++i) {
+    double sum = b[i];
+    const double* row = lu.row(i).data();
+    for (std::size_t j = 0; j < i; ++j) sum -= row[j] * b[j];
+    b[i] = sum;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    const double* row = lu.row(ii).data();
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= row[j] * b[j];
+    PLIN_CHECK_MSG(row[ii] != 0.0, "lu_solve: singular U");
+    b[ii] = sum / row[ii];
+  }
+  return b;
+}
+
+std::vector<double> solve_gepp(linalg::Matrix a, std::vector<double> b) {
+  std::vector<std::size_t> pivots;
+  lu_factor_blocked(a, pivots, /*nb=*/64);
+  return lu_solve(a, pivots, std::move(b));
+}
+
+}  // namespace plin::solvers

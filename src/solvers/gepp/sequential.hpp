@@ -1,0 +1,33 @@
+// Sequential Gaussian elimination with partial pivoting — the reference
+// implementation both parallel solvers are validated against, and the
+// single-rank baseline of the LU solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace plin::solvers {
+
+/// In-place LU factorization with partial pivoting: A = P * L * U where L
+/// is unit lower triangular (stored below the diagonal) and U upper
+/// triangular. `pivots[k]` is the row swapped with row k at step k.
+/// Throws Error on an exactly singular matrix.
+void lu_factor(linalg::Matrix& a, std::vector<std::size_t>& pivots);
+
+/// Solves A x = b using a factorization produced by lu_factor.
+std::vector<double> lu_solve(const linalg::Matrix& lu,
+                             const std::vector<std::size_t>& pivots,
+                             std::vector<double> b);
+
+/// One-shot convenience: Gaussian elimination with partial pivoting.
+std::vector<double> solve_gepp(linalg::Matrix a, std::vector<double> b);
+
+/// Blocked right-looking variant (the algorithm ScaLAPACK parallelizes),
+/// with block size `nb`; numerically identical pivot choices to the
+/// unblocked code.
+void lu_factor_blocked(linalg::Matrix& a, std::vector<std::size_t>& pivots,
+                       std::size_t nb);
+
+}  // namespace plin::solvers

@@ -1,0 +1,276 @@
+#include "solvers/ime/sequential.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace plin::solvers {
+
+linalg::Matrix build_inhibition_table(const linalg::Matrix& a) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "inhibition table: A must be square");
+  const std::size_t n = a.rows();
+  linalg::Matrix t(n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diag = a(i, i);
+    PLIN_CHECK_MSG(diag != 0.0,
+                   "inhibition table: zero diagonal (IMe has no pivoting)");
+    t(i, i) = 1.0 / diag;
+    for (std::size_t j = 0; j < n; ++j) {
+      t(i, n + j) = i == j ? 1.0 : a(j, i) / diag;
+    }
+  }
+  return t;
+}
+
+std::vector<double> solve_ime_instrumented(const linalg::Matrix& a,
+                                           std::vector<double> b,
+                                           std::vector<ImeLevelStats>* stats) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "IMe: A must be square");
+  const std::size_t n = a.rows();
+  PLIN_CHECK_MSG(b.size() == n, "IMe: rhs size mismatch");
+  PLIN_CHECK_MSG(n > 0, "IMe: empty system");
+
+  // M = A^T: column j of M carries equation j, indexed by unknown (row).
+  // This is the (unscaled) right half of the paper's inhibition table; the
+  // parallel version distributes these columns.
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = a(j, i);
+  }
+  std::vector<double> h = std::move(b);
+  std::vector<double> d(n, 0.0);
+
+  if (stats != nullptr) stats->clear();
+
+  for (std::size_t l = n; l-- > 0;) {
+    const double diag = m(l, l);
+    PLIN_CHECK_MSG(std::isfinite(diag) && diag != 0.0,
+                   "IMe: zero running diagonal at level " + std::to_string(l));
+    d[l] = diag;
+    const double inv = 1.0 / diag;
+    std::size_t flops = 0;
+
+    // Inhibit unknown l from every other equation j: the per-equation
+    // factor g_j = m(l, j) / d_l comes from the retiring last row, the
+    // update vector is the pivot column t_{*,n+l}. Unknowns r > l were
+    // already inhibited from equation l, so the pivot column is zero there
+    // and only rows r <= l move.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == l) continue;
+      const double g = m(l, j) * inv;
+      ++flops;
+      for (std::size_t r = 0; r <= l; ++r) {
+        m(r, j) -= g * m(r, l);
+      }
+      flops += 2 * (l + 1);
+      h[j] -= g * h[l];
+      flops += 2;
+    }
+
+    if (stats != nullptr) {
+      stats->push_back(ImeLevelStats{l, diag, flops});
+    }
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = h[i] / d[i];
+  return x;
+}
+
+std::vector<double> solve_ime(const linalg::Matrix& a, std::vector<double> b) {
+  return solve_ime_instrumented(a, std::move(b), nullptr);
+}
+
+ImeFactorization::ImeFactorization(const linalg::Matrix& a) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "IMe: A must be square");
+  const std::size_t n = a.rows();
+  PLIN_CHECK_MSG(n > 0, "IMe: empty system");
+
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = a(j, i);
+  }
+  // The left half: column j starts as e_j and accumulates the combination
+  // of original equations that produced the retired equation j.
+  w_ = linalg::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) w_(i, i) = 1.0;
+  diagonals_.assign(n, 0.0);
+
+  for (std::size_t l = n; l-- > 0;) {
+    const double diag = m(l, l);
+    PLIN_CHECK_MSG(std::isfinite(diag) && diag != 0.0,
+                   "IMe: zero running diagonal at level " + std::to_string(l));
+    diagonals_[l] = diag;
+    const double inv = 1.0 / diag;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == l) continue;
+      const double g = m(l, j) * inv;
+      ++factor_flops_;
+      // Working column: rows <= l (the pivot column is zero below).
+      for (std::size_t r = 0; r <= l; ++r) m(r, j) -= g * m(r, l);
+      factor_flops_ += 2 * (l + 1);
+      // Left column: the pivot's left column has fill-in only at rows >= l
+      // (it combines equations retired at levels >= l).
+      for (std::size_t r = l; r < n; ++r) w_(r, j) -= g * w_(r, l);
+      factor_flops_ += 2 * (n - l);
+    }
+  }
+}
+
+std::vector<double> ImeFactorization::solve(const std::vector<double>& b)
+    const {
+  const std::size_t n = diagonals_.size();
+  PLIN_CHECK_MSG(b.size() == n, "IMe: rhs size mismatch");
+  std::vector<double> x(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double dot = 0.0;
+    for (std::size_t k = 0; k < n; ++k) dot += w_(k, j) * b[k];
+    x[j] = dot / diagonals_[j];
+  }
+  return x;
+}
+
+std::vector<double> solve_ime_table(const linalg::Matrix& a,
+                                    std::vector<double> b) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "IMe: A must be square");
+  const std::size_t n = a.rows();
+  PLIN_CHECK_MSG(b.size() == n, "IMe: rhs size mismatch");
+
+  // INITIME: the paper's T(n) with left half D^-1 and right half D^-1 A^T.
+  linalg::Matrix t = build_inhibition_table(a);
+  std::vector<double> h = std::move(b);
+  std::vector<double> d(n, 0.0);
+
+  // The right-half columns carry the scaled system R y = b with
+  // y_i = a_ii x_i; the level recurrence is identical to solve_ime's
+  // because the per-equation factors are scale-invariant.
+  for (std::size_t l = n; l-- > 0;) {
+    const double diag = t(l, n + l);
+    PLIN_CHECK_MSG(std::isfinite(diag) && diag != 0.0,
+                   "IMe: zero running diagonal at level " + std::to_string(l));
+    d[l] = diag;
+    const double inv = 1.0 / diag;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == l) continue;
+      const double g = t(l, n + j) * inv;
+      for (std::size_t r = 0; r <= l; ++r) {
+        t(r, n + j) -= g * t(r, n + l);
+      }
+      h[j] -= g * h[l];
+    }
+  }
+
+  // Elementary systems: y_j = h_j / d_j, then the left half's 1/a_jj
+  // entries undo the variable scaling.
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    x[j] = (h[j] / d[j]) * t(j, j);
+  }
+  return x;
+}
+
+std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
+                                      std::vector<double> b, std::size_t kb) {
+  PLIN_CHECK_MSG(a.rows() == a.cols(), "IMe: A must be square");
+  const std::size_t n = a.rows();
+  PLIN_CHECK_MSG(b.size() == n, "IMe: rhs size mismatch");
+  PLIN_CHECK_MSG(n > 0, "IMe: empty system");
+  PLIN_CHECK_MSG(kb > 0, "IMe: block size must be positive");
+
+  linalg::Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = a(j, i);
+  }
+  std::vector<double> h = std::move(b);
+  std::vector<double> d(n, 0.0);
+
+  // Per-block workspaces: the kb factored pivot columns (C) and the
+  // per-equation factor table (G). Row b of C/G corresponds to block level
+  // l = hi - b (descending).
+  linalg::Matrix c(kb, n);  // C(b, r) = pivot column of level hi-b
+  linalg::Matrix g(kb, n);  // G(b, j) = factor g_j at level hi-b
+
+  for (std::size_t hi = n; hi > 0;) {
+    const std::size_t width = std::min(kb, hi);
+    const std::size_t lo = hi - width;  // block levels: hi-1 .. lo
+
+    // ---- phase 1: factor the block's pivot columns (left-looking) --------
+    for (std::size_t b1 = 0; b1 < width; ++b1) {
+      const std::size_t l = hi - 1 - b1;
+      // Apply the block's earlier levels l' > l to column l and record the
+      // factors (they also drive equation l's h update).
+      for (std::size_t b2 = 0; b2 < b1; ++b2) {
+        const std::size_t lp = hi - 1 - b2;
+        const double gv = m(lp, l) / d[lp];
+        g(b2, l) = gv;
+        for (std::size_t r = 0; r <= lp; ++r) m(r, l) -= gv * c(b2, r);
+      }
+      const double diag = m(l, l);
+      PLIN_CHECK_MSG(std::isfinite(diag) && diag != 0.0,
+                     "IMe: zero running diagonal at level " +
+                         std::to_string(l));
+      d[l] = diag;
+      for (std::size_t r = 0; r < n; ++r) c(b1, r) = m(r, l);
+      g(b1, l) = 0.0;
+    }
+
+    // ---- phases 2+3: factor recovery and rank-k bulk update ---------------
+    // For each column, the levels still owed to it are all block levels for
+    // a column outside the block, and only the levels *below* its own pivot
+    // turn for a block column (phase 1 already applied the ones above).
+    // The deferred updates change row l of column j by the earlier
+    // considered levels' contributions, so the factors follow the
+    // recurrence g_j(l) = (M(l,j) - sum g_j(l') * C(l')[l]) / d_l; the
+    // column update itself is then one rank-k sweep — the table streams
+    // from memory once per block instead of once per level.
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool in_block = j >= lo && j < hi;
+      const std::size_t b_first = in_block ? hi - j : 0;
+      for (std::size_t b1 = b_first; b1 < width; ++b1) {
+        const std::size_t l = hi - 1 - b1;
+        double value = m(l, j);
+        for (std::size_t b2 = b_first; b2 < b1; ++b2) {
+          value -= g(b2, j) * c(b2, l);
+        }
+        g(b1, j) = value / d[l];
+      }
+      for (std::size_t b1 = b_first; b1 < width; ++b1) {
+        const double gv = g(b1, j);
+        if (gv == 0.0) continue;
+        const std::size_t l = hi - 1 - b1;
+        const double* col_c = c.row(b1).data();
+        for (std::size_t r = 0; r <= l; ++r) m(r, j) -= gv * col_c[r];
+      }
+    }
+
+    // ---- phase 4: auxiliary updates in level order -------------------------
+    for (std::size_t b1 = 0; b1 < width; ++b1) {
+      const std::size_t l = hi - 1 - b1;
+      const double hl = h[l];
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == l) continue;
+        // In-block columns below l carry their factor from phase 1.
+        h[j] -= g(b1, j) * hl;
+      }
+    }
+
+    hi = lo;
+  }
+
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = h[i] / d[i];
+  return x;
+}
+
+std::size_t ime_flop_count(std::size_t n) {
+  // Per level l (counting down): (n-1) equations, each paying one factor
+  // division, 2(l+1) pivot-column update flops and 2 auxiliary flops;
+  // finally n solution divisions.
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    total += (n - 1) * (1 + 2 * (l + 1) + 2);
+  }
+  return total + n;
+}
+
+}  // namespace plin::solvers

@@ -1,0 +1,121 @@
+// Sequential Inhibition Method (IMe).
+//
+// IMe (Ciampolini 1963, Artioli 2001) is an iterative, exact, non-inverting
+// solver: it decomposes A x = b into a hierarchy of ever-smaller
+// sub-systems, ending at elementary ones. The paper defines the inhibition
+// table T(n) (n x 2n; left half D^-1, right half D^-1 A^T) and the
+// auxiliary vector h, and describes the level iteration driven by the last
+// column t_{*,n+l} and the last row, but not the fundamental formula itself.
+//
+// Reconstruction (DESIGN.md §4): we implement the level iteration as an
+// exact Jordan-style elimination on M = A^T ("the right half of T, unscaled
+// by the diagonal") with h initialized to b. Column j of M carries
+// equation j; row r indexes unknown r:
+//
+//   level l = n-1 .. 0:
+//     d_l = M(l, l)                        (retiring diagonal)
+//     g_j = M(l, j) / d_l                  (per-equation factor, j != l —
+//                                           these are the "last row" values
+//                                           the slaves ship to the master)
+//     M(r, j) -= g_j * M(r, l)             for r <= l (the pivot column
+//                                           t_{*,n+l} is zero below level l)
+//     h_j    -= g_j * h_l
+//   finally x_j = h_j / d_j.
+//
+// Each level "inhibits" one unknown from every remaining equation; after
+// all levels every equation is elementary. Like the original IMe, no
+// pivoting is performed, so a nonzero running diagonal is required
+// (guaranteed for the strictly diagonally dominant systems the evaluation
+// uses). Arithmetic cost: n^3 + O(n^2) flops — between Gaussian
+// elimination's 2/3 n^3 and early IMe variants; the paper's latest variant
+// claims 3/2 n^3 (see EXPERIMENTS.md for how this affects ratios).
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace plin::solvers {
+
+/// Builds the paper's T(n) table (n x 2n): T(i,i) = 1/a(i,i) in the left
+/// half; right half T(i, n+j) = a(j,i)/a(i,i) with a unit diagonal.
+/// Exposed for table-layout tests and the INITIME fidelity check.
+linalg::Matrix build_inhibition_table(const linalg::Matrix& a);
+
+/// Per-level hook for observers (the fault-tolerance rebuild test and the
+/// flop-count validation use it). `level` counts down from n-1.
+struct ImeLevelStats {
+  std::size_t level = 0;
+  double retired_diagonal = 0.0;
+  std::size_t flops = 0;
+};
+
+/// Solves A x = b with the Inhibition Method. Throws Error if a running
+/// diagonal entry becomes zero (IMe has no pivoting).
+std::vector<double> solve_ime(const linalg::Matrix& a, std::vector<double> b);
+
+/// As solve_ime, but reports per-level statistics.
+std::vector<double> solve_ime_instrumented(const linalg::Matrix& a,
+                                           std::vector<double> b,
+                                           std::vector<ImeLevelStats>* stats);
+
+/// Exact flop count of solve_ime for dimension n (validated by a test
+/// against the instrumented counter): sum over levels l of (n-1)*(2l+3),
+/// plus n final divisions — n^3 + O(n^2) in total.
+std::size_t ime_flop_count(std::size_t n);
+
+/// Full-table IMe: maintains the table's *left* half as well. The left
+/// half starts as the identity and receives the same per-equation updates
+/// as the working columns, so after the last level column j holds the
+/// coefficients expressing the retired equation j in terms of the original
+/// right-hand sides: d_j x_j = sum_k W(k,j) b_k. That makes the
+/// factorization reusable — solve any number of right-hand sides in
+/// O(n^2) each without re-elimination — and is where the historical IMe
+/// variants spend their extra flops: this implementation costs
+/// ~2 n^3 + O(n^2), our streamlined solve_ime costs ~n^3, and the paper's
+/// latest version claims 3/2 n^3, squarely between the two (the empirical
+/// grounding for solvers::kImeFlopScale; see EXPERIMENTS.md deviation #1).
+class ImeFactorization {
+ public:
+  /// Factors A (no pivoting; throws on a zero running diagonal).
+  explicit ImeFactorization(const linalg::Matrix& a);
+
+  std::size_t n() const { return diagonals_.size(); }
+  const std::vector<double>& retired_diagonals() const { return diagonals_; }
+
+  /// Solves A x = b in O(n^2): x_j = (W(:,j) . b) / d_j.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Total flops spent factoring (instrumented; ~2 n^3).
+  std::size_t factor_flops() const { return factor_flops_; }
+
+ private:
+  linalg::Matrix w_;  // the evolved left half (n x n)
+  std::vector<double> diagonals_;
+  std::size_t factor_flops_ = 0;
+};
+
+/// Table-literal IMe: runs the level recurrence directly on the paper's
+/// scaled inhibition table T(n) = [D^-1 | D^-1 A^T] as built by
+/// build_inhibition_table. The right half carries the scaled working
+/// columns (the variable substitution y_i = a_ii x_i); the retained left
+/// half supplies the final 1/a_ii scaling that maps y back to x — i.e.
+/// both halves of the paper's 2n-wide table are load-bearing here.
+/// Numerically equivalent to solve_ime; exposed to validate the published
+/// table layout end to end.
+std::vector<double> solve_ime_table(const linalg::Matrix& a,
+                                    std::vector<double> b);
+
+/// Level-blocked IMe: processes `kb` levels at a time. Within a block the
+/// pivot columns are factored one by one (left-looking), the per-equation
+/// factors of every other column are recovered by a small kb-term
+/// recurrence, and the bulk of the table receives one rank-kb update — a
+/// GEMM instead of kb rank-1 sweeps. This is the memory-efficient kernel
+/// shape the KernelProfile in solvers/efficiency.hpp prices (the table
+/// streams from DRAM once per block instead of once per level) and is
+/// numerically equivalent to solve_ime up to rounding. kb = 1 degenerates
+/// to the unblocked algorithm.
+std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
+                                      std::vector<double> b, std::size_t kb);
+
+}  // namespace plin::solvers

@@ -1,0 +1,71 @@
+#include "solvers/ime/traffic.hpp"
+
+namespace plin::solvers {
+
+double imep_paper_messages(std::size_t n, int ranks) {
+  const double nn = static_cast<double>(n);
+  const double nm1 = static_cast<double>(ranks - 1);
+  return nn * nn + 2.0 * nm1 * nn + 2.0 * nm1;
+}
+
+double imep_paper_volume_floats(std::size_t n, int ranks) {
+  const double nn = static_cast<double>(n);
+  return (static_cast<double>(ranks) + 2.0) * nn * nn +
+         2.0 * static_cast<double>(ranks - 1) * nn;
+}
+
+double imep_paper_memory_elements(std::size_t n, int ranks) {
+  const double nn = static_cast<double>(n);
+  return 2.0 * nn * nn + 2.0 * nn * static_cast<double>(ranks) + 3.0 * nn;
+}
+
+namespace {
+
+/// First owned column of `rank` under the dedicated-master map, or n if it
+/// owns nothing. Slaves own j with 1 + (n-1-j) mod (N-1) == rank.
+std::size_t first_column_of(std::size_t n, int ranks, int rank) {
+  if (ranks == 1) return rank == 0 ? 0 : n;
+  if (rank == 0) return n;  // the master owns no columns
+  const std::size_t slaves = static_cast<std::size_t>(ranks - 1);
+  const std::size_t sp = static_cast<std::size_t>(rank - 1);
+  if (sp > n - 1) return n;
+  return (n - 1 - sp) % slaves;
+}
+
+std::size_t stride_of(int ranks) {
+  return ranks == 1 ? 1 : static_cast<std::size_t>(ranks - 1);
+}
+
+}  // namespace
+
+ImeColumnMap::ImeColumnMap(std::size_t n, int ranks, int rank)
+    : n_(n), ranks_(ranks), rank_(rank) {
+  PLIN_CHECK_MSG(n > 0, "IMe column map: empty system");
+  PLIN_CHECK_MSG(ranks > 0 && rank >= 0 && rank < ranks,
+                 "IMe column map: bad rank");
+  const std::size_t stride = stride_of(ranks);
+  for (std::size_t j = first_column_of(n, ranks, rank); j < n; j += stride) {
+    columns_.push_back(j);
+  }
+}
+
+std::size_t ImeColumnMap::local_index(std::size_t column) const {
+  PLIN_CHECK_MSG(owner_of(column) == rank_, "column not owned by this rank");
+  return (column - columns_.front()) / stride_of(ranks_);
+}
+
+std::size_t ImeColumnMap::count_below(std::size_t bound) const {
+  return count_below_for(n_, ranks_, rank_, bound);
+}
+
+std::size_t ImeColumnMap::count_below_for(std::size_t n, int ranks, int rank,
+                                          std::size_t bound) {
+  PLIN_CHECK_MSG(ranks > 0 && rank >= 0 && rank < ranks,
+                 "IMe column map: bad rank");
+  const std::size_t j0 = first_column_of(n, ranks, rank);
+  if (bound <= j0) return 0;
+  const std::size_t stride = stride_of(ranks);
+  return (bound - j0 + stride - 1) / stride;
+}
+
+}  // namespace plin::solvers

@@ -1,0 +1,32 @@
+// Tiny command-line flag parser for examples and bench binaries.
+// Supports --name=value, --name value, and boolean --name forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace plin {
+
+class CliArgs {
+ public:
+  /// Parses argv. Unknown flags are kept (benches forward the rest to
+  /// google-benchmark); positional arguments are collected in order.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  long get_int(const std::string& name, long fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace plin

@@ -1,0 +1,26 @@
+// CSV emission for campaign results. The paper's framework "automatically
+// collects and stores results in a human-readable format"; we emit both a
+// TextTable (human) and CSV (machine) view of every result set.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plin {
+
+/// Streams rows as RFC-4180-ish CSV (quotes cells containing , " or \n).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: joins mixed string/double content prepared by the caller.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace plin

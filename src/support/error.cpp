@@ -1,0 +1,28 @@
+#include "support/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace plin::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::string what = "PLIN_CHECK failed: ";
+  what += expr;
+  what += " at ";
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw Error(what);
+}
+
+void assert_failure(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "PLIN_ASSERT failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace plin::detail

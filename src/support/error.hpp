@@ -1,0 +1,68 @@
+// Error handling primitives shared by every powerlin module.
+//
+// powerlin uses exceptions for unrecoverable misuse (per the C++ Core
+// Guidelines E.2): precondition violations throw plin::Error with enough
+// context to locate the failing call site. Hot paths use PLIN_ASSERT, which
+// compiles to nothing in NDEBUG builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace plin {
+
+/// Base exception for all powerlin errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(std::string what) : Error(std::move(what)) {}
+};
+
+/// Thrown on I/O failures (matrix files, report files, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(std::string what) : Error(std::move(what)) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+[[noreturn]] void assert_failure(const char* expr, const char* file, int line);
+}  // namespace detail
+
+}  // namespace plin
+
+/// Always-on invariant check; throws plin::Error on failure.
+#define PLIN_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::plin::detail::throw_check_failure(#expr, __FILE__, __LINE__, {});  \
+    }                                                                      \
+  } while (false)
+
+/// Always-on invariant check with an extra message (anything streamable to
+/// std::string via operator+ is not required: pass a std::string).
+#define PLIN_CHECK_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::plin::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                        \
+  } while (false)
+
+/// Debug-only assertion for hot paths; aborts (never throws) so it can be
+/// used inside noexcept code.
+#ifdef NDEBUG
+#define PLIN_ASSERT(expr) ((void)0)
+#else
+#define PLIN_ASSERT(expr)                                         \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::plin::detail::assert_failure(#expr, __FILE__, __LINE__);  \
+    }                                                             \
+  } while (false)
+#endif

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Thread-safe, writes to stderr; benches and the
+// campaign harness use it for progress lines that must not interleave with
+// result tables on stdout.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace plin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line ("[level] message\n") under a global mutex.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace plin
+
+#define PLIN_LOG(level) ::plin::detail::LogMessage(level)
+#define PLIN_LOG_DEBUG PLIN_LOG(::plin::LogLevel::kDebug)
+#define PLIN_LOG_INFO PLIN_LOG(::plin::LogLevel::kInfo)
+#define PLIN_LOG_WARN PLIN_LOG(::plin::LogLevel::kWarn)
+#define PLIN_LOG_ERROR PLIN_LOG(::plin::LogLevel::kError)

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch (host time, not simulated time). Used only by the
+// overhead bench and the campaign harness to report real runtimes; all
+// paper-facing durations come from the virtual clock in xmpi/perfsim.
+#pragma once
+
+#include <chrono>
+
+namespace plin {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace plin

@@ -1,0 +1,75 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace plin {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  char* end = nullptr;
+  std::strtod(cell.c_str(), &end);
+  // Allow trailing unit suffixes ("1.2 kJ") to stay right-aligned too.
+  return end != cell.c_str();
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PLIN_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PLIN_CHECK_MSG(row.size() == header_.size(), "row width != header width");
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      width[c] = std::max(width[c], row.cells[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "+" : "+") << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = width[c] - cell.size();
+      os << "| ";
+      if (looks_numeric(cell)) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+      os << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const Row& row : rows_) {
+    if (row.rule_before) print_rule();
+    print_cells(row.cells);
+  }
+  print_rule();
+}
+
+}  // namespace plin

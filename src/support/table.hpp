@@ -1,0 +1,38 @@
+// ASCII table writer used by every bench binary to print paper-style rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace plin {
+
+/// Collects rows of strings and prints them column-aligned. Right-aligns
+/// cells that parse as numbers, left-aligns everything else.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders with a header rule and optional group rules.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace plin

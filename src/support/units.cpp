@@ -1,0 +1,69 @@
+#include "support/units.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace plin {
+namespace {
+
+std::string format_scaled(double value, double scale, const char* prefix,
+                          const char* unit) {
+  char buf[64];
+  const double scaled = value / scale;
+  const char* fmt = std::fabs(scaled) >= 100 ? "%.0f %s%s"
+                    : std::fabs(scaled) >= 10 ? "%.1f %s%s"
+                                              : "%.2f %s%s";
+  std::snprintf(buf, sizeof(buf), fmt, scaled, prefix, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_si(double value, const char* unit) {
+  const double mag = std::fabs(value);
+  if (mag >= kTera) return format_scaled(value, kTera, "T", unit);
+  if (mag >= kGiga) return format_scaled(value, kGiga, "G", unit);
+  if (mag >= kMega) return format_scaled(value, kMega, "M", unit);
+  if (mag >= kKilo) return format_scaled(value, kKilo, "k", unit);
+  if (mag >= 1.0 || mag == 0.0) return format_scaled(value, 1.0, "", unit);
+  if (mag >= 1e-3) return format_scaled(value, 1e-3, "m", unit);
+  if (mag >= 1e-6) return format_scaled(value, 1e-6, "u", unit);
+  return format_scaled(value, 1e-9, "n", unit);
+}
+
+std::string format_energy(double joules) { return format_si(joules, "J"); }
+std::string format_power(double watts) { return format_si(watts, "W"); }
+
+std::string format_duration(double seconds) {
+  if (seconds >= 120.0) {
+    const int minutes = static_cast<int>(seconds / 60.0);
+    const double rest = seconds - 60.0 * minutes;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%dm %04.1fs", minutes, rest);
+    return buf;
+  }
+  return format_si(seconds, "s");
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 5> kPrefix = {"", "Ki", "Mi", "Gi",
+                                                         "Ti"};
+  double v = bytes;
+  std::size_t i = 0;
+  while (std::fabs(v) >= 1024.0 && i + 1 < kPrefix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), i == 0 ? "%.0f %sB" : "%.2f %sB", v,
+                kPrefix[i]);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace plin

@@ -1,0 +1,41 @@
+// Unit helpers. Durations, energies and data volumes flow through the whole
+// stack; keeping them as plain doubles with explicit *_s / *_j / *_bytes
+// naming (Core Guidelines I.23 spirit) plus formatting helpers for reports.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace plin {
+
+/// Joules → pretty string ("1.23 kJ", "456 J", "7.8 MJ").
+std::string format_energy(double joules);
+
+/// Seconds → pretty string ("12.3 ms", "4.56 s", "2m 03s").
+std::string format_duration(double seconds);
+
+/// Watts → pretty string.
+std::string format_power(double watts);
+
+/// Bytes → pretty string with binary prefixes.
+std::string format_bytes(double bytes);
+
+/// Generic engineering-notation formatter with the given unit suffix.
+std::string format_si(double value, const char* unit);
+
+/// Round-trip-safe "fixed with n decimals" used by CSV writers.
+std::string format_fixed(double value, int decimals);
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Relative difference |a-b| / max(|a|,|b|, tiny); symmetric, safe at 0.
+inline double rel_diff(double a, double b) {
+  const double denom = std::fmax(std::fmax(std::fabs(a), std::fabs(b)), 1e-300);
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace plin

@@ -1,0 +1,31 @@
+// Virtual time. Every simulated rank owns a VirtualClock advanced by the
+// compute and communication cost models; all paper-facing durations and all
+// RAPL counter reads are taken against these clocks, never the host clock.
+#pragma once
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace plin::trace {
+
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  double now() const { return now_s_; }
+
+  void advance(double dt) {
+    PLIN_ASSERT(dt >= 0.0);
+    now_s_ += dt;
+  }
+
+  /// Jump forward to `t` if it is in the future (used when a receive
+  /// completes at the sender-determined arrival time).
+  void advance_to(double t) { now_s_ = std::max(now_s_, t); }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace plin::trace

@@ -1,0 +1,14 @@
+#include "trace/hardware_context.hpp"
+
+namespace plin::trace {
+namespace {
+thread_local const HardwareContext* t_context = nullptr;
+}  // namespace
+
+void bind_thread_hardware(const HardwareContext* context) {
+  t_context = context;
+}
+
+const HardwareContext* thread_hardware() { return t_context; }
+
+}  // namespace plin::trace

@@ -1,0 +1,40 @@
+// HardwareContext — what "the hardware under this thread" looks like to the
+// measurement stack. The xmpi runtime binds one context per rank thread;
+// the simulated MSR device and papisim read through it, exactly as real
+// PAPI reads the MSRs of the node it runs on.
+#pragma once
+
+#include "trace/clock.hpp"
+#include "trace/ledger.hpp"
+
+namespace plin::trace {
+
+struct HardwareContext {
+  /// Energy ledger of the node this thread runs on.
+  EnergyLedger* ledger = nullptr;
+  /// The reading thread's virtual clock (RAPL counters are sampled at the
+  /// reader's current virtual time).
+  const VirtualClock* clock = nullptr;
+  /// Node id, used only for report file naming.
+  int node = 0;
+};
+
+/// Binds `context` to the calling thread (nullptr to unbind). The pointer
+/// must stay valid until unbound.
+void bind_thread_hardware(const HardwareContext* context);
+
+/// Context bound to the calling thread, or nullptr.
+const HardwareContext* thread_hardware();
+
+/// RAII binder for rank threads and tests.
+class ScopedHardwareBinding {
+ public:
+  explicit ScopedHardwareBinding(const HardwareContext* context) {
+    bind_thread_hardware(context);
+  }
+  ScopedHardwareBinding(const ScopedHardwareBinding&) = delete;
+  ScopedHardwareBinding& operator=(const ScopedHardwareBinding&) = delete;
+  ~ScopedHardwareBinding() { bind_thread_hardware(nullptr); }
+};
+
+}  // namespace plin::trace

@@ -1,0 +1,129 @@
+#include "trace/ledger.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace plin::trace {
+namespace {
+
+/// Fraction of [t0, t1] that lies within [0, t].
+double clipped_span(double t0, double t1, double t) {
+  return std::max(0.0, std::min(t1, t) - t0);
+}
+
+}  // namespace
+
+EnergyLedger::EnergyLedger(hw::PowerModel power,
+                           std::vector<int> cores_per_package,
+                           std::vector<int> ranked_cores_per_package)
+    : power_(power),
+      cores_(std::move(cores_per_package)),
+      ranked_cores_(std::move(ranked_cores_per_package)) {
+  PLIN_CHECK(!cores_.empty());
+  PLIN_CHECK(ranked_cores_.size() == cores_.size());
+  caps_w_.assign(cores_.size(), 0.0);
+  segments_.resize(cores_.size());
+}
+
+void EnergyLedger::record(int package, const ActivitySegment& segment) {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  PLIN_ASSERT(segment.t1 >= segment.t0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_[static_cast<std::size_t>(package)].push_back(segment);
+}
+
+void EnergyLedger::set_package_cap(int package, double watts) {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  PLIN_CHECK_MSG(watts >= 0.0, "power cap must be non-negative");
+  std::lock_guard<std::mutex> lock(mutex_);
+  caps_w_[static_cast<std::size_t>(package)] = watts;
+}
+
+double EnergyLedger::package_cap(int package) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return caps_w_[static_cast<std::size_t>(package)];
+}
+
+double EnergyLedger::dynamic_locked(int package, double t) const {
+  const double idle_w = power_.core_power_w(hw::ActivityKind::kIdle);
+  double joules = 0.0;
+  for (const ActivitySegment& seg :
+       segments_[static_cast<std::size_t>(package)]) {
+    const double span = clipped_span(seg.t0, seg.t1, t);
+    if (span <= 0.0) continue;
+    joules += span * (power_.core_power_w(seg.kind) - idle_w);
+  }
+  return joules;
+}
+
+double EnergyLedger::traffic_locked(int package, double t) const {
+  double bytes = 0.0;
+  for (const ActivitySegment& seg :
+       segments_[static_cast<std::size_t>(package)]) {
+    const double length = seg.t1 - seg.t0;
+    if (length <= 0.0) {
+      // Instantaneous traffic attribution: counts if it happened before t.
+      if (seg.t0 <= t) bytes += seg.dram_bytes;
+      continue;
+    }
+    bytes += seg.dram_bytes * (clipped_span(seg.t0, seg.t1, t) / length);
+  }
+  return bytes;
+}
+
+double EnergyLedger::package_dynamic_j(int package, double t) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dynamic_locked(package, t);
+}
+
+double EnergyLedger::package_energy_j(int package, double t) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  PLIN_CHECK_MSG(t >= 0.0, "query time must be non-negative");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t p = static_cast<std::size_t>(package);
+  const double idle_w = power_.core_power_w(hw::ActivityKind::kIdle);
+  double joules = power_.pkg_base_w() * t + cores_[p] * idle_w * t;
+
+  double dynamic = dynamic_locked(package, t);
+  if (ranked_cores_[p] == 0 && packages() == 2) {
+    // Nominally idle socket: picks up a fraction of the busy sibling's
+    // dynamic power (OS noise, snoops, uncore clocks) — DESIGN.md §5.
+    const int sibling = package == 0 ? 1 : 0;
+    dynamic = power_.idle_socket_leakage() * dynamic_locked(sibling, t);
+  } else if (caps_w_[p] > 0.0) {
+    dynamic *= power_.cap_effect(caps_w_[p], ranked_cores_[p]).dynamic_scale;
+  }
+  return joules + dynamic;
+}
+
+double EnergyLedger::dram_energy_j(int package, double t) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  PLIN_CHECK_MSG(t >= 0.0, "query time must be non-negative");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return power_.dram_base_w() * t +
+         traffic_locked(package, t) * power_.dram_energy_per_byte();
+}
+
+double EnergyLedger::activity_seconds(int package, hw::ActivityKind kind,
+                                      double t) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  double seconds = 0.0;
+  for (const ActivitySegment& seg :
+       segments_[static_cast<std::size_t>(package)]) {
+    if (seg.kind != kind) continue;
+    seconds += clipped_span(seg.t0, seg.t1, t);
+  }
+  return seconds;
+}
+
+double EnergyLedger::dram_traffic_bytes(int package, double t) const {
+  PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traffic_locked(package, t);
+}
+
+}  // namespace plin::trace

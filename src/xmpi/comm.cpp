@@ -1,0 +1,321 @@
+#include "xmpi/comm.hpp"
+
+#include <algorithm>
+
+namespace plin::xmpi {
+
+Comm::Comm(World* world, int world_rank)
+    : world_(world), rank_(world_rank), context_(World::kWorldContext) {
+  PLIN_CHECK(world != nullptr);
+  PLIN_CHECK(world_rank >= 0 && world_rank < world->size());
+  group_.resize(static_cast<std::size_t>(world->size()));
+  for (int r = 0; r < world->size(); ++r) {
+    group_[static_cast<std::size_t>(r)] = r;
+  }
+}
+
+Comm::Comm(World* world, std::vector<int> group, int rank,
+           std::uint64_t context)
+    : world_(world), group_(std::move(group)), rank_(rank),
+      context_(context) {}
+
+int Comm::world_rank_of(int comm_rank) const {
+  PLIN_CHECK_MSG(comm_rank >= 0 && comm_rank < size(),
+                 "comm rank out of range");
+  return group_[static_cast<std::size_t>(comm_rank)];
+}
+
+const hw::RankLocation& Comm::my_location() const {
+  return world_->layout().location_of(world_rank());
+}
+
+RankState& Comm::me() const { return world_->rank_state(world_rank()); }
+
+double Comm::now() const { return me().clock.now(); }
+
+void Comm::log_segment(hw::ActivityKind kind, double dt, double dram_bytes) {
+  PLIN_ASSERT(dt >= 0.0);
+  RankState& state = me();
+  const double t0 = state.clock.now();
+  state.clock.advance(dt);
+  world_->node_ledger(my_location().node)
+      .record(my_location().socket,
+              trace::ActivitySegment{t0, t0 + dt, kind, dram_bytes});
+  if (world_->tracing()) {
+    state.trace_events.push_back(TraceEvent{t0, dt, kind});
+  }
+}
+
+void Comm::compute(const ComputeCost& cost) {
+  PLIN_CHECK_MSG(cost.flops >= 0.0 && cost.dram_bytes >= 0.0,
+                 "compute cost must be non-negative");
+  PLIN_CHECK_MSG(cost.efficiency > 0.0 && cost.efficiency <= 1.0,
+                 "efficiency must be in (0, 1]");
+  const hw::RankLocation& loc = my_location();
+  const hw::MachineSpec& machine = world_->layout().machine();
+
+  double speed = 1.0;
+  trace::EnergyLedger& ledger = world_->node_ledger(loc.node);
+  const double cap = ledger.package_cap(loc.socket);
+  if (cap > 0.0) {
+    const int active = world_->layout().ranks_on_socket(loc.node, loc.socket);
+    speed = world_->power().cap_effect(cap, active).speed_factor;
+  }
+
+  const double peak =
+      machine.node.socket.core.peak_flops() * cost.efficiency * speed;
+  const double t_flop = cost.flops > 0.0 ? cost.flops / peak : 0.0;
+
+  const int sharers =
+      std::max(1, world_->layout().ranks_on_socket(loc.node, loc.socket));
+  const double bw_share = machine.node.socket.dram_bandwidth_bs / sharers;
+  const double t_mem = cost.dram_bytes / bw_share;
+
+  const double dt = std::max(t_flop, t_mem);
+  if (dt <= 0.0) return;
+  const hw::ActivityKind kind = t_flop >= t_mem ? hw::ActivityKind::kCompute
+                                                : hw::ActivityKind::kMemBound;
+  log_segment(kind, dt, cost.dram_bytes);
+}
+
+bool Request::test() {
+  PLIN_CHECK_MSG(comm_ != nullptr, "test on an empty request");
+  if (!pending_recv_) return true;
+  if (!comm_->iprobe(peer_, tag_)) return false;
+  comm_->recv_impl(buffer_, peer_, tag_);
+  pending_recv_ = false;
+  return true;
+}
+
+void Request::wait() {
+  PLIN_CHECK_MSG(comm_ != nullptr, "wait on an empty request");
+  if (!pending_recv_) return;
+  comm_->recv_impl(buffer_, peer_, tag_);
+  pending_recv_ = false;
+}
+
+void wait_all(std::span<Request> requests) {
+  for (Request& request : requests) {
+    if (request.valid()) request.wait();
+  }
+}
+
+bool Comm::iprobe(int src, int tag) {
+  PLIN_CHECK_MSG(src == kAnySource || (src >= 0 && src < size()),
+                 "iprobe source out of range");
+  if (world_->aborted()) throw Aborted();
+  return me().mailbox.probe(src, tag, context_);
+}
+
+void Comm::idle_wait(double dt) {
+  PLIN_CHECK_MSG(dt >= 0.0, "idle_wait duration must be non-negative");
+  if (dt <= 0.0) return;
+  log_segment(hw::ActivityKind::kCommWait, dt);
+}
+
+void Comm::memory_touch(double bytes) {
+  PLIN_CHECK_MSG(bytes >= 0.0, "bytes must be non-negative");
+  if (bytes <= 0.0) return;
+  const hw::RankLocation& loc = my_location();
+  const hw::MachineSpec& machine = world_->layout().machine();
+  const int sharers =
+      std::max(1, world_->layout().ranks_on_socket(loc.node, loc.socket));
+  const double bw_share = machine.node.socket.dram_bandwidth_bs / sharers;
+  log_segment(hw::ActivityKind::kMemBound, bytes / bw_share, bytes);
+}
+
+void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
+                     bool control) {
+  PLIN_CHECK_MSG(dst >= 0 && dst < size(), "send destination out of range");
+  PLIN_CHECK_MSG(dst != rank_, "send to self is not supported");
+  if (world_->aborted()) throw Aborted();
+
+  const double overhead = world_->network().per_message_overhead();
+  log_segment(hw::ActivityKind::kCommActive, overhead,
+              static_cast<double>(data.size()));
+
+  const int dst_world = world_rank_of(dst);
+  const hw::LinkClass link =
+      world_->layout().link_between(world_rank(), dst_world);
+  const double arrival =
+      now() + world_->network().transfer_time(
+                  link, static_cast<double>(data.size()));
+
+  Envelope envelope;
+  envelope.src = rank_;
+  envelope.tag = tag;
+  envelope.context = context_;
+  envelope.arrival_time = arrival;
+  envelope.payload.assign(data.begin(), data.end());
+  world_->post(dst_world, std::move(envelope));
+
+  TrafficCounters& traffic = me().traffic;
+  if (control) {
+    traffic.control_messages += 1;
+    traffic.control_bytes += data.size();
+  } else {
+    traffic.data_messages += 1;
+    traffic.data_bytes += data.size();
+  }
+}
+
+RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
+  PLIN_CHECK_MSG(src == kAnySource || (src >= 0 && src < size()),
+                 "recv source out of range");
+  Envelope envelope =
+      me().mailbox.match(src, tag, context_, world_->abort_flag());
+  PLIN_CHECK_MSG(envelope.payload.size() == data.size(),
+                 "recv buffer size does not match message size");
+
+  const double overhead = world_->network().per_message_overhead();
+  const double arrival = envelope.arrival_time;
+  const double current = now();
+  if (arrival > current) {
+    log_segment(hw::ActivityKind::kCommWait, arrival - current);
+  }
+  log_segment(hw::ActivityKind::kCommActive, overhead,
+              static_cast<double>(data.size()));
+
+  std::copy(envelope.payload.begin(), envelope.payload.end(), data.begin());
+  return RecvInfo{envelope.src, envelope.tag, envelope.payload.size()};
+}
+
+void Comm::barrier() {
+  // Dissemination barrier: after ceil(log2 P) rounds every rank has
+  // (transitively) heard from every other, so each clock ends at or beyond
+  // the latest entry time.
+  for (int mask = 1; mask < size(); mask <<= 1) {
+    const int dst = (rank_ + mask) % size();
+    const int src = (rank_ - mask + size()) % size();
+    send_impl({}, dst, internal_tag::kBarrier, /*control=*/true);
+    recv_impl({}, src, internal_tag::kBarrier);
+  }
+}
+
+void Comm::bcast_impl(std::span<std::byte> data, int root, int stream) {
+  PLIN_CHECK_MSG(root >= 0 && root < size(), "bcast root out of range");
+  PLIN_CHECK_MSG(stream >= 0 && stream < 16, "bcast stream out of range");
+  if (size() == 1) return;
+  const int tag =
+      stream == 0 ? internal_tag::kBcast
+                  : internal_tag::kBcastStreamBase - stream;
+  const int vrank = (rank_ - root + size()) % size();
+
+  int mask = 1;
+  while (mask < size()) {
+    if (vrank & mask) {
+      const int src = ((vrank - mask) + root) % size();
+      recv_impl(data, src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (vrank + mask < size()) {
+      const int dst = ((vrank + mask) + root) % size();
+      send_impl(data, dst, tag, /*control=*/false);
+    }
+    mask >>= 1;
+  }
+}
+
+Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
+  struct Entry {
+    double value;
+    long long index;
+  };
+  Entry acc{value, index};
+  const auto better = [](const Entry& a, const Entry& b) {
+    if (a.value != b.value) return a.value > b.value;
+    return a.index < b.index;
+  };
+
+  int mask = 1;
+  while (mask < size()) {
+    if ((rank_ & mask) == 0) {
+      const int peer = rank_ | mask;
+      if (peer < size()) {
+        const Entry incoming = recv_value<Entry>(peer, internal_tag::kReduce);
+        if (better(incoming, acc)) acc = incoming;
+      }
+    } else {
+      send_value(acc, rank_ & ~mask, internal_tag::kReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+  bcast_value(acc, 0);
+  return MaxLoc{acc.value, acc.index};
+}
+
+Comm Comm::split(int color, int key) {
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(size()));
+
+  // Allgather of (color, key): gather to rank 0, then broadcast. Counted as
+  // control traffic — communicator management, not application data.
+  if (rank_ != 0) {
+    send_impl(std::as_bytes(std::span<const Entry>(&mine, 1)), 0,
+              internal_tag::kSplit, /*control=*/true);
+  } else {
+    all[0] = mine;
+    for (int src = 1; src < size(); ++src) {
+      recv_impl(std::as_writable_bytes(std::span<Entry>(
+                    &all[static_cast<std::size_t>(src)], 1)),
+                src, internal_tag::kSplit);
+    }
+  }
+  // Broadcast the table (binomial tree on control tag).
+  {
+    std::span<std::byte> bytes = std::as_writable_bytes(std::span<Entry>(all));
+    if (size() > 1) {
+      const int vrank = rank_;
+      int mask = 1;
+      while (mask < size()) {
+        if (vrank & mask) {
+          recv_impl(bytes, vrank - mask, internal_tag::kSplit);
+          break;
+        }
+        mask <<= 1;
+      }
+      mask >>= 1;
+      while (mask > 0) {
+        if (vrank + mask < size()) {
+          send_impl(bytes, vrank + mask, internal_tag::kSplit,
+                    /*control=*/true);
+        }
+        mask >>= 1;
+      }
+    }
+  }
+
+  std::vector<Entry> members;
+  for (const Entry& entry : all) {
+    if (entry.color == color) members.push_back(entry);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a,
+                                               const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.parent_rank < b.parent_rank;
+  });
+
+  std::vector<int> group;
+  group.reserve(members.size());
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    group.push_back(world_rank_of(members[i].parent_rank));
+    if (members[i].parent_rank == rank_) new_rank = static_cast<int>(i);
+  }
+  PLIN_CHECK(new_rank >= 0);
+
+  const std::uint64_t context = world_->intern_context(context_, split_seq_++);
+  return Comm(world_, std::move(group), new_rank, context);
+}
+
+}  // namespace plin::xmpi

@@ -1,0 +1,322 @@
+// Comm — the communicator handle ranks program against. Mirrors the MPI
+// surface the paper's framework uses: point-to-point send/recv, barrier,
+// broadcast, reductions, gather, comm_split and comm_split_type(SHARED),
+// plus the compute() hook that advances the rank's virtual clock and feeds
+// the energy ledger.
+//
+// Collectives are implemented on top of point-to-point messages (binomial
+// trees, dissemination barrier), so their virtual-time cost and message
+// counts emerge from the same Hockney model as user traffic.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "xmpi/world.hpp"
+
+namespace plin::xmpi {
+
+struct RecvInfo {
+  int source = 0;
+  int tag = 0;
+  std::size_t bytes = 0;
+};
+
+class Comm {
+ public:
+  /// The world communicator for `world_rank`. Runtime::run constructs one
+  /// per rank thread; user code obtains sub-communicators via split.
+  Comm(World* world, int world_rank);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(group_.size()); }
+  World& world() const { return *world_; }
+
+  int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+  int world_rank_of(int comm_rank) const;
+  const hw::RankLocation& my_location() const;
+  int my_node() const { return my_location().node; }
+
+  /// This rank's virtual clock value.
+  double now() const;
+
+  // -- local work -----------------------------------------------------------
+
+  /// Advances virtual time by the cost of `cost` (max of flop time and
+  /// memory time, honoring any active package power cap) and records the
+  /// energy segment.
+  void compute(const ComputeCost& cost);
+
+  /// Pure memory phase (allocation, deallocation, touch): time = bytes over
+  /// this rank's share of socket bandwidth.
+  void memory_touch(double bytes);
+
+  /// Advances this rank's virtual clock by `dt` seconds of idle waiting
+  /// (kCommWait power) — the building block for polling/sampling loops.
+  void idle_wait(double dt);
+
+  // -- point-to-point ---------------------------------------------------------
+
+  template <typename T>
+  void send(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_impl(std::as_bytes(data), dst, tag, /*control=*/false);
+  }
+
+  template <typename T>
+  void send_value(const T& value, int dst, int tag) {
+    send(std::span<const T>(&value, 1), dst, tag);
+  }
+
+  template <typename T>
+  RecvInfo recv(std::span<T> data, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return recv_impl(std::as_writable_bytes(data), src, tag);
+  }
+
+  template <typename T>
+  T recv_value(int src, int tag) {
+    T value{};
+    recv(std::span<T>(&value, 1), src, tag);
+    return value;
+  }
+
+  /// MPI_Sendrecv: pairwise exchange with `peer` — the send is buffered,
+  /// so symmetric calls cannot deadlock. Buffers must not alias.
+  template <typename T>
+  void sendrecv(std::span<const T> send_data, std::span<T> recv_data,
+                int peer, int tag) {
+    send(send_data, peer, tag);
+    recv(recv_data, peer, tag);
+  }
+
+  /// MPI_Iprobe: true if a matching message is already queued. Does not
+  /// advance virtual time (a real iprobe's cost is well under the model's
+  /// resolution); combine with a clock-advancing activity in polling loops.
+  bool iprobe(int src, int tag);
+
+  // -- nonblocking point-to-point ---------------------------------------------
+
+  /// Buffered nonblocking send: the payload is copied and on the wire when
+  /// this returns, so the request is complete immediately (MPI_Ibsend
+  /// semantics — our transport is buffered by construction).
+  template <typename T>
+  class Request isend(std::span<const T> data, int dst, int tag);
+
+  /// Nonblocking receive: registers the buffer; completion (and the
+  /// virtual-time accounting of the receive) happens at test()/wait().
+  /// The buffer and this Comm must outlive the request.
+  template <typename T>
+  class Request irecv(std::span<T> data, int src, int tag);
+
+  // -- collectives -------------------------------------------------------------
+
+  /// Dissemination barrier; aligns host threads and (approximately) virtual
+  /// clocks of all members.
+  void barrier();
+
+  /// Binomial-tree broadcast. `stream` selects an independent FIFO channel
+  /// (see internal_tag::kBcastStreamBase); broadcasts within one stream
+  /// must be issued in the same order by every rank, but different streams
+  /// are unordered relative to each other.
+  template <typename T>
+  void bcast(std::span<T> data, int root, int stream = 0) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bcast_impl(std::as_writable_bytes(data), root, stream);
+  }
+
+  template <typename T>
+  void bcast_value(T& value, int root, int stream = 0) {
+    bcast(std::span<T>(&value, 1), root, stream);
+  }
+
+  /// Element-wise tree reduction of `data` into `out` at `root` (out is
+  /// ignored on other ranks; may alias data on the root).
+  template <typename T>
+  void reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
+              int root);
+
+  template <typename T>
+  void allreduce(std::span<const T> data, std::span<T> out, ReduceOp op) {
+    reduce(data, out, op, 0);
+    bcast(out, 0);
+  }
+
+  template <typename T>
+  T allreduce_value(T value, ReduceOp op) {
+    T out{};
+    allreduce(std::span<const T>(&value, 1), std::span<T>(&out, 1), op);
+    return out;
+  }
+
+  /// MPI_MAXLOC equivalent for distributed pivot search: returns the
+  /// globally largest |value| with the owning index (ties: lowest index).
+  struct MaxLoc {
+    double value = 0.0;
+    long long index = 0;
+  };
+  MaxLoc allreduce_maxloc(double value, long long index);
+
+  /// Gathers `data` (same length on every rank) to `root`; `out` must hold
+  /// size()*data.size() elements on the root.
+  template <typename T>
+  void gather(std::span<const T> data, std::span<T> out, int root);
+
+  template <typename T>
+  void allgather(std::span<const T> data, std::span<T> out) {
+    gather(data, out, 0);
+    bcast(out, 0);
+  }
+
+  // -- communicator management -------------------------------------------------
+
+  /// MPI_Comm_split: members with the same color form a new communicator,
+  /// ordered by (key, parent rank). Must be called by all members in the
+  /// same order.
+  Comm split(int color, int key);
+
+  /// MPI_Comm_split_type(MPI_COMM_TYPE_SHARED): one communicator per node,
+  /// keyed by parent rank — the grouping the paper's framework uses to
+  /// elect monitoring ranks.
+  Comm split_shared_node() { return split(my_node(), rank_); }
+
+ private:
+  friend class Request;
+
+  Comm(World* world, std::vector<int> group, int rank, std::uint64_t context);
+
+  RankState& me() const;
+  void log_segment(hw::ActivityKind kind, double dt, double dram_bytes = 0.0);
+
+  void send_impl(std::span<const std::byte> data, int dst, int tag,
+                 bool control);
+  RecvInfo recv_impl(std::span<std::byte> data, int src, int tag);
+  void bcast_impl(std::span<std::byte> data, int root, int stream);
+
+  World* world_;
+  std::vector<int> group_;  // comm rank -> world rank
+  int rank_;
+  std::uint64_t context_;
+  int split_seq_ = 0;
+};
+
+/// Handle for a nonblocking operation. Move-only; complete with test() or
+/// wait() (or wait_all over a batch).
+class Request {
+ public:
+  Request() = default;
+  Request(Request&& other) noexcept { *this = std::move(other); }
+  Request& operator=(Request&& other) noexcept {
+    comm_ = other.comm_;
+    buffer_ = other.buffer_;
+    peer_ = other.peer_;
+    tag_ = other.tag_;
+    pending_recv_ = other.pending_recv_;
+    other.pending_recv_ = false;
+    other.comm_ = nullptr;
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  bool valid() const { return comm_ != nullptr; }
+
+  /// True once the operation is complete; for a pending receive, completes
+  /// it if the matching message has arrived (MPI_Test).
+  bool test();
+
+  /// Blocks until complete (MPI_Wait).
+  void wait();
+
+ private:
+  friend class Comm;
+  Request(Comm* comm, std::span<std::byte> buffer, int peer, int tag,
+          bool pending_recv)
+      : comm_(comm), buffer_(buffer), peer_(peer), tag_(tag),
+        pending_recv_(pending_recv) {}
+
+  Comm* comm_ = nullptr;
+  std::span<std::byte> buffer_{};
+  int peer_ = 0;
+  int tag_ = 0;
+  bool pending_recv_ = false;
+};
+
+/// Completes every request in the batch (MPI_Waitall).
+void wait_all(std::span<Request> requests);
+
+template <typename T>
+Request Comm::isend(std::span<const T> data, int dst, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  send_impl(std::as_bytes(data), dst, tag, /*control=*/false);
+  return Request(this, {}, dst, tag, /*pending_recv=*/false);
+}
+
+template <typename T>
+Request Comm::irecv(std::span<T> data, int src, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return Request(this, std::as_writable_bytes(data), src, tag,
+                 /*pending_recv=*/true);
+}
+
+// -- template implementations ---------------------------------------------
+
+template <typename T>
+void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
+                  int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PLIN_CHECK_MSG(rank() != root || out.size() == data.size(),
+                 "reduce output span has wrong size on root");
+  std::vector<T> acc(data.begin(), data.end());
+  const int vrank = (rank_ - root + size()) % size();
+  int mask = 1;
+  while (mask < size()) {
+    if ((vrank & mask) == 0) {
+      const int peer_v = vrank | mask;
+      if (peer_v < size()) {
+        const int peer = (peer_v + root) % size();
+        std::vector<T> incoming(acc.size());
+        recv(std::span<T>(incoming), peer, internal_tag::kReduce);
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          switch (op) {
+            case ReduceOp::kSum: acc[i] = acc[i] + incoming[i]; break;
+            case ReduceOp::kMax: acc[i] = acc[i] < incoming[i] ? incoming[i] : acc[i]; break;
+            case ReduceOp::kMin: acc[i] = incoming[i] < acc[i] ? incoming[i] : acc[i]; break;
+          }
+        }
+      }
+    } else {
+      const int peer = ((vrank & ~mask) + root) % size();
+      send(std::span<const T>(acc), peer, internal_tag::kReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank_ == root) {
+    std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> data, std::span<T> out, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ != root) {
+    send(data, root, internal_tag::kGather);
+    return;
+  }
+  PLIN_CHECK_MSG(out.size() >= data.size() * static_cast<std::size_t>(size()),
+                 "gather output span too small");
+  for (int src = 0; src < size(); ++src) {
+    std::span<T> slot = out.subspan(
+        static_cast<std::size_t>(src) * data.size(), data.size());
+    if (src == rank_) {
+      std::memcpy(slot.data(), data.data(), data.size() * sizeof(T));
+    } else {
+      recv(slot, src, internal_tag::kGather);
+    }
+  }
+}
+
+}  // namespace plin::xmpi

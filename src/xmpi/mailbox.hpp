@@ -1,0 +1,103 @@
+// Mailbox — per-rank message queue with blocking matched receive.
+//
+// Matching follows MPI semantics: (source, tag, communicator-context)
+// triples, with wildcards, FIFO per (source, tag) channel. Host threads
+// block on a condition variable; virtual timing is carried by the
+// `arrival_time` stamp computed by the sender.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "support/error.hpp"
+#include "xmpi/types.hpp"
+
+namespace plin::xmpi {
+
+/// Raised in every blocked rank when World::abort fires (a peer threw).
+class Aborted : public Error {
+ public:
+  Aborted() : Error("xmpi run aborted by a peer rank") {}
+};
+
+struct Envelope {
+  int src = 0;  // sender's rank within the message's communicator
+  int tag = 0;
+  std::uint64_t context = 0;  // communicator context id
+  double arrival_time = 0.0;  // virtual time the payload is available
+  std::vector<std::byte> payload;
+};
+
+class Mailbox {
+ public:
+  void post(Envelope&& envelope) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(envelope));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message matching (src, tag, context) is present and
+  /// removes it. With kAnySource/kAnyTag, picks the present message with
+  /// the earliest virtual arrival (ties: lowest source) to keep runs
+  /// deterministic. Throws Aborted if the abort flag fires.
+  Envelope match(int src, int tag, std::uint64_t context,
+                 const std::atomic<bool>& abort_flag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (abort_flag.load()) throw Aborted();
+      std::size_t best = queue_.size();
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const Envelope& env = queue_[i];
+        if (env.context != context) continue;
+        if (src != kAnySource && env.src != src) continue;
+        if (tag != kAnyTag && env.tag != tag) continue;
+        if (src != kAnySource && tag != kAnyTag) {
+          best = i;  // exact match: FIFO order is the MPI order
+          break;
+        }
+        if (best == queue_.size() ||
+            env.arrival_time < queue_[best].arrival_time ||
+            (env.arrival_time == queue_[best].arrival_time &&
+             env.src < queue_[best].src)) {
+          best = i;
+        }
+      }
+      if (best != queue_.size()) {
+        Envelope out = std::move(queue_[best]);
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+        return out;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+  /// Non-blocking probe: true if a message matching (src, tag, context) is
+  /// currently queued (MPI_Iprobe semantics).
+  bool probe(int src, int tag, std::uint64_t context) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Envelope& env : queue_) {
+      if (env.context != context) continue;
+      if (src != kAnySource && env.src != src) continue;
+      if (tag != kAnyTag && env.tag != tag) continue;
+      return true;
+    }
+    return false;
+  }
+
+  /// Wakes all blocked matchers (used by World::abort).
+  void interrupt() { cv_.notify_all(); }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace plin::xmpi

@@ -1,0 +1,159 @@
+#include "xmpi/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace plin::xmpi {
+
+double EnergyReport::total_pkg_j() const {
+  double total = 0.0;
+  for (const NodeEnergy& node : nodes) {
+    for (const PackageEnergy& pkg : node.packages) total += pkg.pkg_j;
+  }
+  return total;
+}
+
+double EnergyReport::total_dram_j() const {
+  double total = 0.0;
+  for (const NodeEnergy& node : nodes) {
+    for (const PackageEnergy& pkg : node.packages) total += pkg.dram_j;
+  }
+  return total;
+}
+
+namespace {
+
+/// Writes the collected per-rank activity events as a Chrome trace-event
+/// JSON file (timestamps in microseconds of virtual time).
+void write_chrome_trace(const std::string& path, World& world) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw IoError("cannot open trace file: " + path);
+  os << "[\n";
+  bool first = true;
+  for (int rank = 0; rank < world.size(); ++rank) {
+    const RankState& state = world.rank_state(rank);
+    const int node = state.hw_context.node;
+    // Lane metadata: group ranks under their node.
+    os << (first ? "" : ",\n")
+       << R"({"ph":"M","name":"thread_name","pid":)" << node << ",\"tid\":"
+       << rank << R"(,"args":{"name":"rank )" << rank << "\"}}";
+    first = false;
+    for (const TraceEvent& event : state.trace_events) {
+      os << ",\n{\"ph\":\"X\",\"name\":\"" << hw::to_string(event.kind)
+         << "\",\"cat\":\"" << hw::to_string(event.kind)
+         << "\",\"pid\":" << node << ",\"tid\":" << rank
+         << ",\"ts\":" << event.t0 * 1e6 << ",\"dur\":" << event.dt * 1e6
+         << "}";
+    }
+  }
+  os << "\n]\n";
+  if (!os) throw IoError("trace write failed: " + path);
+}
+
+}  // namespace
+
+RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
+  PLIN_CHECK_MSG(static_cast<bool>(rank_main), "rank_main must be callable");
+  World world(config.machine, config.placement);
+  world.set_tracing(!config.chrome_trace_path.empty());
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(world.size()));
+  for (int rank = 0; rank < world.size(); ++rank) {
+    threads.emplace_back([&world, &rank_main, &error_mutex, &first_error,
+                          rank] {
+      RankState& state = world.rank_state(rank);
+      trace::ScopedHardwareBinding binding(&state.hw_context);
+      try {
+        Comm comm(&world, rank);
+        rank_main(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        world.abort();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+  if (!config.chrome_trace_path.empty()) {
+    write_chrome_trace(config.chrome_trace_path, world);
+  }
+
+  RunResult result;
+  result.rank_times.reserve(static_cast<std::size_t>(world.size()));
+  for (int rank = 0; rank < world.size(); ++rank) {
+    const double t = world.rank_state(rank).clock.now();
+    result.rank_times.push_back(t);
+    result.duration_s = std::max(result.duration_s, t);
+  }
+  result.traffic = world.total_traffic();
+
+  const int packages = config.machine.node.sockets;
+  result.energy.nodes.resize(static_cast<std::size_t>(world.node_count()));
+  for (int node = 0; node < world.node_count(); ++node) {
+    trace::EnergyLedger& ledger = world.node_ledger(node);
+    NodeEnergy& node_energy =
+        result.energy.nodes[static_cast<std::size_t>(node)];
+    node_energy.packages.resize(static_cast<std::size_t>(packages));
+    for (int p = 0; p < packages; ++p) {
+      PackageEnergy& pkg =
+          node_energy.packages[static_cast<std::size_t>(p)];
+      pkg.pkg_j = ledger.package_energy_j(p, result.duration_s);
+      pkg.dram_j = ledger.dram_energy_j(p, result.duration_s);
+      result.compute_s += ledger.activity_seconds(
+          p, hw::ActivityKind::kCompute, result.duration_s);
+      result.membound_s += ledger.activity_seconds(
+          p, hw::ActivityKind::kMemBound, result.duration_s);
+      result.commactive_s += ledger.activity_seconds(
+          p, hw::ActivityKind::kCommActive, result.duration_s);
+      result.commwait_s += ledger.activity_seconds(
+          p, hw::ActivityKind::kCommWait, result.duration_s);
+    }
+  }
+
+  // Simulated external wattmeter: sample every node's ledger on a fixed
+  // virtual-time grid. Differencing cumulative energies gives the average
+  // power of each window, free of RAPL's counter quantization.
+  if (config.timeline_period_s > 0.0) {
+    const double period = config.timeline_period_s;
+    result.timeline.resize(static_cast<std::size_t>(world.node_count()));
+    for (int node = 0; node < world.node_count(); ++node) {
+      trace::EnergyLedger& ledger = world.node_ledger(node);
+      NodeTimeline& series =
+          result.timeline[static_cast<std::size_t>(node)];
+      series.node = node;
+      double prev_pkg[2] = {0.0, 0.0};
+      double prev_dram[2] = {0.0, 0.0};
+      for (double t = period; t < result.duration_s + period; t += period) {
+        const double clipped = std::min(t, result.duration_s);
+        const double window = clipped - (t - period);
+        if (window <= 0.0) break;
+        TimelineSample sample;
+        sample.t = clipped;
+        for (int p = 0; p < packages && p < 2; ++p) {
+          const double pkg = ledger.package_energy_j(p, clipped);
+          const double dram = ledger.dram_energy_j(p, clipped);
+          sample.pkg_w[p] = (pkg - prev_pkg[p]) / window;
+          sample.dram_w[p] = (dram - prev_dram[p]) / window;
+          prev_pkg[p] = pkg;
+          prev_dram[p] = dram;
+        }
+        series.samples.push_back(sample);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace plin::xmpi

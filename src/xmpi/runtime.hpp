@@ -1,0 +1,100 @@
+// Runtime — spawns one host thread per simulated rank and runs a rank-main
+// function against the world communicator, then aggregates virtual duration,
+// traffic and per-domain energy.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+#include "xmpi/comm.hpp"
+
+namespace plin::xmpi {
+
+/// Energy of one RAPL package pair (PKG + its DRAM domain), in joules.
+struct PackageEnergy {
+  double pkg_j = 0.0;
+  double dram_j = 0.0;
+};
+
+struct NodeEnergy {
+  std::vector<PackageEnergy> packages;
+};
+
+struct EnergyReport {
+  std::vector<NodeEnergy> nodes;
+
+  double total_pkg_j() const;
+  double total_dram_j() const;
+  double total_j() const { return total_pkg_j() + total_dram_j(); }
+};
+
+struct RunConfig {
+  hw::MachineSpec machine;
+  hw::Placement placement;
+  /// If non-empty, every rank's activity segments are written to this path
+  /// as a chrome://tracing / Perfetto JSON file after the run: one lane per
+  /// rank (grouped by node), one slice per compute / memory / comm-active /
+  /// comm-wait interval in virtual time. Numeric-tier scale only.
+  std::string chrome_trace_path;
+  /// If > 0, RunResult.timeline holds a per-node power time series sampled
+  /// at this virtual-time period — the simulated *external wattmeter* view
+  /// (the "ground truth" instrument the paper's §6 plans to add next to
+  /// PAPI). Unlike RAPL it sees every domain of the node continuously and
+  /// is not quantized to millisecond counter updates.
+  double timeline_period_s = 0.0;
+};
+
+/// One wattmeter sample: average power over (t - period, t].
+struct TimelineSample {
+  double t = 0.0;
+  double pkg_w[2] = {0.0, 0.0};
+  double dram_w[2] = {0.0, 0.0};
+
+  double node_w() const {
+    return pkg_w[0] + pkg_w[1] + dram_w[0] + dram_w[1];
+  }
+};
+
+struct NodeTimeline {
+  int node = 0;
+  std::vector<TimelineSample> samples;
+};
+
+struct RunResult {
+  /// Virtual time at which the last rank finished.
+  double duration_s = 0.0;
+  /// Per-rank completion times (virtual).
+  std::vector<double> rank_times;
+  /// Aggregated send-side traffic counters.
+  TrafficCounters traffic;
+  /// Per-node, per-package energy integrated over [0, duration_s].
+  EnergyReport energy;
+  /// Core-seconds by activity, summed over every core of the run — the
+  /// utilization breakdown behind the power figures.
+  double compute_s = 0.0;
+  double membound_s = 0.0;
+  double commactive_s = 0.0;
+  double commwait_s = 0.0;
+
+  /// External-wattmeter time series (one per node); filled only when
+  /// RunConfig::timeline_period_s > 0.
+  std::vector<NodeTimeline> timeline;
+
+  double busy_s() const {
+    return compute_s + membound_s + commactive_s + commwait_s;
+  }
+};
+
+class Runtime {
+ public:
+  using RankMain = std::function<void(Comm&)>;
+
+  /// Runs `rank_main` on every rank of the placement. Exceptions thrown by
+  /// any rank abort the run and are rethrown here (first one wins).
+  static RunResult run(const RunConfig& config, const RankMain& rank_main);
+};
+
+}  // namespace plin::xmpi

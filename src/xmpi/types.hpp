@@ -1,0 +1,62 @@
+// Shared xmpi types: wildcard constants, reduce operations, compute cost
+// descriptors and traffic counters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace plin::xmpi {
+
+/// MPI_ANY_SOURCE / MPI_ANY_TAG analogues. User tags must be >= 0; negative
+/// tags are reserved for collective-internal traffic.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+namespace internal_tag {
+inline constexpr int kBarrier = -2;
+inline constexpr int kBcast = -3;
+inline constexpr int kReduce = -4;
+inline constexpr int kGather = -5;
+inline constexpr int kSplit = -6;
+inline constexpr int kAllgather = -7;
+/// Base for user-selected broadcast streams (Comm::bcast stream parameter):
+/// stream s uses tag kBcastStreamBase - s. Distinct streams have
+/// independent FIFO channels, so two logically concurrent broadcast
+/// sequences (e.g. IMeP's pivot-column and auxiliary-vector streams) may be
+/// issued in different per-rank orders without cross-matching.
+inline constexpr int kBcastStreamBase = -16;
+}  // namespace internal_tag
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+/// Cost descriptor for Comm::compute. `efficiency` is the fraction of the
+/// core's peak double-precision throughput this kernel sustains; the rank's
+/// virtual time advances by max(flop time, memory time) and `dram_bytes`
+/// is charged to the socket's DRAM domain.
+struct ComputeCost {
+  double flops = 0.0;
+  double dram_bytes = 0.0;
+  double efficiency = 1.0;
+};
+
+/// Global message/volume counters, split into the application data traffic
+/// that the paper's M/V formulas count and control traffic (barriers,
+/// communicator management).
+struct TrafficCounters {
+  std::uint64_t data_messages = 0;
+  std::uint64_t data_bytes = 0;
+  std::uint64_t control_messages = 0;
+  std::uint64_t control_bytes = 0;
+
+  /// The paper measures volume in "number of floating points".
+  double data_floats() const { return static_cast<double>(data_bytes) / 8.0; }
+
+  TrafficCounters operator-(const TrafficCounters& other) const {
+    return TrafficCounters{data_messages - other.data_messages,
+                           data_bytes - other.data_bytes,
+                           control_messages - other.control_messages,
+                           control_bytes - other.control_bytes};
+  }
+};
+
+}  // namespace plin::xmpi

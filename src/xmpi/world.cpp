@@ -1,0 +1,77 @@
+#include "xmpi/world.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::xmpi {
+
+World::World(hw::MachineSpec machine, hw::Placement placement)
+    : layout_(machine, placement),
+      network_(machine.network),
+      power_(machine.power) {
+  const int packages = machine.node.sockets;
+  ledgers_.reserve(static_cast<std::size_t>(layout_.nodes()));
+  for (int node = 0; node < layout_.nodes(); ++node) {
+    std::vector<int> cores(static_cast<std::size_t>(packages),
+                           machine.node.socket.cores);
+    std::vector<int> ranked(static_cast<std::size_t>(packages), 0);
+    for (int socket = 0; socket < packages; ++socket) {
+      ranked[static_cast<std::size_t>(socket)] =
+          layout_.ranks_on_socket(node, socket);
+    }
+    ledgers_.push_back(std::make_unique<trace::EnergyLedger>(
+        power_, std::move(cores), std::move(ranked)));
+  }
+
+  ranks_.reserve(static_cast<std::size_t>(layout_.ranks()));
+  for (int rank = 0; rank < layout_.ranks(); ++rank) {
+    auto state = std::make_unique<RankState>();
+    const int node = layout_.node_of(rank);
+    state->hw_context.ledger = ledgers_[static_cast<std::size_t>(node)].get();
+    state->hw_context.clock = &state->clock;
+    state->hw_context.node = node;
+    ranks_.push_back(std::move(state));
+  }
+}
+
+RankState& World::rank_state(int world_rank) {
+  PLIN_CHECK_MSG(world_rank >= 0 && world_rank < size(),
+                 "world rank out of range");
+  return *ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+trace::EnergyLedger& World::node_ledger(int node) {
+  PLIN_CHECK_MSG(node >= 0 && node < node_count(), "node out of range");
+  return *ledgers_[static_cast<std::size_t>(node)];
+}
+
+std::uint64_t World::intern_context(std::uint64_t parent_context, int seq) {
+  std::lock_guard<std::mutex> lock(context_mutex_);
+  const auto key = std::make_pair(parent_context, seq);
+  const auto it = contexts_.find(key);
+  if (it != contexts_.end()) return it->second;
+  const std::uint64_t id = next_context_++;
+  contexts_.emplace(key, id);
+  return id;
+}
+
+void World::post(int dst_world, Envelope&& envelope) {
+  rank_state(dst_world).mailbox.post(std::move(envelope));
+}
+
+TrafficCounters World::total_traffic() const {
+  TrafficCounters total;
+  for (const auto& rank : ranks_) {
+    total.data_messages += rank->traffic.data_messages;
+    total.data_bytes += rank->traffic.data_bytes;
+    total.control_messages += rank->traffic.control_messages;
+    total.control_bytes += rank->traffic.control_bytes;
+  }
+  return total;
+}
+
+void World::abort() noexcept {
+  abort_flag_.store(true);
+  for (const auto& rank : ranks_) rank->mailbox.interrupt();
+}
+
+}  // namespace plin::xmpi

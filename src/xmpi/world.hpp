@@ -1,0 +1,92 @@
+// World — the shared state of one xmpi run: topology, cost models, per-rank
+// clocks and mailboxes, per-node energy ledgers, communicator-context
+// allocation and traffic counters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hwmodel/layout.hpp"
+#include "hwmodel/network.hpp"
+#include "hwmodel/power.hpp"
+#include "trace/clock.hpp"
+#include "trace/hardware_context.hpp"
+#include "trace/ledger.hpp"
+#include "xmpi/mailbox.hpp"
+#include "xmpi/types.hpp"
+
+namespace plin::xmpi {
+
+/// One rank-attributed activity event (collected only when tracing).
+struct TraceEvent {
+  double t0 = 0.0;
+  double dt = 0.0;
+  hw::ActivityKind kind = hw::ActivityKind::kIdle;
+};
+
+/// Per-rank mutable state. Owned by World, touched only by the rank's
+/// thread (mailbox is internally synchronized for senders).
+struct RankState {
+  trace::VirtualClock clock;
+  Mailbox mailbox;
+  trace::HardwareContext hw_context;
+  TrafficCounters traffic;  // this rank's share of send-side counters
+  std::vector<TraceEvent> trace_events;
+};
+
+class World {
+ public:
+  World(hw::MachineSpec machine, hw::Placement placement);
+
+  int size() const { return layout_.ranks(); }
+  const hw::ClusterLayout& layout() const { return layout_; }
+  const hw::NetworkModel& network() const { return network_; }
+  const hw::PowerModel& power() const { return power_; }
+
+  RankState& rank_state(int world_rank);
+  trace::EnergyLedger& node_ledger(int node);
+  int node_count() const { return static_cast<int>(ledgers_.size()); }
+
+  /// Context id for the world communicator.
+  static constexpr std::uint64_t kWorldContext = 1;
+
+  /// Deterministically allocates/returns the context id for the `seq`-th
+  /// split performed on communicator `parent_context`. All members calling
+  /// with the same pair receive the same id (MPI's ordering requirement).
+  std::uint64_t intern_context(std::uint64_t parent_context, int seq);
+
+  /// Delivers an envelope to `dst_world`'s mailbox.
+  void post(int dst_world, Envelope&& envelope);
+
+  /// Aggregated traffic across ranks (sum of send-side counters).
+  TrafficCounters total_traffic() const;
+
+  void abort() noexcept;
+  bool aborted() const { return abort_flag_.load(); }
+  const std::atomic<bool>& abort_flag() const { return abort_flag_; }
+
+  /// When enabled, every rank records its activity segments for the
+  /// chrome://tracing export (see Runtime / RunConfig::chrome_trace_path).
+  void set_tracing(bool enabled) { tracing_ = enabled; }
+  bool tracing() const { return tracing_; }
+
+ private:
+  hw::ClusterLayout layout_;
+  hw::NetworkModel network_;
+  hw::PowerModel power_;
+  std::vector<std::unique_ptr<trace::EnergyLedger>> ledgers_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+
+  std::mutex context_mutex_;
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> contexts_;
+  std::uint64_t next_context_ = 2;
+
+  std::atomic<bool> abort_flag_{false};
+  bool tracing_ = false;
+};
+
+}  // namespace plin::xmpi

@@ -1,0 +1,158 @@
+// Tests for the machine model: Marconi A3 numbers, Table-1 placements,
+// rank layout, link classification and the network cost model.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include "hwmodel/layout.hpp"
+#include "hwmodel/machine.hpp"
+#include "hwmodel/network.hpp"
+#include "hwmodel/placement.hpp"
+
+namespace plin::hw {
+namespace {
+
+TEST(MachineSpecTest, MarconiA3MatchesPaperNumbers) {
+  const MachineSpec m = marconi_a3();
+  EXPECT_EQ(m.total_nodes, 3188);
+  EXPECT_EQ(m.node.sockets, 2);
+  EXPECT_EQ(m.node.socket.cores, 24);
+  EXPECT_EQ(m.node.cores(), 48);
+  EXPECT_DOUBLE_EQ(m.node.socket.core.clock_ghz, 2.10);
+  // Node peak ~3.2 TFlop/s (paper: "a single node can reach 3.2 TFlop/s").
+  EXPECT_NEAR(m.node.peak_flops(), 3.2e12, 0.05e12);
+}
+
+TEST(PlacementTest, Table1ConfigurationsMatchThePaper) {
+  const MachineSpec m = marconi_a3();
+  const std::vector<Table1Row> rows = table1_configurations(m);
+  ASSERT_EQ(rows.size(), 9u);
+
+  // Paper Table 1: (ranks, nodes, ranks/node, sockets, socket0, socket1).
+  struct Expected {
+    int ranks, nodes, rpn, sockets, s0, s1;
+  };
+  const Expected expected[9] = {
+      {144, 3, 48, 2, 24, 24},  {144, 6, 24, 1, 24, 0},
+      {144, 6, 24, 2, 12, 12},  {576, 12, 48, 2, 24, 24},
+      {576, 24, 24, 1, 24, 0},  {576, 24, 24, 2, 12, 12},
+      {1296, 27, 48, 2, 24, 24}, {1296, 54, 24, 1, 24, 0},
+      {1296, 54, 24, 2, 12, 12},
+  };
+  for (int i = 0; i < 9; ++i) {
+    const Placement& p = rows[static_cast<std::size_t>(i)].placement;
+    EXPECT_EQ(p.ranks, expected[i].ranks) << i;
+    EXPECT_EQ(p.nodes, expected[i].nodes) << i;
+    EXPECT_EQ(p.ranks_per_node, expected[i].rpn) << i;
+    EXPECT_EQ(p.sockets_used, expected[i].sockets) << i;
+    EXPECT_EQ(p.ranks_socket0, expected[i].s0) << i;
+    EXPECT_EQ(p.ranks_socket1, expected[i].s1) << i;
+  }
+}
+
+TEST(PlacementTest, RejectsImpossiblePlacements) {
+  const MachineSpec tiny = mini_cluster(2, 4);
+  EXPECT_THROW(make_placement(1000, LoadLayout::kFullLoad, tiny), Error);
+  EXPECT_THROW(make_placement(0, LoadLayout::kFullLoad, tiny), Error);
+}
+
+TEST(PlacementTest, PartialLastNodeIsAllowed) {
+  const MachineSpec m = mini_cluster(8, 4);
+  const Placement p = make_placement(10, LoadLayout::kFullLoad, m);
+  EXPECT_EQ(p.nodes, 2);  // 8 + 2
+  const ClusterLayout layout(m, p);
+  EXPECT_EQ(layout.ranks_on_node(0).size(), 8u);
+  EXPECT_EQ(layout.ranks_on_node(1).size(), 2u);
+}
+
+TEST(ClusterLayoutTest, FullLoadFillsSocketsInOrder) {
+  const MachineSpec m = mini_cluster(4, 4);
+  const ClusterLayout layout(
+      m, make_placement(16, LoadLayout::kFullLoad, m));
+  // Node 0: ranks 0-3 socket 0, ranks 4-7 socket 1; node 1: 8-15.
+  EXPECT_EQ(layout.location_of(0).node, 0);
+  EXPECT_EQ(layout.location_of(0).socket, 0);
+  EXPECT_EQ(layout.location_of(5).socket, 1);
+  EXPECT_EQ(layout.location_of(8).node, 1);
+  EXPECT_EQ(layout.ranks_on_socket(0, 0), 4);
+  EXPECT_EQ(layout.ranks_on_socket(0, 1), 4);
+}
+
+TEST(ClusterLayoutTest, HalfLoadOneSocketLeavesSocketOneEmpty) {
+  const MachineSpec m = mini_cluster(4, 4);
+  const ClusterLayout layout(
+      m, make_placement(8, LoadLayout::kHalfLoadOneSocket, m));
+  EXPECT_EQ(layout.nodes(), 2);
+  EXPECT_EQ(layout.ranks_on_socket(0, 0), 4);
+  EXPECT_EQ(layout.ranks_on_socket(0, 1), 0);
+  EXPECT_FALSE(layout.uses_both_sockets());
+}
+
+TEST(ClusterLayoutTest, HalfLoadTwoSocketsSplitsEvenly) {
+  const MachineSpec m = mini_cluster(4, 4);
+  const ClusterLayout layout(
+      m, make_placement(8, LoadLayout::kHalfLoadTwoSockets, m));
+  EXPECT_EQ(layout.nodes(), 2);
+  EXPECT_EQ(layout.ranks_on_socket(0, 0), 2);
+  EXPECT_EQ(layout.ranks_on_socket(0, 1), 2);
+}
+
+TEST(ClusterLayoutTest, LinkClassification) {
+  const MachineSpec m = mini_cluster(4, 4);
+  const ClusterLayout layout(
+      m, make_placement(16, LoadLayout::kFullLoad, m));
+  EXPECT_EQ(layout.link_between(0, 1), LinkClass::kSameSocket);
+  EXPECT_EQ(layout.link_between(0, 5), LinkClass::kCrossSocket);
+  EXPECT_EQ(layout.link_between(0, 9), LinkClass::kCrossNode);
+}
+
+TEST(NetworkModelTest, LinkClassesAreOrdered) {
+  const NetworkModel net{NetworkSpec{}};
+  EXPECT_LT(net.latency(LinkClass::kSameSocket),
+            net.latency(LinkClass::kCrossSocket));
+  EXPECT_LT(net.latency(LinkClass::kCrossSocket),
+            net.latency(LinkClass::kCrossNode));
+  EXPECT_GT(net.bandwidth(LinkClass::kSameSocket),
+            net.bandwidth(LinkClass::kCrossNode));
+}
+
+TEST(NetworkModelTest, TransferTimeIsAffineInBytes) {
+  const NetworkModel net{NetworkSpec{}};
+  const double t0 = net.transfer_time(LinkClass::kCrossNode, 0.0);
+  const double t1 = net.transfer_time(LinkClass::kCrossNode, 1e6);
+  EXPECT_DOUBLE_EQ(t0, net.latency(LinkClass::kCrossNode));
+  EXPECT_NEAR(t1 - t0, 1e6 / net.bandwidth(LinkClass::kCrossNode), 1e-12);
+}
+
+TEST(NetworkModelTest, TreeDepthIsCeilLog2) {
+  EXPECT_EQ(NetworkModel::tree_depth(1), 0);
+  EXPECT_EQ(NetworkModel::tree_depth(2), 1);
+  EXPECT_EQ(NetworkModel::tree_depth(3), 2);
+  EXPECT_EQ(NetworkModel::tree_depth(8), 3);
+  EXPECT_EQ(NetworkModel::tree_depth(9), 4);
+  EXPECT_EQ(NetworkModel::tree_depth(1296), 11);
+}
+
+TEST(NetworkModelTest, CollectiveTimesScaleWithParticipants) {
+  const NetworkModel net{NetworkSpec{}};
+  const double b8 = net.tree_bcast_time(1024, 8, LinkClass::kCrossNode);
+  const double b64 = net.tree_bcast_time(1024, 64, LinkClass::kCrossNode);
+  EXPECT_LT(b8, b64);
+  EXPECT_DOUBLE_EQ(net.tree_bcast_time(1024, 1, LinkClass::kCrossNode), 0.0);
+  EXPECT_DOUBLE_EQ(
+      net.tree_allreduce_time(1024, 8, LinkClass::kCrossNode),
+      2.0 * net.tree_reduce_time(1024, 8, LinkClass::kCrossNode));
+  EXPECT_GT(net.barrier_time(8, LinkClass::kCrossNode), 0.0);
+}
+
+TEST(MiniClusterTest, ScalesDownButKeepsModels) {
+  const MachineSpec m = mini_cluster(4, 4);
+  EXPECT_EQ(m.total_nodes, 4);
+  EXPECT_EQ(m.node.cores(), 8);
+  // Power and network specs are inherited from Marconi.
+  EXPECT_DOUBLE_EQ(m.power.pkg_base_w, marconi_a3().power.pkg_base_w);
+  EXPECT_THROW(mini_cluster(0), Error);
+}
+
+}  // namespace
+}  // namespace plin::hw

@@ -1,0 +1,120 @@
+// Tests for the Jacobi iterative baseline: convergence on diagonally
+// dominant systems, agreement with the direct solvers, distributed ==
+// sequential behaviour, and failure signalling on non-convergent systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwmodel/placement.hpp"
+#include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
+#include "solvers/gepp/sequential.hpp"
+#include "solvers/jacobi/jacobi.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace plin::solvers {
+namespace {
+
+xmpi::RunConfig mini_config(int ranks) {
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(16, 4);
+  config.placement =
+      hw::make_placement(ranks, hw::LoadLayout::kFullLoad, config.machine);
+  return config;
+}
+
+TEST(JacobiSequential, ConvergesToDirectSolution) {
+  const std::size_t n = 64;
+  const linalg::Matrix a = linalg::generate_system_matrix(51, n);
+  const std::vector<double> b = linalg::generate_rhs(51, n);
+  const JacobiResult result = solve_jacobi(a, b, 1e-13, 500);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 1);
+  const std::vector<double> reference = solve_gepp(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.x[i], reference[i], 1e-10);
+  }
+  EXPECT_LT(linalg::scaled_residual(a.view(), result.x, b), 1e-12);
+}
+
+TEST(JacobiSequential, ReportsNonConvergence) {
+  // A non-dominant system Jacobi cannot handle: spectral radius > 1.
+  linalg::Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 3.0; a(1, 1) = 1.0;
+  const JacobiResult result = solve_jacobi(a, {1.0, 1.0}, 1e-12, 50);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 50);
+}
+
+TEST(JacobiSequential, TighterToleranceCostsMoreIterations) {
+  const std::size_t n = 48;
+  const linalg::Matrix a = linalg::generate_system_matrix(52, n);
+  const std::vector<double> b = linalg::generate_rhs(52, n);
+  const JacobiResult loose = solve_jacobi(a, b, 1e-4, 500);
+  const JacobiResult tight = solve_jacobi(a, b, 1e-12, 500);
+  EXPECT_TRUE(loose.converged);
+  EXPECT_TRUE(tight.converged);
+  EXPECT_LT(loose.iterations, tight.iterations);
+}
+
+class PjacobiParam
+    : public ::testing::TestWithParam<std::pair<std::size_t, int>> {};
+
+TEST_P(PjacobiParam, MatchesSequentialExactly) {
+  const auto [n, ranks] = GetParam();
+  const std::uint64_t seed = 53;
+  const linalg::Matrix a = linalg::generate_system_matrix(seed, n);
+  const std::vector<double> b = linalg::generate_rhs(seed, n);
+  const JacobiResult reference = solve_jacobi(a, b, 1e-12, 500);
+
+  JacobiResult distributed;
+  xmpi::Runtime::run(mini_config(ranks), [&](xmpi::Comm& comm) {
+    JacobiOptions options;
+    options.n = n;
+    options.seed = seed;
+    options.tolerance = 1e-12;
+    options.max_iterations = 500;
+    const JacobiResult result = solve_pjacobi(comm, options);
+    if (comm.rank() == 0) distributed = result;
+    // Every rank holds the full converged iterate.
+    EXPECT_EQ(result.iterations, reference.iterations);
+  });
+  EXPECT_EQ(distributed.converged, reference.converged);
+  EXPECT_EQ(distributed.iterations, reference.iterations);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Identical arithmetic order per row: agreement is essentially exact.
+    EXPECT_NEAR(distributed.x[i], reference.x[i], 1e-14);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PjacobiParam,
+    ::testing::Values(std::make_pair(32ul, 1), std::make_pair(32ul, 2),
+                      std::make_pair(64ul, 4), std::make_pair(64ul, 8),
+                      std::make_pair(50ul, 7),    // ragged partition
+                      std::make_pair(10ul, 16))); // more ranks than chunk
+
+TEST(Pjacobi, AdvancesVirtualTimePerIteration) {
+  const xmpi::RunResult short_run =
+      xmpi::Runtime::run(mini_config(4), [](xmpi::Comm& comm) {
+        JacobiOptions options;
+        options.n = 96;
+        options.seed = 54;
+        options.tolerance = 1e-3;
+        (void)solve_pjacobi(comm, options);
+      });
+  const xmpi::RunResult long_run =
+      xmpi::Runtime::run(mini_config(4), [](xmpi::Comm& comm) {
+        JacobiOptions options;
+        options.n = 96;
+        options.seed = 54;
+        options.tolerance = 1e-12;
+        (void)solve_pjacobi(comm, options);
+      });
+  EXPECT_GT(long_run.duration_s, short_run.duration_s);
+  EXPECT_GT(long_run.energy.total_j(), short_run.energy.total_j());
+}
+
+}  // namespace
+}  // namespace plin::solvers

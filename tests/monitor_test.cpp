@@ -1,0 +1,285 @@
+// Tests for the white-box monitoring framework — the paper's contribution:
+// rank grouping, monitoring-rank election, barrier-bracketed PAPI windows,
+// per-processor files, aggregation, overhead, and the campaign harness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "hwmodel/placement.hpp"
+#include "monitor/campaign.hpp"
+#include "monitor/monitoring.hpp"
+#include "monitor/white_box.hpp"
+#include "solvers/ime/imep.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace plin::monitor {
+namespace {
+
+xmpi::RunConfig mini_config(int ranks) {
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(/*nodes=*/16, /*cores_per_socket=*/4);
+  config.placement =
+      hw::make_placement(ranks, hw::LoadLayout::kFullLoad, config.machine);
+  return config;
+}
+
+void run_solver(xmpi::Comm& comm, std::size_t n) {
+  solvers::ImepOptions options;
+  options.n = n;
+  options.seed = 11;
+  (void)solve_imep(comm, options);
+}
+
+TEST(WhiteBoxMonitor, MeasuresSolverEnergyOnEveryNode) {
+  // 16 ranks on 8-core nodes => 2 nodes, 2 monitoring ranks.
+  RunMeasurement on_rank0;
+  xmpi::Runtime::run(mini_config(16), [&](xmpi::Comm& world) {
+    const RunMeasurement m = monitored_run(
+        world, MonitorOptions{},
+        [](xmpi::Comm& comm) { run_solver(comm, 512); });
+    EXPECT_GT(m.duration_s, 0.0);
+    EXPECT_GT(m.total_pkg_j(), 0.0);
+    EXPECT_GT(m.total_dram_j(), 0.0);
+    if (world.rank() == 0) on_rank0 = m;
+  });
+  ASSERT_EQ(on_rank0.nodes.size(), 2u);
+  EXPECT_EQ(on_rank0.nodes[0].node, 0);
+  EXPECT_EQ(on_rank0.nodes[1].node, 1);
+  for (const NodeReport& node : on_rank0.nodes) {
+    EXPECT_GT(node.duration_s(), 0.0);
+    EXPECT_GT(node.pkg_j[0], 0.0);
+    EXPECT_GT(node.pkg_j[1], 0.0);  // full load: both sockets active
+    EXPECT_GT(node.total_j(), 0.0);
+  }
+}
+
+TEST(WhiteBoxMonitor, MonitoringRankIsHighestOfEachNode) {
+  RunMeasurement on_rank0;
+  xmpi::Runtime::run(mini_config(16), [&](xmpi::Comm& world) {
+    const RunMeasurement m = monitored_run(
+        world, MonitorOptions{},
+        [](xmpi::Comm& comm) { run_solver(comm, 48); });
+    if (world.rank() == 0) on_rank0 = m;
+  });
+  ASSERT_EQ(on_rank0.nodes.size(), 2u);
+  EXPECT_EQ(on_rank0.nodes[0].monitoring_world_rank, 7);
+  EXPECT_EQ(on_rank0.nodes[1].monitoring_world_rank, 15);
+}
+
+TEST(WhiteBoxMonitor, SummaryIsReplicatedOnEveryRank) {
+  std::vector<double> durations(8, -1.0);
+  std::vector<double> totals(8, -1.0);
+  xmpi::Runtime::run(mini_config(8), [&](xmpi::Comm& world) {
+    const RunMeasurement m = monitored_run(
+        world, MonitorOptions{},
+        [](xmpi::Comm& comm) { run_solver(comm, 256); });
+    durations[static_cast<std::size_t>(world.rank())] = m.duration_s;
+    totals[static_cast<std::size_t>(world.rank())] = m.total_j();
+  });
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_DOUBLE_EQ(durations[static_cast<std::size_t>(r)], durations[0]);
+    EXPECT_DOUBLE_EQ(totals[static_cast<std::size_t>(r)], totals[0]);
+  }
+}
+
+TEST(WhiteBoxMonitor, MeasuredEnergyIsWithinRunTotal) {
+  // The monitored window is a subset of the run, so its energy must be
+  // positive, below the ledger's full-run total, and still the lion's
+  // share (the solver dominates).
+  double measured = 0.0;
+  const xmpi::RunResult run =
+      xmpi::Runtime::run(mini_config(8), [&](xmpi::Comm& world) {
+        const RunMeasurement m = monitored_run(
+            world, MonitorOptions{},
+            [](xmpi::Comm& comm) { run_solver(comm, 512); });
+        if (world.rank() == 0) measured = m.total_j();
+      });
+  EXPECT_GT(measured, 0.0);
+  EXPECT_LE(measured, run.energy.total_j());
+  EXPECT_GT(measured, 0.5 * run.energy.total_j());
+}
+
+TEST(WhiteBoxMonitor, WritesPerProcessorFiles) {
+  const std::string dir = ::testing::TempDir() + "powerlin_monitor_files";
+  std::filesystem::remove_all(dir);
+  xmpi::Runtime::run(mini_config(16), [&](xmpi::Comm& world) {
+    (void)monitored_run(world, MonitorOptions{"powercap", dir},
+                        [](xmpi::Comm& comm) { run_solver(comm, 48); });
+  });
+  for (int node = 0; node < 2; ++node) {
+    const std::string path = dir + "/processor_" + std::to_string(node) +
+                             ".txt";
+    ASSERT_TRUE(std::filesystem::exists(path)) << path;
+    std::ifstream is(path);
+    std::string content((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_NE(content.find("monitored_duration_s"), std::string::npos);
+    EXPECT_NE(content.find("powercap:::ENERGY_UJ:ZONE0"), std::string::npos);
+    EXPECT_NE(content.find("powercap:::ENERGY_UJ:ZONE1_SUBZONE0"),
+              std::string::npos);
+    EXPECT_NE(content.find("package_0_J"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WhiteBoxMonitor, OverheadIsSmall) {
+  // The paper accepts "a slight overhead compromise due to
+  // synchronization". Quantify it: monitored duration must exceed the raw
+  // run by only a small factor.
+  const auto raw = xmpi::Runtime::run(mini_config(8), [](xmpi::Comm& world) {
+    run_solver(world, 160);
+  });
+  const auto monitored =
+      xmpi::Runtime::run(mini_config(8), [](xmpi::Comm& world) {
+        (void)monitored_run(world, MonitorOptions{},
+                            [](xmpi::Comm& comm) { run_solver(comm, 160); });
+      });
+  EXPECT_GT(monitored.duration_s, raw.duration_s);
+  EXPECT_LT(monitored.duration_s, 1.10 * raw.duration_s);
+}
+
+TEST(WhiteBoxMonitor, BlackBoxVariantAlsoMeasures) {
+  xmpi::Runtime::run(mini_config(8), [&](xmpi::Comm& world) {
+    const RunMeasurement m = blackbox_run(
+        world, MonitorOptions{},
+        [](xmpi::Comm& comm) { run_solver(comm, 384); });
+    EXPECT_GT(m.total_j(), 0.0);
+    EXPECT_GT(m.duration_s, 0.0);
+  });
+}
+
+TEST(WhiteBoxMonitor, SingleNodeSingleRankWorks) {
+  xmpi::Runtime::run(mini_config(1), [&](xmpi::Comm& world) {
+    const RunMeasurement m = monitored_run(
+        world, MonitorOptions{},
+        [](xmpi::Comm& comm) { run_solver(comm, 448); });
+    EXPECT_GT(m.total_j(), 0.0);
+  });
+}
+
+TEST(WhiteBoxMonitor, PhasesPartitionTheTotal) {
+  // Two phases: an allocation-style memory sweep, then the solver. The
+  // per-phase windows must tile the total (durations and energies add up)
+  // and the execution phase must dominate (the paper's §5.3 observation).
+  PhasedMeasurement on_rank0;
+  xmpi::Runtime::run(mini_config(8), [&](xmpi::Comm& world) {
+    std::vector<Phase> phases;
+    phases.push_back(Phase{"allocation", [](xmpi::Comm& comm) {
+                             comm.memory_touch(8.0 * 512 * 512 / 8);
+                           }});
+    phases.push_back(
+        Phase{"execution", [](xmpi::Comm& comm) { run_solver(comm, 512); }});
+    const PhasedMeasurement m =
+        monitored_run_phases(world, MonitorOptions{}, std::move(phases));
+    if (world.rank() == 0) on_rank0 = m;
+  });
+  ASSERT_EQ(on_rank0.phases.size(), 2u);
+  EXPECT_EQ(on_rank0.phases[0].first, "allocation");
+  EXPECT_EQ(on_rank0.phases[1].first, "execution");
+
+  const RunMeasurement& alloc = on_rank0.phases[0].second;
+  const RunMeasurement& exec = on_rank0.phases[1].second;
+  EXPECT_GT(exec.total_j(), 0.0);
+  EXPECT_GT(exec.duration_s, alloc.duration_s);
+  EXPECT_GT(exec.total_j(), alloc.total_j());
+  // Tiling: phase durations/energies sum to the total within the RAPL
+  // millisecond quantization.
+  EXPECT_NEAR(alloc.duration_s + exec.duration_s, on_rank0.total.duration_s,
+              0.002);
+  EXPECT_NEAR(alloc.total_j() + exec.total_j(), on_rank0.total.total_j(),
+              0.15 * on_rank0.total.total_j() + 0.3);
+}
+
+TEST(WhiteBoxMonitor, PhasesRejectEmptyList) {
+  xmpi::Runtime::run(mini_config(2), [&](xmpi::Comm& world) {
+    EXPECT_THROW(monitored_run_phases(world, MonitorOptions{}, {}), Error);
+  });
+}
+
+TEST(MonitoringSessionTest, MisuseIsRejected) {
+  xmpi::Runtime::run(mini_config(1), [&](xmpi::Comm& world) {
+    MonitoringSession session;
+    EXPECT_THROW(session.stop(world), Error);  // not started
+    session.start(world);
+    EXPECT_THROW(session.start(world), Error);  // double start
+    session.stop(world);
+    session.terminate();
+    session.terminate();  // idempotent
+  });
+}
+
+TEST(MonitoringSessionTest, UnknownComponentIsRejected) {
+  xmpi::Runtime::run(mini_config(1), [&](xmpi::Comm& world) {
+    MonitoringSession session;
+    EXPECT_THROW(session.start(world, "no-such-component"), Error);
+  });
+}
+
+TEST(MonitoringSessionTest, RaplComponentWorksToo) {
+  xmpi::Runtime::run(mini_config(1), [&](xmpi::Comm& world) {
+    MonitoringSession session;
+    session.start(world, "rapl");
+    world.compute(xmpi::ComputeCost{6.72e8, 0.0, 1.0});  // 10 ms
+    session.stop(world);
+    // rapl counts nanojoules; samples must be positive.
+    ASSERT_FALSE(session.samples().empty());
+    EXPECT_GT(session.samples()[0].value, 0);
+  });
+}
+
+TEST(Campaign, RunsJobAndChecksResiduals) {
+  const hw::MachineSpec machine = hw::mini_cluster(8, 4);
+  JobSpec spec;
+  spec.algorithm = perfsim::Algorithm::kIme;
+  spec.n = 512;
+  spec.ranks = 4;
+  spec.repetitions = 2;
+  const JobResult result = run_job(machine, spec);
+  ASSERT_EQ(result.repetitions.size(), 2u);
+  EXPECT_GT(result.mean_duration_s(), 0.0);
+  EXPECT_GT(result.mean_total_j(), 0.0);
+  EXPECT_GT(result.mean_power_w(), 0.0);
+  EXPECT_LT(result.worst_residual(), 1e-12);
+  // Determinism: repetitions of the same seeded job measure identically.
+  EXPECT_DOUBLE_EQ(result.repetitions[0].measurement.duration_s,
+                   result.repetitions[1].measurement.duration_s);
+}
+
+TEST(Campaign, ScalapackJobWorks) {
+  const hw::MachineSpec machine = hw::mini_cluster(8, 4);
+  JobSpec spec;
+  spec.algorithm = perfsim::Algorithm::kScalapack;
+  spec.n = 256;
+  spec.ranks = 4;
+  spec.nb = 16;
+  spec.repetitions = 1;
+  const JobResult result = run_job(machine, spec);
+  EXPECT_LT(result.worst_residual(), 1e-12);
+}
+
+TEST(Campaign, TableAndCsvRender) {
+  const hw::MachineSpec machine = hw::mini_cluster(8, 4);
+  JobSpec spec;
+  spec.algorithm = perfsim::Algorithm::kIme;
+  spec.n = 256;
+  spec.ranks = 2;
+  spec.repetitions = 1;
+  const JobResult result = run_job(machine, spec);
+  const std::vector<JobResult> jobs = {result};
+
+  std::ostringstream table;
+  print_campaign_table(table, jobs);
+  EXPECT_NE(table.str().find("IMe"), std::string::npos);
+  EXPECT_NE(table.str().find("duration"), std::string::npos);
+
+  std::ostringstream csv;
+  write_campaign_csv(csv, jobs);
+  EXPECT_NE(csv.str().find("algorithm,n,ranks"), std::string::npos);
+  EXPECT_NE(csv.str().find("IMe,256,2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plin::monitor

@@ -1,0 +1,133 @@
+// Tests for the support utilities: formatting, tables, CSV, CLI, RNG.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+
+namespace plin {
+namespace {
+
+TEST(UnitsTest, EnergyAndPowerFormatting) {
+  EXPECT_EQ(format_energy(1234.0), "1.23 kJ");
+  EXPECT_EQ(format_energy(0.5), "500 mJ");
+  EXPECT_EQ(format_energy(2.5e6), "2.50 MJ");
+  EXPECT_EQ(format_power(150.0), "150 W");
+  EXPECT_EQ(format_bytes(2048.0), "2.00 KiB");
+}
+
+TEST(UnitsTest, DurationFormatting) {
+  EXPECT_EQ(format_duration(0.0123), "12.3 ms");
+  EXPECT_EQ(format_duration(4.56), "4.56 s");
+  EXPECT_EQ(format_duration(125.0), "2m 05.0s");
+}
+
+TEST(UnitsTest, RelDiffIsSymmetricAndSafe) {
+  EXPECT_DOUBLE_EQ(rel_diff(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(rel_diff(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(rel_diff(5.0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(rel_diff(0.0, 0.0), 0.0);
+}
+
+TEST(UnitsTest, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1.5"});
+  table.add_rule();
+  table.add_row({"beta", "20"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numeric cells are right-aligned: "  1.5" not "1.5  ".
+  EXPECT_NE(out.find(" 1.5 |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, RejectsRaggedRows) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), Error);
+}
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+TEST(CliTest, ParsesFlagsAndPositionals) {
+  // A bare flag followed by a non-flag token would consume it as a value
+  // (the documented "--name value" form), so boolean flags go last or use
+  // the = form.
+  const char* argv[] = {"prog",      "--n=128",   "--ranks", "16",
+                        "input.plm", "--verbose"};
+  const CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  EXPECT_EQ(args.get_int("ranks", 0), 16);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_FALSE(args.get_bool("quiet", false));
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.get_double("n", 0.0), 128.0);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.plm");
+  EXPECT_THROW(args.get_int("verbose", 0), Error);  // "true" is not an int
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = c.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = c.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+    EXPECT_LT(c.next_below(10), 10u);
+  }
+  // Different seeds diverge.
+  Rng d(8);
+  EXPECT_NE(c.next_u64(), d.next_u64());
+}
+
+TEST(RngTest, RoughlyUniformMean) {
+  Rng rng(99);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(ErrorTest, CheckMacrosThrowWithContext) {
+  try {
+    PLIN_CHECK_MSG(1 == 2, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("support_test.cpp"),
+              std::string::npos);
+  }
+  EXPECT_NO_THROW(PLIN_CHECK(true));
+}
+
+}  // namespace
+}  // namespace plin

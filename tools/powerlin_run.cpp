@@ -1,0 +1,147 @@
+// powerlin_run — command-line driver for one-off energy profiling runs.
+//
+//   powerlin_run --tier numeric --algorithm ime --n 512 --ranks 16
+//   powerlin_run --tier replay  --algorithm scalapack --n 34560 --ranks 1296
+//
+// Flags:
+//   --tier       numeric (execute on xmpi, default) | replay (perfsim)
+//   --algorithm  ime (default) | scalapack | jacobi (numeric only)
+//   --n          matrix dimension (default 512 numeric / 17280 replay)
+//   --ranks      MPI ranks (default 16 numeric / 576 replay)
+//   --layout     full (default) | half1 | half2
+//   --nb         ScaLAPACK block size (default 64; 32 for numeric)
+//   --seed       generator seed (default 1)
+//   --reps       numeric repetitions (default 1)
+//   --tol        Jacobi tolerance (default 1e-12)
+//   --out        directory for per-processor monitor files (numeric)
+#include <iostream>
+
+#include "hwmodel/machine.hpp"
+#include "hwmodel/placement.hpp"
+#include "monitor/campaign.hpp"
+#include "perfsim/simulator.hpp"
+#include "solvers/jacobi/jacobi.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+#include "support/units.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace {
+
+using namespace plin;
+
+hw::LoadLayout parse_layout(const std::string& name) {
+  if (name == "full") return hw::LoadLayout::kFullLoad;
+  if (name == "half1") return hw::LoadLayout::kHalfLoadOneSocket;
+  if (name == "half2") return hw::LoadLayout::kHalfLoadTwoSockets;
+  throw InvalidArgument("unknown --layout (use full | half1 | half2): " +
+                        name);
+}
+
+int run_replay(const CliArgs& args) {
+  const hw::MachineSpec machine = hw::marconi_a3();
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 17280));
+  const int ranks = static_cast<int>(args.get_int("ranks", 576));
+  const hw::LoadLayout layout = parse_layout(args.get("layout", "full"));
+  const std::string algorithm = args.get("algorithm", "ime");
+  const std::size_t nb = static_cast<std::size_t>(args.get_int("nb", 64));
+  perfsim::Workload workload;
+  workload.n = n;
+  workload.nb = nb;
+  if (algorithm == "scalapack") {
+    workload.algorithm = perfsim::Algorithm::kScalapack;
+  } else if (algorithm == "jacobi") {
+    workload.algorithm = perfsim::Algorithm::kJacobi;
+    workload.iterations = static_cast<int>(args.get_int("iterations", 100));
+  } else {
+    workload.algorithm = perfsim::Algorithm::kIme;
+  }
+  const perfsim::Algorithm alg = workload.algorithm;
+
+  const perfsim::Simulator simulator(machine);
+  const hw::Placement placement = hw::make_placement(ranks, layout, machine);
+  const perfsim::Prediction p = simulator.predict(workload, placement);
+
+  std::cout << "Replay-tier prediction on " << machine.name << ": "
+            << perfsim::to_string(alg) << ", n=" << n << ", "
+            << placement.describe() << "\n\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"duration", format_duration(p.duration_s)});
+  table.add_row({"PKG energy (socket 0)", format_energy(p.pkg_j[0])});
+  table.add_row({"PKG energy (socket 1)", format_energy(p.pkg_j[1])});
+  table.add_row({"DRAM energy (socket 0)", format_energy(p.dram_j[0])});
+  table.add_row({"DRAM energy (socket 1)", format_energy(p.dram_j[1])});
+  table.add_row({"total energy", format_energy(p.total_j())});
+  table.add_row({"average power", format_power(p.avg_power_w())});
+  table.add_row({"DRAM power", format_power(p.dram_power_w())});
+  table.add_row({"critical-path compute", format_duration(p.compute_s)});
+  table.add_row({"critical-path comm", format_duration(p.comm_s)});
+  table.print(std::cout);
+  return 0;
+}
+
+int run_numeric(const CliArgs& args) {
+  const hw::MachineSpec machine = hw::mini_cluster(32, 4);
+  const std::size_t n = static_cast<std::size_t>(args.get_int("n", 512));
+  const int ranks = static_cast<int>(args.get_int("ranks", 16));
+  const hw::LoadLayout layout = parse_layout(args.get("layout", "full"));
+  const std::string algorithm = args.get("algorithm", "ime");
+
+  if (algorithm == "jacobi") {
+    xmpi::RunConfig config;
+    config.machine = machine;
+    config.placement = hw::make_placement(ranks, layout, machine);
+    solvers::JacobiResult result;
+    const xmpi::RunResult run =
+        xmpi::Runtime::run(config, [&](xmpi::Comm& comm) {
+          solvers::JacobiOptions options;
+          options.n = n;
+          options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+          options.tolerance = args.get_double("tol", 1e-12);
+          options.dominance = args.get_double("dominance", 0.0);
+          const solvers::JacobiResult r = solve_pjacobi(comm, options);
+          if (comm.rank() == 0) result = r;
+        });
+    std::cout << "Jacobi: " << (result.converged ? "converged" : "DID NOT "
+                                                                 "converge")
+              << " in " << result.iterations << " iterations, duration "
+              << format_duration(run.duration_s) << ", energy "
+              << format_energy(run.energy.total_j()) << "\n";
+    return result.converged ? 0 : 1;
+  }
+
+  monitor::JobSpec spec;
+  spec.algorithm = algorithm == "scalapack" ? perfsim::Algorithm::kScalapack
+                                            : perfsim::Algorithm::kIme;
+  spec.n = n;
+  spec.ranks = ranks;
+  spec.layout = layout;
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  spec.nb = static_cast<std::size_t>(args.get_int("nb", 32));
+  spec.repetitions = static_cast<int>(args.get_int("reps", 1));
+
+  monitor::MonitorOptions options;
+  options.output_dir = args.get("out", "");
+
+  const monitor::JobResult result =
+      monitor::run_job(machine, spec, options);
+  const std::vector<monitor::JobResult> jobs = {result};
+  monitor::print_campaign_table(std::cout, jobs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    const std::string tier = args.get("tier", "numeric");
+    if (tier == "replay") return run_replay(args);
+    if (tier == "numeric") return run_numeric(args);
+    std::cerr << "unknown --tier (use numeric | replay): " << tier << "\n";
+    return 1;
+  } catch (const plin::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
