@@ -1,17 +1,297 @@
-// google-benchmark microbenchmarks for the numeric kernels: GEMM,
-// triangular solves, the IMe level update, and the two sequential solvers.
-// These measure HOST throughput of the real arithmetic (the virtual-time
-// cost model is exercised by the figure benches).
+// Kernel perf-regression harness + google-benchmark microbenchmarks.
+//
+// Default mode runs the regression harness: it sweeps GEMM shapes (square,
+// panel-shaped, KC-thin trailing-update) and the triangular solves over
+// BOTH kernel paths — the retained naive reference and the cache-blocked
+// packed engine — cross-checks their results, prints a GFLOP/s table and
+// writes machine-readable `BENCH_kernels.json` so subsequent PRs have a
+// perf trajectory to compare against.
+//
+// Flags:
+//   --smoke         tiny sizes (CI smoke mode)
+//   --out=PATH      JSON output path (default BENCH_kernels.json)
+//   --check         exit nonzero unless blocked >= naive GFLOP/s on the
+//                   largest square GEMM shape of the sweep
+//   --gbench        run the original google-benchmark microbenchmarks
+//                   (remaining argv is passed through to the library)
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "linalg/generate.hpp"
+#include "linalg/kernel_config.hpp"
 #include "linalg/kernels.hpp"
 #include "solvers/gepp/sequential.hpp"
 #include "solvers/ime/sequential.hpp"
+#include "support/rng.hpp"
 
 namespace {
 
 using namespace plin;
+
+// ---- regression harness ----------------------------------------------------
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  linalg::Matrix m(rows, cols);
+  Rng rng(seed);
+  for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+template <typename F>
+double seconds_of(F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-N wall-clock of `body` (one untimed warmup; N adapts so cheap
+/// shapes are sampled more often than half-second ones).
+template <typename F>
+double best_seconds(F&& body) {
+  const double first = seconds_of(body);
+  int reps = 2;
+  if (first < 0.05) reps = 8;
+  if (first > 0.5) reps = 1;
+  double best = first;
+  for (int r = 0; r < reps; ++r) best = std::min(best, seconds_of(body));
+  return best;
+}
+
+struct GemmResult {
+  std::string shape;
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  double gflops_naive = 0.0;
+  double gflops_blocked = 0.0;
+  double max_abs_diff = 0.0;
+
+  double speedup() const {
+    return gflops_naive > 0.0 ? gflops_blocked / gflops_naive : 0.0;
+  }
+};
+
+GemmResult measure_gemm(const std::string& shape, std::size_t m, std::size_t n,
+                        std::size_t k) {
+  const linalg::Matrix a = random_matrix(m, k, 101 + m + n + k);
+  const linalg::Matrix b = random_matrix(k, n, 202 + m + n + k);
+  const linalg::Matrix c0 = random_matrix(m, n, 303 + m + n + k);
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+
+  linalg::Matrix c_naive = c0;
+  linalg::Matrix c_blocked = c0;
+  linalg::dgemm_naive(1.0, a.view(), b.view(), 0.5, c_naive.view());
+  linalg::dgemm_blocked(1.0, a.view(), b.view(), 0.5, c_blocked.view());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < m * n; ++i) {
+    diff = std::max(diff,
+                    std::fabs(c_naive.flat()[i] - c_blocked.flat()[i]));
+  }
+
+  linalg::Matrix c = c0;
+  const double t_naive = best_seconds([&] {
+    linalg::dgemm_naive(1.0, a.view(), b.view(), 0.5, c.view());
+    benchmark::DoNotOptimize(c.flat().data());
+  });
+  const double t_blocked = best_seconds([&] {
+    linalg::dgemm_blocked(1.0, a.view(), b.view(), 0.5, c.view());
+    benchmark::DoNotOptimize(c.flat().data());
+  });
+
+  GemmResult result;
+  result.shape = shape;
+  result.m = m;
+  result.n = n;
+  result.k = k;
+  result.gflops_naive = flops / t_naive * 1e-9;
+  result.gflops_blocked = flops / t_blocked * 1e-9;
+  result.max_abs_diff = diff;
+  return result;
+}
+
+struct TrsmResult {
+  std::string kernel;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  double gflops_naive = 0.0;
+  double gflops_blocked = 0.0;
+  double max_abs_diff = 0.0;
+};
+
+TrsmResult measure_trsm_lower(std::size_t n, std::size_t m) {
+  linalg::Matrix l = random_matrix(n, n, 404 + n);
+  // Scale the strict lower triangle down so the solve is well conditioned
+  // (unit-lower with O(1) entries grows the solution exponentially in n,
+  // which would make the naive/blocked cross-check meaningless).
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) l(i, j) *= scale;
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+    l(i, i) = 1.0;
+  }
+  const linalg::Matrix b0 = random_matrix(n, m, 505 + n);
+  const double flops = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(m);
+
+  linalg::Matrix x_naive = b0;
+  linalg::Matrix x_blocked = b0;
+  linalg::dtrsm_lower_unit_naive(l.view(), x_naive.view());
+  linalg::dtrsm_lower_unit_blocked(l.view(), x_blocked.view());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < n * m; ++i) {
+    diff = std::max(diff,
+                    std::fabs(x_naive.flat()[i] - x_blocked.flat()[i]));
+  }
+
+  linalg::Matrix x(n, m);
+  const double t_naive = best_seconds([&] {
+    x = b0;
+    linalg::dtrsm_lower_unit_naive(l.view(), x.view());
+    benchmark::DoNotOptimize(x.flat().data());
+  });
+  const double t_blocked = best_seconds([&] {
+    x = b0;
+    linalg::dtrsm_lower_unit_blocked(l.view(), x.view());
+    benchmark::DoNotOptimize(x.flat().data());
+  });
+
+  TrsmResult result;
+  result.kernel = "dtrsm_lower_unit";
+  result.n = n;
+  result.m = m;
+  result.gflops_naive = flops / t_naive * 1e-9;
+  result.gflops_blocked = flops / t_blocked * 1e-9;
+  result.max_abs_diff = diff;
+  return result;
+}
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+bool write_json(const std::string& path, bool smoke,
+                const std::vector<GemmResult>& gemm,
+                const std::vector<TrsmResult>& trsm) {
+  const linalg::KernelConfig& cfg = linalg::active_kernel_config();
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"powerlin-bench-kernels/v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"kernel_config\": {\"mc\": " << cfg.mc << ", \"kc\": " << cfg.kc
+      << ", \"nc\": " << cfg.nc << ", \"mr\": " << cfg.mr << ", \"nr\": "
+      << cfg.nr << ", \"trsm_block\": " << cfg.trsm_block << "},\n"
+      << "  \"results\": [\n";
+  bool first = true;
+  for (const GemmResult& r : gemm) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"kernel\": \"dgemm\", \"shape\": \"" << r.shape
+        << "\", \"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": " << r.k
+        << ", \"gflops_naive\": " << fmt(r.gflops_naive)
+        << ", \"gflops_blocked\": " << fmt(r.gflops_blocked)
+        << ", \"speedup\": " << fmt(r.speedup())
+        << ", \"max_abs_diff\": " << fmt(r.max_abs_diff) << "}";
+  }
+  for (const TrsmResult& r : trsm) {
+    if (!first) out << ",\n";
+    first = false;
+    const double speedup =
+        r.gflops_naive > 0.0 ? r.gflops_blocked / r.gflops_naive : 0.0;
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \"square\""
+        << ", \"m\": " << r.n << ", \"n\": " << r.m << ", \"k\": " << r.n
+        << ", \"gflops_naive\": " << fmt(r.gflops_naive)
+        << ", \"gflops_blocked\": " << fmt(r.gflops_blocked)
+        << ", \"speedup\": " << fmt(speedup)
+        << ", \"max_abs_diff\": " << fmt(r.max_abs_diff) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out.flush());
+}
+
+int run_harness(bool smoke, bool check, const std::string& out_path) {
+  // Shapes mirror how the solvers drive GEMM: square (whole-problem),
+  // panel-shaped (tall-skinny C, the L21 * U12 panel product) and KC-thin
+  // trailing updates (rank-nb, the dgetrf hot loop).
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{64, 128, 192}
+            : std::vector<std::size_t>{128, 256, 384, 512};
+  const std::size_t nb = 64;
+
+  std::vector<GemmResult> gemm;
+  for (std::size_t s : sizes) gemm.push_back(measure_gemm("square", s, s, s));
+  for (std::size_t s : sizes) {
+    if (s <= nb) continue;
+    gemm.push_back(measure_gemm("panel", s, nb, nb));
+    gemm.push_back(measure_gemm("trailing", s, s, nb));
+  }
+
+  std::vector<TrsmResult> trsm;
+  const std::size_t trsm_n = sizes.back();
+  trsm.push_back(measure_trsm_lower(trsm_n, trsm_n));
+
+  std::printf("%-18s %6s %6s %6s | %12s %12s %8s %12s\n", "kernel/shape", "m",
+              "n", "k", "naive GF/s", "blocked GF/s", "speedup",
+              "max|diff|");
+  const GemmResult* largest_square = nullptr;
+  bool numerics_ok = true;
+  for (const GemmResult& r : gemm) {
+    std::printf("dgemm/%-12s %6zu %6zu %6zu | %12.3f %12.3f %7.2fx %12.3g\n",
+                r.shape.c_str(), r.m, r.n, r.k, r.gflops_naive,
+                r.gflops_blocked, r.speedup(), r.max_abs_diff);
+    // Paths may round partial sums differently; anything beyond an
+    // eps * k envelope is a real bug.
+    if (r.max_abs_diff > 1e-12 * static_cast<double>(r.k) * 16.0) {
+      numerics_ok = false;
+    }
+    if (r.shape == "square" &&
+        (largest_square == nullptr || r.m > largest_square->m)) {
+      largest_square = &r;
+    }
+  }
+  for (const TrsmResult& r : trsm) {
+    std::printf("%-18s %6zu %6zu %6s | %12.3f %12.3f %7.2fx %12.3g\n",
+                r.kernel.c_str(), r.n, r.m, "-", r.gflops_naive,
+                r.gflops_blocked, r.gflops_blocked / r.gflops_naive,
+                r.max_abs_diff);
+  }
+
+  if (!write_json(out_path, smoke, gemm, trsm)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!numerics_ok) {
+    std::fprintf(stderr, "FAIL: naive/blocked results diverged\n");
+    return 1;
+  }
+  if (check && largest_square != nullptr &&
+      largest_square->gflops_blocked < largest_square->gflops_naive) {
+    std::fprintf(stderr,
+                 "FAIL: blocked dgemm (%.3f GF/s) slower than naive "
+                 "(%.3f GF/s) at %zu^3\n",
+                 largest_square->gflops_blocked, largest_square->gflops_naive,
+                 largest_square->m);
+    return 1;
+  }
+  return 0;
+}
+
+// ---- google-benchmark microbenchmarks (run with --gbench) ------------------
 
 void BM_Dgemm(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -27,6 +307,21 @@ void BM_Dgemm(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_Dgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DgemmNaive(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::Matrix a = linalg::generate_system_matrix(1, n);
+  const linalg::Matrix b = linalg::generate_system_matrix(2, n);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::dgemm_naive(1.0, a.view(), b.view(), 0.0, c.view());
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DgemmNaive)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_TrsmLowerUnit(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -113,4 +408,44 @@ BENCHMARK(BM_GenerateSystem)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  bool gbench = false;
+  std::string out_path = "BENCH_kernels.json";
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--gbench") == 0) {
+      gbench = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (gbench) {
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  // Harness mode takes no positional arguments; reject typos instead of
+  // silently running a different sweep than the user asked for.
+  if (passthrough.size() > 1) {
+    std::fprintf(stderr,
+                 "error: unknown argument '%s' (expected --smoke --check "
+                 "--out=PATH --gbench)\n",
+                 passthrough[1]);
+    return 2;
+  }
+  return run_harness(smoke, check, out_path);
+}

@@ -1,13 +1,31 @@
 // BLAS-lite kernels on row-major views — exactly what the two solvers need:
-// level-1 helpers, rank-1 update, triangular solves and a blocked GEMM.
+// level-1 helpers, rank-1 update, triangular solves and GEMM.
+//
+// Two code paths back the level-2/3 kernels:
+//   * a cache-blocked engine (default): GEMM packs MC x KC panels of A and
+//     KC x NC panels of B into contiguous buffers and runs an unrolled
+//     MR x NR register-tiled micro-kernel; the triangular solves invert
+//     small diagonal blocks and push the bulk through GEMM; dger tiles its
+//     columns. Block sizes come from KernelConfig (kernel_config.hpp).
+//   * the retained naive reference path (`*_naive`), used for testing, for
+//     the perf-regression harness, and via PLIN_KERNEL_PATH=naive.
 //
 // Each kernel documents its flop count; the distributed solvers charge
-// those counts to xmpi's virtual clock via Comm::compute.
+// those counts to xmpi's virtual clock via Comm::compute. Charged flops are
+// a property of the documented formulas, NOT of the host path executed, so
+// simulated durations/energy/traffic are identical under either path.
+//
+// IEEE semantics: no kernel short-circuits on zero operands, so NaN and Inf
+// propagate exactly as the arithmetic dictates (0 * Inf = NaN is produced,
+// never skipped). The only BLAS-style quick returns are on the *scalars*:
+// alpha == 0 means A/B are not referenced and beta == 0 overwrites C even
+// if it held NaNs — both documented BLAS behavior.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
+#include "linalg/kernel_config.hpp"
 #include "linalg/matrix.hpp"
 
 namespace plin::linalg {
@@ -18,30 +36,62 @@ void daxpy(double alpha, std::span<const double> x, std::span<double> y);
 /// x *= alpha.
 void dscal(double alpha, std::span<double> x);
 
+/// Dot product x . y (sizes must match).
+/// Flops: 2 * x.size().
+double ddot(std::span<const double> x, std::span<const double> y);
+
 /// Index of the element with the largest absolute value (first on ties);
 /// n must be > 0.
+///
+/// NaN contract (the pivoting contract the blocked panel factorization
+/// relies on): NaN entries are never selected — comparisons against NaN are
+/// false, so a NaN can neither become nor displace the running maximum. If
+/// every entry is NaN the index of the first element (0) is returned.
 std::size_t idamax(std::span<const double> x);
 
 /// Swap two equal-length vectors element-wise.
 void dswap(std::span<double> x, std::span<double> y);
 
 /// A += alpha * x * y^T  (rank-1 update; A is rows(x) x cols(y)).
+/// Column-tiled so the active y chunk stays cache-resident.
 /// Flops: 2 * x.size() * y.size().
 void dger(double alpha, std::span<const double> x, std::span<const double> y,
           MatrixView a);
 
 /// C = alpha * A * B + beta * C.
+/// Dispatches to the packed blocked engine (or the naive path when the
+/// active KernelConfig says so / the problem is tiny).
 /// Flops: 2 * M * N * K (+ M*N for the beta scaling).
 void dgemm(double alpha, ConstMatrixView a, ConstMatrixView b, double beta,
            MatrixView c);
 
 /// Solve L * X = B in place (B := L^{-1} B) where L is unit lower
-/// triangular. Flops: rows(B)^2 * cols(B).
+/// triangular. Blocked: diagonal blocks are inverted and both the inverse
+/// application and the trailing updates run through dgemm.
+/// Flops: rows(B)^2 * cols(B).
 void dtrsm_lower_unit(ConstMatrixView l, MatrixView b);
 
 /// Solve U * X = B in place (B := U^{-1} B) where U is upper triangular
-/// with general diagonal. Flops: rows(B)^2 * cols(B) + rows*cols divisions.
+/// with general diagonal. Blocked like dtrsm_lower_unit.
+/// Flops: rows(B)^2 * cols(B) + rows*cols divisions.
 void dtrsm_upper(ConstMatrixView u, MatrixView b);
+
+// ---- forced-path entry points ----------------------------------------------
+// The naive references are the original triple-loop kernels (kept honest:
+// no zero-skip branches). The *_blocked entry points always run the engine
+// regardless of the active config's `blocked` flag or size heuristics —
+// the tests and the perf harness compare the two directly.
+
+void dgemm_naive(double alpha, ConstMatrixView a, ConstMatrixView b,
+                 double beta, MatrixView c);
+void dgemm_blocked(double alpha, ConstMatrixView a, ConstMatrixView b,
+                   double beta, MatrixView c);
+void dtrsm_lower_unit_naive(ConstMatrixView l, MatrixView b);
+void dtrsm_lower_unit_blocked(ConstMatrixView l, MatrixView b);
+void dtrsm_upper_naive(ConstMatrixView u, MatrixView b);
+void dtrsm_upper_blocked(ConstMatrixView u, MatrixView b);
+void dger_naive(double alpha, std::span<const double> x,
+                std::span<const double> y, MatrixView a);
 
 /// Apply row interchanges: for i in [0, pivots.size()), swap rows i and
 /// pivots[i] of A (LAPACK dlaswp with forward order, 0-based pivots).

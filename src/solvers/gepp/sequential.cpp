@@ -15,6 +15,7 @@ namespace {
 void factor_panel(linalg::MatrixView a, std::size_t k, std::size_t w,
                   std::vector<std::size_t>& pivots) {
   const std::size_t n = a.rows();
+  std::vector<double> multipliers;
   for (std::size_t j = k; j < k + w; ++j) {
     // Pivot search in column j, rows j..n.
     std::size_t piv = j;
@@ -30,15 +31,21 @@ void factor_panel(linalg::MatrixView a, std::size_t k, std::size_t w,
     pivots[j] = piv;
     if (piv != j) linalg::dswap(a.row(j), a.row(piv));
 
+    // Scale the multipliers below the diagonal, then update only within the
+    // panel via the engine's rank-1 kernel (the multiplier column is
+    // strided, so it is gathered once); the trailing update happens per
+    // block in lu_factor_blocked.
     const double inv = 1.0 / a(j, j);
+    const std::size_t below = n - j - 1;
+    multipliers.resize(below);
     for (std::size_t i = j + 1; i < n; ++i) {
       a(i, j) *= inv;
-      const double lij = a(i, j);
-      if (lij == 0.0) continue;
-      // Update only within the panel; trailing update happens per block.
-      double* arow = a.row(i).data();
-      const double* jrow = a.row(j).data();
-      for (std::size_t c = j + 1; c < k + w; ++c) arow[c] -= lij * jrow[c];
+      multipliers[i - j - 1] = a(i, j);
+    }
+    const std::size_t panel_cols = k + w - (j + 1);
+    if (below > 0 && panel_cols > 0) {
+      linalg::dger(-1.0, multipliers, a.row(j).subspan(j + 1, panel_cols),
+                   a.sub(j + 1, j + 1, below, panel_cols));
     }
   }
 }
@@ -84,18 +91,19 @@ std::vector<double> lu_solve(const linalg::Matrix& lu,
   for (std::size_t k = 0; k < n; ++k) {
     if (pivots[k] != k) std::swap(b[k], b[pivots[k]]);
   }
-  // Forward substitution with unit L.
+  // Forward substitution with unit L (dot-product form vectorizes, unlike
+  // the serial subtract chain).
   for (std::size_t i = 1; i < n; ++i) {
-    double sum = b[i];
-    const double* row = lu.row(i).data();
-    for (std::size_t j = 0; j < i; ++j) sum -= row[j] * b[j];
-    b[i] = sum;
+    b[i] -= linalg::ddot(lu.row(i).first(i),
+                         std::span<const double>(b.data(), i));
   }
   // Back substitution with U.
   for (std::size_t ii = n; ii-- > 0;) {
-    double sum = b[ii];
     const double* row = lu.row(ii).data();
-    for (std::size_t j = ii + 1; j < n; ++j) sum -= row[j] * b[j];
+    const double sum =
+        b[ii] - linalg::ddot(lu.row(ii).subspan(ii + 1),
+                             std::span<const double>(b.data() + ii + 1,
+                                                     n - ii - 1));
     PLIN_CHECK_MSG(row[ii] != 0.0, "lu_solve: singular U");
     b[ii] = sum / row[ii];
   }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "linalg/generate.hpp"
+#include "linalg/kernels.hpp"
 #include "linalg/matrix.hpp"
 #include "solvers/efficiency.hpp"
 #include "support/error.hpp"
@@ -106,14 +107,16 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
   }
 
   // ---- allocation + generation ("matrix allocation" phase) ---------------
-  // Local column k holds the working values M(*, j_k) of equation j_k,
-  // where M = A^T — the distributed equivalent of every rank loading its
-  // share of the same input file.
-  linalg::Matrix local(n, std::max<std::size_t>(ncols, 1));
+  // Local row k holds the working values M(*, j_k) of equation j_k, where
+  // M = A^T — the distributed equivalent of every rank loading its share of
+  // the same input file. Storing each owned table column as a contiguous
+  // row lets every level update stream it with unit stride through the
+  // engine's daxpy (same arithmetic order, so results are bit-identical).
+  linalg::Matrix local(std::max<std::size_t>(ncols, 1), n);
   for (std::size_t k = 0; k < ncols; ++k) {
     const std::size_t j = my_cols[k];
     for (std::size_t i = 0; i < n; ++i) {
-      local(i, k) = linalg::system_entry(options.seed, n, j, i);
+      local(k, i) = linalg::system_entry(options.seed, n, j, i);
     }
   }
   comm.memory_touch(static_cast<double>(local.size_bytes()));
@@ -135,7 +138,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
   if (options.checksum_ft) {
     checksum.assign(n, 0.0);
     for (std::size_t k = 0; k < ncols; ++k) {
-      for (std::size_t i = 0; i < n; ++i) checksum[i] += local(i, k);
+      for (std::size_t i = 0; i < n; ++i) checksum[i] += local(k, i);
     }
     comm.compute(ime_cost(static_cast<double>(n) *
                           static_cast<double>(ncols > 0 ? ncols : 1)));
@@ -185,7 +188,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       const auto* hbytes = reinterpret_cast<const std::byte*>(&header);
       blob.insert(blob.end(), hbytes, hbytes + sizeof(header));
       for (std::size_t k = 0; k < ncols; ++k) {
-        const double v = local(l, k);
+        const double v = local(k, l);
         const auto* vbytes = reinterpret_cast<const std::byte*>(&v);
         blob.insert(blob.end(), vbytes, vbytes + sizeof(double));
       }
@@ -204,7 +207,8 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
         c.swap(next_c);  // already updated and broadcast during level l+1
       } else {
         const std::size_t k = map.local_index(l);
-        for (std::size_t i = 0; i < live; ++i) c[i] = local(i, k);
+        const double* col = local.row(k).data();
+        std::copy(col, col + live, c.begin());
         if (ranks > 1) comm.bcast(std::span<double>(c.data(), live), owner);
       }
     } else if (ranks > 1) {
@@ -235,7 +239,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
           }
         }
       } else {
-        for (std::size_t k = 0; k < ncols; ++k) row_l[my_cols[k]] = local(l, k);
+        for (std::size_t k = 0; k < ncols; ++k) row_l[my_cols[k]] = local(k, l);
       }
       const double hl = h[l];
       for (std::size_t j = 0; j < n; ++j) {
@@ -251,12 +255,13 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
 
     // ---- column updates ----------------------------------------------------
     // Fundamental formula on my columns: g_j = t_{l,j}/d_l, then subtract
-    // g_j * pivot column from rows 0..l (the column is zero below l).
+    // g_j * pivot column from rows 0..l (the column is zero below l). The
+    // column is a contiguous row of `local`, so this is one engine daxpy.
     const auto update_column = [&](std::size_t k) {
-      const double g = local(l, k) * inv;
-      for (std::size_t r = 0; r <= l; ++r) {
-        local(r, k) -= g * c[r];
-      }
+      double* col = local.row(k).data();
+      const double g = col[l] * inv;
+      linalg::daxpy(-g, std::span<const double>(c.data(), l + 1),
+                    std::span<double>(col, l + 1));
       return g;
     };
     const double per_column_flops = 1.0 + 2.0 * static_cast<double>(l + 1);
@@ -270,7 +275,8 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       early_k = map.local_index(l - 1);
       factor_sum += update_column(early_k);
       comm.compute(ime_cost(per_column_flops));
-      for (std::size_t i = 0; i < l; ++i) next_c[i] = local(i, early_k);
+      const double* col = local.row(early_k).data();
+      std::copy(col, col + l, next_c.begin());
       if (ranks > 1) {
         // Root-side sends only; the live prefix of level l-1 is l entries.
         comm.bcast(std::span<double>(next_c.data(), l), rank);
@@ -311,13 +317,13 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     for (const ImeFault& fault : options.inject_faults) {
       if (fault.level != l || fault.rank != rank || ncols == 0) continue;
       // Corrupt the first local column...
-      for (std::size_t i = 0; i < n; ++i) local(i, 0) = 1e30;
+      for (std::size_t i = 0; i < n; ++i) local(0, i) = 1e30;
       // ...and rebuild it from the checksum minus the other columns.
       std::vector<double> rebuilt(checksum);
       for (std::size_t k = 1; k < ncols; ++k) {
-        for (std::size_t i = 0; i < n; ++i) rebuilt[i] -= local(i, k);
+        for (std::size_t i = 0; i < n; ++i) rebuilt[i] -= local(k, i);
       }
-      for (std::size_t i = 0; i < n; ++i) local(i, 0) = rebuilt[i];
+      for (std::size_t i = 0; i < n; ++i) local(0, i) = rebuilt[i];
       comm.compute(ime_cost(static_cast<double>(n) *
                             static_cast<double>(ncols)));
       ++result.ft_recoveries;

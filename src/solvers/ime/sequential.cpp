@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.hpp"
 #include "support/error.hpp"
 
 namespace plin::solvers {
@@ -185,10 +186,11 @@ std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
   std::vector<double> d(n, 0.0);
 
   // Per-block workspaces: the kb factored pivot columns (C) and the
-  // per-equation factor table (G). Row b of C/G corresponds to block level
-  // l = hi - b (descending).
-  linalg::Matrix c(kb, n);  // C(b, r) = pivot column of level hi-b
-  linalg::Matrix g(kb, n);  // G(b, j) = factor g_j at level hi-b
+  // per-equation factor table (G). C is stored table-row-major — C(r, b) is
+  // row r of the pivot column retired at block level l = hi - 1 - b — so the
+  // bulk update below is a plain dgemm over contiguous operands.
+  linalg::Matrix c(n, kb);  // C(r, b) = pivot column of level hi-1-b, row r
+  linalg::Matrix g(kb, n);  // G(b, j) = factor g_j at level hi-1-b
 
   for (std::size_t hi = n; hi > 0;) {
     const std::size_t width = std::min(kb, hi);
@@ -203,14 +205,14 @@ std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
         const std::size_t lp = hi - 1 - b2;
         const double gv = m(lp, l) / d[lp];
         g(b2, l) = gv;
-        for (std::size_t r = 0; r <= lp; ++r) m(r, l) -= gv * c(b2, r);
+        for (std::size_t r = 0; r <= lp; ++r) m(r, l) -= gv * c(r, b2);
       }
       const double diag = m(l, l);
       PLIN_CHECK_MSG(std::isfinite(diag) && diag != 0.0,
                      "IMe: zero running diagonal at level " +
                          std::to_string(l));
       d[l] = diag;
-      for (std::size_t r = 0; r < n; ++r) c(b1, r) = m(r, l);
+      for (std::size_t r = 0; r < n; ++r) c(r, b1) = m(r, l);
       g(b1, l) = 0.0;
     }
 
@@ -220,9 +222,12 @@ std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
     // turn for a block column (phase 1 already applied the ones above).
     // The deferred updates change row l of column j by the earlier
     // considered levels' contributions, so the factors follow the
-    // recurrence g_j(l) = (M(l,j) - sum g_j(l') * C(l')[l]) / d_l; the
-    // column update itself is then one rank-k sweep — the table streams
-    // from memory once per block instead of once per level.
+    // recurrence g_j(l) = (M(l,j) - sum g_j(l') * C(l')[l]) / d_l. The
+    // column update splits by row range: rows inside the block's level band
+    // (and in-block columns, whose live level set varies) stay scalar, and
+    // the dense bulk — rows [0, lo) of every out-of-block column, where all
+    // `width` levels apply — runs through the engine's dgemm:
+    //   M[0:lo, J] -= C[0:lo, :] * G[:, J].
     for (std::size_t j = 0; j < n; ++j) {
       const bool in_block = j >= lo && j < hi;
       const std::size_t b_first = in_block ? hi - j : 0;
@@ -230,16 +235,24 @@ std::vector<double> solve_ime_blocked(const linalg::Matrix& a,
         const std::size_t l = hi - 1 - b1;
         double value = m(l, j);
         for (std::size_t b2 = b_first; b2 < b1; ++b2) {
-          value -= g(b2, j) * c(b2, l);
+          value -= g(b2, j) * c(l, b2);
         }
         g(b1, j) = value / d[l];
       }
+      const std::size_t r_lo = in_block ? 0 : lo;
       for (std::size_t b1 = b_first; b1 < width; ++b1) {
         const double gv = g(b1, j);
-        if (gv == 0.0) continue;
         const std::size_t l = hi - 1 - b1;
-        const double* col_c = c.row(b1).data();
-        for (std::size_t r = 0; r <= l; ++r) m(r, j) -= gv * col_c[r];
+        for (std::size_t r = r_lo; r <= l; ++r) m(r, j) -= gv * c(r, b1);
+      }
+    }
+    if (lo > 0) {
+      const linalg::ConstMatrixView cv = c.view().sub(0, 0, lo, width);
+      linalg::dgemm(-1.0, cv, g.view().sub(0, 0, width, lo), 1.0,
+                    m.view().sub(0, 0, lo, lo));
+      if (hi < n) {
+        linalg::dgemm(-1.0, cv, g.view().sub(0, hi, width, n - hi), 1.0,
+                      m.view().sub(0, hi, lo, n - hi));
       }
     }
 

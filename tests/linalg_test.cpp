@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <filesystem>
+#include <limits>
 
 #include "linalg/blockcyclic.hpp"
 #include "linalg/generate.hpp"
@@ -56,6 +57,30 @@ TEST(KernelsTest, Level1Basics) {
   dswap(a, b);
   EXPECT_DOUBLE_EQ(a[0], 3.0);
   EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
+TEST(KernelsTest, IdamaxIgnoresNaNs) {
+  // Pivot-selection contract (see kernels.hpp): a NaN is never selected and
+  // never displaces the running maximum, so GEPP pivoting stays
+  // deterministic on corrupted data instead of depending on NaN comparison
+  // quirks.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // NaN in the middle: the larger later element still wins.
+  EXPECT_EQ(idamax(std::vector<double>{1.0, nan, 4.0}), 2u);
+  // Leading NaN: first non-NaN becomes the initial maximum.
+  EXPECT_EQ(idamax(std::vector<double>{nan, -2.0, 1.0}), 1u);
+  // Trailing NaN cannot displace an established maximum.
+  EXPECT_EQ(idamax(std::vector<double>{3.0, -1.0, nan}), 0u);
+  // All NaN: falls back to index 0 (callers treat the pivot value as the
+  // singularity signal, not the index).
+  EXPECT_EQ(idamax(std::vector<double>{nan, nan, nan}), 0u);
+  // Infinity is a legitimate maximum.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(idamax(std::vector<double>{1.0, -inf, nan}), 1u);
+  // Ties resolve to the first occurrence (strict > comparison).
+  EXPECT_EQ(idamax(std::vector<double>{-2.0, 2.0, 2.0}), 0u);
+  // Signed zeros: |−0| == |0| == 0, first wins.
+  EXPECT_EQ(idamax(std::vector<double>{-0.0, 0.0}), 0u);
 }
 
 TEST(KernelsTest, GemmMatchesNaiveTripleLoop) {

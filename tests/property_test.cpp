@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "hwmodel/placement.hpp"
@@ -56,6 +57,34 @@ TEST_P(SolverAgreement, AllFourSolversProduceTheSameSolution) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+// ---- backward stability: scaled residuals stay O(eps) ----------------------
+
+class SolverResidual : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverResidual, ScaledResidualIsMachinePrecisionSmall) {
+  // ||Ax - b||_inf / (||A||_inf ||x||_inf n) stays within a small multiple
+  // of machine epsilon for the direct solvers, across problem sizes that
+  // cross the kernel engine's cache/register block boundaries. This guards
+  // the blocked GEMM/TRSM rewiring: a wrong edge tile or beta application
+  // would blow the residual far past eps even if it looks "close".
+  const std::uint64_t seed = GetParam();
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  for (std::size_t n : {33UL, 96UL, 130UL}) {
+    const linalg::Matrix a = linalg::generate_system_matrix(seed, n);
+    const std::vector<double> b = linalg::generate_rhs(seed, n);
+
+    const std::vector<double> gepp = solvers::solve_gepp(a, b);
+    EXPECT_LE(linalg::scaled_residual(a.view(), gepp, b), 64.0 * eps)
+        << "gepp seed=" << seed << " n=" << n;
+
+    const std::vector<double> ime = solvers::solve_ime_blocked(a, b, 32);
+    EXPECT_LE(linalg::scaled_residual(a.view(), ime, b), 64.0 * eps)
+        << "ime seed=" << seed << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverResidual, ::testing::Values(7, 42, 99));
 
 // ---- pdgesv is invariant in the block size ---------------------------------
 
