@@ -21,20 +21,31 @@ struct HardwareContext {
 
 /// Binds `context` to the calling thread (nullptr to unbind). The pointer
 /// must stay valid until unbound.
+///
+/// Both functions are deliberately out of line: a simulated rank can park
+/// mid-call and resume on a different host worker (see xmpi's
+/// FiberScheduler), so the thread-local they guard must be re-read through
+/// a call the compiler cannot cache across a context switch.
 void bind_thread_hardware(const HardwareContext* context);
 
 /// Context bound to the calling thread, or nullptr.
 const HardwareContext* thread_hardware();
 
-/// RAII binder for rank threads and tests.
+/// RAII binder for rank execution and tests. Restores whatever binding the
+/// thread had before, so nesting is safe — e.g. the 1-rank inline fast
+/// path of Runtime::run temporarily rebinding the caller's thread.
 class ScopedHardwareBinding {
  public:
-  explicit ScopedHardwareBinding(const HardwareContext* context) {
+  explicit ScopedHardwareBinding(const HardwareContext* context)
+      : previous_(thread_hardware()) {
     bind_thread_hardware(context);
   }
   ScopedHardwareBinding(const ScopedHardwareBinding&) = delete;
   ScopedHardwareBinding& operator=(const ScopedHardwareBinding&) = delete;
-  ~ScopedHardwareBinding() { bind_thread_hardware(nullptr); }
+  ~ScopedHardwareBinding() { bind_thread_hardware(previous_); }
+
+ private:
+  const HardwareContext* previous_ = nullptr;
 };
 
 }  // namespace plin::trace

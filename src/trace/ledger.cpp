@@ -26,11 +26,17 @@ EnergyLedger::EnergyLedger(hw::PowerModel power,
   segments_.resize(cores_.size());
 }
 
-void EnergyLedger::record(int package, const ActivitySegment& segment) {
+void EnergyLedger::record(int package, const ActivitySegment& segment,
+                          int lane) {
   PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
+  PLIN_CHECK_MSG(lane >= 0, "lane must be non-negative");
   PLIN_ASSERT(segment.t1 >= segment.t0);
   std::lock_guard<std::mutex> lock(mutex_);
-  segments_[static_cast<std::size_t>(package)].push_back(segment);
+  auto& lanes = segments_[static_cast<std::size_t>(package)];
+  if (lanes.size() <= static_cast<std::size_t>(lane)) {
+    lanes.resize(static_cast<std::size_t>(lane) + 1);
+  }
+  lanes[static_cast<std::size_t>(lane)].push_back(segment);
 }
 
 void EnergyLedger::set_package_cap(int package, double watts) {
@@ -46,29 +52,35 @@ double EnergyLedger::package_cap(int package) const {
   return caps_w_[static_cast<std::size_t>(package)];
 }
 
+// The read loops below iterate lanes in index order and each lane in
+// append order, so accumulation order — hence the floating-point result —
+// does not depend on how rank execution interleaved on the host.
+
 double EnergyLedger::dynamic_locked(int package, double t) const {
   const double idle_w = power_.core_power_w(hw::ActivityKind::kIdle);
   double joules = 0.0;
-  for (const ActivitySegment& seg :
-       segments_[static_cast<std::size_t>(package)]) {
-    const double span = clipped_span(seg.t0, seg.t1, t);
-    if (span <= 0.0) continue;
-    joules += span * (power_.core_power_w(seg.kind) - idle_w);
+  for (const auto& lane : segments_[static_cast<std::size_t>(package)]) {
+    for (const ActivitySegment& seg : lane) {
+      const double span = clipped_span(seg.t0, seg.t1, t);
+      if (span <= 0.0) continue;
+      joules += span * (power_.core_power_w(seg.kind) - idle_w);
+    }
   }
   return joules;
 }
 
 double EnergyLedger::traffic_locked(int package, double t) const {
   double bytes = 0.0;
-  for (const ActivitySegment& seg :
-       segments_[static_cast<std::size_t>(package)]) {
-    const double length = seg.t1 - seg.t0;
-    if (length <= 0.0) {
-      // Instantaneous traffic attribution: counts if it happened before t.
-      if (seg.t0 <= t) bytes += seg.dram_bytes;
-      continue;
+  for (const auto& lane : segments_[static_cast<std::size_t>(package)]) {
+    for (const ActivitySegment& seg : lane) {
+      const double length = seg.t1 - seg.t0;
+      if (length <= 0.0) {
+        // Instantaneous traffic attribution: counts if it happened before t.
+        if (seg.t0 <= t) bytes += seg.dram_bytes;
+        continue;
+      }
+      bytes += seg.dram_bytes * (clipped_span(seg.t0, seg.t1, t) / length);
     }
-    bytes += seg.dram_bytes * (clipped_span(seg.t0, seg.t1, t) / length);
   }
   return bytes;
 }
@@ -112,10 +124,11 @@ double EnergyLedger::activity_seconds(int package, hw::ActivityKind kind,
   PLIN_CHECK_MSG(package >= 0 && package < packages(), "package out of range");
   std::lock_guard<std::mutex> lock(mutex_);
   double seconds = 0.0;
-  for (const ActivitySegment& seg :
-       segments_[static_cast<std::size_t>(package)]) {
-    if (seg.kind != kind) continue;
-    seconds += clipped_span(seg.t0, seg.t1, t);
+  for (const auto& lane : segments_[static_cast<std::size_t>(package)]) {
+    for (const ActivitySegment& seg : lane) {
+      if (seg.kind != kind) continue;
+      seconds += clipped_span(seg.t0, seg.t1, t);
+    }
   }
   return seconds;
 }

@@ -40,7 +40,15 @@ class EnergyLedger {
   int packages() const { return static_cast<int>(cores_.size()); }
 
   /// Appends one activity segment executed on `package`. Thread-safe.
-  void record(int package, const ActivitySegment& segment);
+  ///
+  /// `lane` buckets the segment (typically by core index within the
+  /// package, i.e. one lane per rank). Reads accumulate lane by lane in
+  /// lane order, and each lane is appended by a single rank in its program
+  /// order — so every energy/traffic sum has a host-schedule-independent
+  /// floating-point association, part of xmpi's bit-identical-results
+  /// contract (docs/xmpi.md). Lanes grow on demand; callers that don't
+  /// care (tests) can leave everything in lane 0.
+  void record(int package, const ActivitySegment& segment, int lane = 0);
 
   /// Sets (watts) or clears (0) the RAPL power cap of a package. Capping
   /// scales the dynamic energy of *subsequent* reads; the throughput side
@@ -77,7 +85,8 @@ class EnergyLedger {
   std::vector<int> cores_;
   std::vector<int> ranked_cores_;
   std::vector<double> caps_w_;
-  std::vector<std::vector<ActivitySegment>> segments_;
+  /// segments_[package][lane] — per-package, per-lane append-only logs.
+  std::vector<std::vector<std::vector<ActivitySegment>>> segments_;
   mutable std::mutex mutex_;
 };
 

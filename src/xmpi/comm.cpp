@@ -38,9 +38,13 @@ void Comm::log_segment(hw::ActivityKind kind, double dt, double dram_bytes) {
   RankState& state = me();
   const double t0 = state.clock.now();
   state.clock.advance(dt);
+  // Lane = core index: unique per rank within the package, so each lane is
+  // appended in this rank's program order and ledger sums stay
+  // bit-identical under any host scheduling (see EnergyLedger::record).
   world_->node_ledger(my_location().node)
       .record(my_location().socket,
-              trace::ActivitySegment{t0, t0 + dt, kind, dram_bytes});
+              trace::ActivitySegment{t0, t0 + dt, kind, dram_bytes},
+              my_location().core);
   if (world_->tracing()) {
     state.trace_events.push_back(TraceEvent{t0, dt, kind});
   }

@@ -1,9 +1,24 @@
-// Mailbox — per-rank message queue with blocking matched receive.
+// Mailbox — per-rank message store with blocking matched receive.
 //
 // Matching follows MPI semantics: (source, tag, communicator-context)
-// triples, with wildcards, FIFO per (source, tag) channel. Host threads
-// block on a condition variable; virtual timing is carried by the
-// `arrival_time` stamp computed by the sender.
+// triples, with wildcards, FIFO per (source, tag) channel. Messages are
+// indexed by channel — a sorted map from (context, src, tag) to a FIFO —
+// so the exact-match fast path (all solver traffic) is a single map lookup
+// instead of the flat-deque scan the first implementation used.
+//
+// Blocking is pluggable. A receiver first registers its pending match
+// under the mailbox lock, then either
+//   - parks through the installed Mailbox::Parker (worker-pool executor:
+//     the rank's fiber yields its host worker and is resumed by the
+//     scheduler when a matching message arrives), or
+//   - waits on the mailbox condition variable (thread-per-rank executor).
+// Either way `post` performs a *targeted* single-waiter wakeup — it wakes
+// the owner only when the new envelope actually satisfies the registered
+// pending receive (a mailbox has exactly one legal waiter: its owner).
+//
+// Virtual timing is carried by the `arrival_time` stamp computed by the
+// sender; the deterministic wildcard order is part of the public contract
+// (see match()).
 #pragma once
 
 #include <atomic>
@@ -11,7 +26,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "support/error.hpp"
@@ -35,69 +52,88 @@ struct Envelope {
 
 class Mailbox {
  public:
-  void post(Envelope&& envelope) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(envelope));
-    }
-    cv_.notify_all();
+  /// Scheduler hook for the worker-pool executor: how the owning rank
+  /// blocks and how senders resume it. wake() may race with a park() that
+  /// is still switching out; implementations must tolerate that (two-phase
+  /// parking) as well as spurious wake() calls on a non-parked rank.
+  class Parker {
+   public:
+    virtual ~Parker() = default;
+    /// Blocks the calling rank. Called with no mailbox lock held.
+    virtual void park() = 0;
+    /// Makes the parked rank runnable again. Called by senders (with no
+    /// mailbox lock held) and by interrupt().
+    virtual void wake() = 0;
+  };
+
+  /// Installs (or clears, with nullptr) the parking strategy of the owning
+  /// rank. Must not be called while a receive is in flight.
+  void set_parker(Parker* parker) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    parker_ = parker;
   }
+
+  void post(Envelope&& envelope);
 
   /// Blocks until a message matching (src, tag, context) is present and
   /// removes it. With kAnySource/kAnyTag, picks the present message with
-  /// the earliest virtual arrival (ties: lowest source) to keep runs
-  /// deterministic. Throws Aborted if the abort flag fires.
+  /// the earliest virtual arrival (ties: lowest source, then earliest
+  /// post) to keep runs deterministic. Throws Aborted if the abort flag
+  /// fires.
   Envelope match(int src, int tag, std::uint64_t context,
-                 const std::atomic<bool>& abort_flag) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    for (;;) {
-      if (abort_flag.load()) throw Aborted();
-      std::size_t best = queue_.size();
-      for (std::size_t i = 0; i < queue_.size(); ++i) {
-        const Envelope& env = queue_[i];
-        if (env.context != context) continue;
-        if (src != kAnySource && env.src != src) continue;
-        if (tag != kAnyTag && env.tag != tag) continue;
-        if (src != kAnySource && tag != kAnyTag) {
-          best = i;  // exact match: FIFO order is the MPI order
-          break;
-        }
-        if (best == queue_.size() ||
-            env.arrival_time < queue_[best].arrival_time ||
-            (env.arrival_time == queue_[best].arrival_time &&
-             env.src < queue_[best].src)) {
-          best = i;
-        }
-      }
-      if (best != queue_.size()) {
-        Envelope out = std::move(queue_[best]);
-        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
-        return out;
-      }
-      cv_.wait(lock);
-    }
-  }
+                 const std::atomic<bool>& abort_flag);
 
   /// Non-blocking probe: true if a message matching (src, tag, context) is
   /// currently queued (MPI_Iprobe semantics).
-  bool probe(int src, int tag, std::uint64_t context) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const Envelope& env : queue_) {
-      if (env.context != context) continue;
-      if (src != kAnySource && env.src != src) continue;
-      if (tag != kAnyTag && env.tag != tag) continue;
-      return true;
-    }
-    return false;
-  }
+  bool probe(int src, int tag, std::uint64_t context);
 
-  /// Wakes all blocked matchers (used by World::abort).
-  void interrupt() { cv_.notify_all(); }
+  /// Wakes the blocked matcher, if any (used by World::abort).
+  void interrupt();
 
  private:
+  /// Channels order by (context, src, tag) so a wildcard receive walks a
+  /// contiguous, deterministically ordered range of its context.
+  struct ChannelKey {
+    std::uint64_t context = 0;
+    int src = 0;
+    int tag = 0;
+
+    bool operator<(const ChannelKey& other) const {
+      if (context != other.context) return context < other.context;
+      if (src != other.src) return src < other.src;
+      return tag < other.tag;
+    }
+  };
+
+  /// `seq` is the mailbox-global post order, the final wildcard tie-break
+  /// (equal arrival and source ⇒ earliest posted wins, which for a single
+  /// sender is its program order).
+  struct Item {
+    Envelope envelope;
+    std::uint64_t seq = 0;
+  };
+
+  /// The receive the owner is currently blocked on (at most one).
+  struct PendingRecv {
+    int src = 0;
+    int tag = 0;
+    std::uint64_t context = 0;
+    bool active = false;
+  };
+
+  std::optional<Envelope> try_match_locked(int src, int tag,
+                                           std::uint64_t context);
+  static bool satisfies(const Envelope& envelope, const PendingRecv& pending);
+  /// Smallest ChannelKey of a context — internal tags are negative, so the
+  /// floor must sit below every representable (src, tag).
+  static ChannelKey channel_floor(std::uint64_t context);
+
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Envelope> queue_;
+  std::map<ChannelKey, std::deque<Item>> channels_;  // non-empty FIFOs only
+  std::uint64_t next_seq_ = 0;
+  PendingRecv pending_;
+  Parker* parker_ = nullptr;
 };
 
 }  // namespace plin::xmpi

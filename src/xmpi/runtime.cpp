@@ -1,12 +1,15 @@
 #include "xmpi/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "support/error.hpp"
+#include "xmpi/scheduler.hpp"
 
 namespace plin::xmpi {
 
@@ -55,6 +58,32 @@ void write_chrome_trace(const std::string& path, World& world) {
   if (!os) throw IoError("trace write failed: " + path);
 }
 
+/// Reads a non-negative integer environment variable; `fallback` when
+/// unset or unparsable.
+std::size_t env_size_t(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Resolves the executor: explicit config wins, then PLIN_XMPI_EXECUTOR
+/// ("pool" | "threads"), then the worker pool.
+ExecutorKind resolve_executor(ExecutorKind requested) {
+  if (requested != ExecutorKind::kAuto) return requested;
+  const char* value = std::getenv("PLIN_XMPI_EXECUTOR");
+  if (value != nullptr) {
+    const std::string name(value);
+    if (name == "threads") return ExecutorKind::kThreadPerRank;
+    if (name == "pool") return ExecutorKind::kWorkerPool;
+    PLIN_CHECK_MSG(name.empty() || name == "auto",
+                   "PLIN_XMPI_EXECUTOR must be auto, pool or threads");
+  }
+  return ExecutorKind::kWorkerPool;
+}
+
 }  // namespace
 
 RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
@@ -62,16 +91,23 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
   World world(config.machine, config.placement);
   world.set_tracing(!config.chrome_trace_path.empty());
 
-  std::mutex error_mutex;
-  std::exception_ptr first_error;
+  RunResult result;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(world.size()));
-  for (int rank = 0; rank < world.size(); ++rank) {
-    threads.emplace_back([&world, &rank_main, &error_mutex, &first_error,
-                          rank] {
-      RankState& state = world.rank_state(rank);
-      trace::ScopedHardwareBinding binding(&state.hw_context);
+  if (world.size() == 1) {
+    // 1-rank fast path: no pool, no fibers, no thread spawn — rank_main
+    // runs inline on the calling thread (whose previous hardware binding,
+    // if any, is restored afterwards). Exceptions propagate directly.
+    RankState& state = world.rank_state(0);
+    trace::ScopedHardwareBinding binding(&state.hw_context);
+    Comm comm(&world, 0);
+    rank_main(comm);
+    result.host_executor = "inline";
+    result.host_workers = 1;
+  } else {
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    const auto rank_body = [&world, &rank_main, &error_mutex,
+                            &first_error](int rank) {
       try {
         Comm comm(&world, rank);
         rank_main(comm);
@@ -82,15 +118,70 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
         }
         world.abort();
       }
-    });
+    };
+
+    const ExecutorKind executor = resolve_executor(config.executor);
+    bool deadlocked = false;
+    if (executor == ExecutorKind::kWorkerPool) {
+      FiberScheduler::Options options;
+      options.workers =
+          config.workers != 0 ? config.workers
+                              : env_size_t("PLIN_XMPI_WORKERS", 0);
+      options.stack_bytes =
+          config.fiber_stack_bytes != 0
+              ? config.fiber_stack_bytes
+              : env_size_t("PLIN_XMPI_STACK_KB", 0) * 1024;
+      options.on_deadlock = [&world] { world.abort(); };
+
+      std::vector<FiberScheduler::Task> tasks;
+      tasks.reserve(static_cast<std::size_t>(world.size()));
+      for (int rank = 0; rank < world.size(); ++rank) {
+        FiberScheduler::Task task;
+        task.body = [&rank_body, rank] { rank_body(rank); };
+        task.hw = &world.rank_state(rank).hw_context;
+        tasks.push_back(std::move(task));
+      }
+      FiberScheduler scheduler(std::move(tasks), std::move(options));
+      for (int rank = 0; rank < world.size(); ++rank) {
+        world.rank_state(rank).mailbox.set_parker(
+            scheduler.parker(static_cast<std::size_t>(rank)));
+      }
+      scheduler.run();
+      for (int rank = 0; rank < world.size(); ++rank) {
+        world.rank_state(rank).mailbox.set_parker(nullptr);
+      }
+      deadlocked = scheduler.deadlocked();
+      result.host_executor = "pool";
+      result.host_workers = scheduler.worker_count();
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(world.size()));
+      for (int rank = 0; rank < world.size(); ++rank) {
+        threads.emplace_back([&world, &rank_body, rank] {
+          RankState& state = world.rank_state(rank);
+          trace::ScopedHardwareBinding binding(&state.hw_context);
+          rank_body(rank);
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      result.host_executor = "threads";
+      result.host_workers = threads.size();
+    }
+
+    if (deadlocked) {
+      // Every surviving rank was woken with Aborted, so first_error holds
+      // an Aborted — replace it with the actual diagnosis.
+      throw Error(
+          "xmpi deadlock detected: every unfinished rank is blocked in a "
+          "receive or collective with no message in flight");
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
-  for (std::thread& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+
   if (!config.chrome_trace_path.empty()) {
     write_chrome_trace(config.chrome_trace_path, world);
   }
 
-  RunResult result;
   result.rank_times.reserve(static_cast<std::size_t>(world.size()));
   for (int rank = 0; rank < world.size(); ++rank) {
     const double t = world.rank_state(rank).clock.now();

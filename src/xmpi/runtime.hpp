@@ -1,8 +1,16 @@
-// Runtime — spawns one host thread per simulated rank and runs a rank-main
-// function against the world communicator, then aggregates virtual duration,
-// traffic and per-domain energy.
+// Runtime — executes a rank-main function on every simulated rank of a
+// placement, then aggregates virtual duration, traffic and per-domain
+// energy.
+//
+// Rank execution is multiplexed over a bounded worker pool by default
+// (FiberScheduler: N host workers ≈ cores running all ranks on user-level
+// stacks), with an inline fast path for 1-rank worlds and a legacy
+// thread-per-rank executor retained as a fallback/baseline. The executor
+// choice changes host wall-clock only: all simulated outputs are
+// bit-identical across executors and worker counts (see docs/xmpi.md).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -31,9 +39,29 @@ struct EnergyReport {
   double total_j() const { return total_pkg_j() + total_dram_j(); }
 };
 
+/// How simulated ranks map onto host threads.
+enum class ExecutorKind {
+  /// Resolve from PLIN_XMPI_EXECUTOR ("pool" | "threads"), defaulting to
+  /// the worker pool.
+  kAuto,
+  /// Bounded worker pool over per-rank fibers (the default).
+  kWorkerPool,
+  /// One OS thread per rank — the original executor, kept as the perf
+  /// baseline and as a fallback for platforms without ucontext.
+  kThreadPerRank,
+};
+
 struct RunConfig {
   hw::MachineSpec machine;
   hw::Placement placement;
+  /// Host execution engine; simulated results do not depend on it.
+  ExecutorKind executor = ExecutorKind::kAuto;
+  /// Worker-pool size; 0 → PLIN_XMPI_WORKERS env, else
+  /// hardware_concurrency. Ignored by kThreadPerRank.
+  std::size_t workers = 0;
+  /// Usable bytes per rank fiber stack; 0 → PLIN_XMPI_STACK_KB env, else
+  /// 512 KiB (lazily committed). Ignored by kThreadPerRank.
+  std::size_t fiber_stack_bytes = 0;
   /// If non-empty, every rank's activity segments are written to this path
   /// as a chrome://tracing / Perfetto JSON file after the run: one lane per
   /// rank (grouped by node), one slice per compute / memory / comm-active /
@@ -82,6 +110,12 @@ struct RunResult {
   /// External-wattmeter time series (one per node); filled only when
   /// RunConfig::timeline_period_s > 0.
   std::vector<NodeTimeline> timeline;
+
+  /// Host-side diagnostics (never feed back into simulated numbers):
+  /// which executor actually ran ("inline", "pool" or "threads") and how
+  /// many host workers it used.
+  std::string host_executor;
+  std::size_t host_workers = 0;
 
   double busy_s() const {
     return compute_s + membound_s + commactive_s + commwait_s;

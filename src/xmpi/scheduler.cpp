@@ -1,0 +1,306 @@
+#include "xmpi/scheduler.hpp"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/error.hpp"
+
+// ThreadSanitizer must be told about user-level context switches, or it
+// attributes one fiber's stack reads to another fiber's writes and reports
+// phantom races. GCC and Clang expose the same extern "C" fiber API.
+#if defined(__SANITIZE_THREAD__)
+#define PLIN_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PLIN_TSAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PLIN_TSAN_FIBERS)
+extern "C" {
+void* __tsan_get_current_fiber(void);
+void* __tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void* fiber);
+void __tsan_switch_to_fiber(void* fiber, unsigned flags);
+}
+#endif
+
+namespace plin::xmpi {
+
+namespace {
+
+void* tsan_current_fiber() {
+#if defined(PLIN_TSAN_FIBERS)
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+void* tsan_create_fiber() {
+#if defined(PLIN_TSAN_FIBERS)
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+void tsan_destroy_fiber(void* fiber) {
+#if defined(PLIN_TSAN_FIBERS)
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
+void tsan_switch_to_fiber(void* fiber) {
+#if defined(PLIN_TSAN_FIBERS)
+  if (fiber != nullptr) __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+std::size_t page_size() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+constexpr std::size_t kDefaultStackBytes = 512 * 1024;
+constexpr std::size_t kMinStackBytes = 64 * 1024;
+
+}  // namespace
+
+/// One simulated rank: its fiber context, stack mapping and park/wake
+/// endpoint. `state`/`wake_pending` are guarded by the scheduler queue
+/// mutex; the context/stack fields are touched only by whichever worker
+/// currently owns the fiber (ownership is handed over through that mutex).
+struct FiberScheduler::RankFiber final : Mailbox::Parker {
+  enum class State { kReady, kRunning, kParked, kFinished };
+
+  FiberScheduler* sched = nullptr;
+  std::size_t index = 0;
+  Task task;
+
+  ucontext_t context{};
+  /// Scheduler context of the worker currently running this fiber; set at
+  /// every dispatch (a parked fiber may resume on a different worker).
+  ucontext_t* return_context = nullptr;
+  void* tsan_fiber = nullptr;
+  void* return_tsan_fiber = nullptr;
+  unsigned char* map_base = nullptr;
+  std::size_t map_bytes = 0;
+  bool started = false;
+  /// Set by the trampoline just before its final switch-out, so the worker
+  /// can tell "finished" from "parked".
+  bool body_done = false;
+
+  State state = State::kReady;
+  bool wake_pending = false;
+
+  void park() override;
+  void wake() override;
+
+  /// Transfers control back to the owning worker's scheduler context.
+  void switch_to_worker() {
+    tsan_switch_to_fiber(return_tsan_fiber);
+    ::swapcontext(&context, return_context);
+  }
+};
+
+struct FiberScheduler::QueueState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::size_t> ready;
+  std::size_t running = 0;
+  std::size_t finished = 0;
+  bool stop = false;
+};
+
+namespace {
+/// Carries the RankFiber pointer into its trampoline: makecontext cannot
+/// portably pass pointers, so the dispatching worker stores it here right
+/// before the first switch into a fresh fiber, and the trampoline copies
+/// it to a stack local at entry (the thread_local itself would go stale
+/// once the fiber migrates to another worker).
+thread_local FiberScheduler::RankFiber* t_launching_fiber = nullptr;
+
+extern "C" void plin_fiber_trampoline() {
+  FiberScheduler::RankFiber* self = t_launching_fiber;
+  self->task.body();
+  self->body_done = true;
+  self->switch_to_worker();
+  // A finished fiber is never resumed; reaching here means scheduler
+  // corruption, and returning from a makecontext entry with no uc_link
+  // would be undefined.
+  std::abort();
+}
+}  // namespace
+
+void FiberScheduler::RankFiber::park() { switch_to_worker(); }
+
+void FiberScheduler::RankFiber::wake() {
+  QueueState& queue = *sched->queue_;
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (state == State::kParked) {
+    state = State::kReady;
+    queue.ready.push_back(index);
+    queue.cv.notify_one();
+  } else if (state != State::kFinished) {
+    // Ready or Running (possibly mid-switch-out): remember the wake so the
+    // worker re-queues instead of parking, or the next park returns
+    // immediately. The mailbox retry loop absorbs the spurious resume.
+    wake_pending = true;
+  }
+}
+
+FiberScheduler::FiberScheduler(std::vector<Task> tasks, Options options)
+    : fibers_(tasks.size()), on_deadlock_(std::move(options.on_deadlock)) {
+  PLIN_CHECK_MSG(!tasks.empty(), "FiberScheduler needs at least one task");
+
+  std::size_t workers = options.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_ = std::min(workers, tasks.size());
+
+  const std::size_t page = page_size();
+  std::size_t stack = options.stack_bytes == 0 ? kDefaultStackBytes
+                                               : options.stack_bytes;
+  stack = std::max(stack, kMinStackBytes);
+  stack = (stack + page - 1) / page * page;
+
+  queue_ = new QueueState();
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    RankFiber& fiber = fibers_[i];
+    fiber.sched = this;
+    fiber.index = i;
+    fiber.task = std::move(tasks[i]);
+
+    // Guard page at the low end (stacks grow down); MAP_NORESERVE +
+    // anonymous mapping keeps the cost virtual until a frame touches a
+    // page, so 1296 ranks of 512 KiB are cheap to create.
+    fiber.map_bytes = stack + page;
+    void* base = ::mmap(nullptr, fiber.map_bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    PLIN_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
+    fiber.map_base = static_cast<unsigned char*>(base);
+    PLIN_CHECK_MSG(::mprotect(fiber.map_base, page, PROT_NONE) == 0,
+                   "fiber guard page mprotect failed");
+
+    PLIN_CHECK_MSG(::getcontext(&fiber.context) == 0, "getcontext failed");
+    fiber.context.uc_stack.ss_sp = fiber.map_base + page;
+    fiber.context.uc_stack.ss_size = stack;
+    fiber.context.uc_link = nullptr;  // fibers exit via switch_to_worker
+    ::makecontext(&fiber.context, plin_fiber_trampoline, 0);
+
+    fiber.tsan_fiber = tsan_create_fiber();
+
+    queue_->ready.push_back(i);
+  }
+}
+
+FiberScheduler::~FiberScheduler() {
+  for (RankFiber& fiber : fibers_) {
+    tsan_destroy_fiber(fiber.tsan_fiber);
+    if (fiber.map_base != nullptr) ::munmap(fiber.map_base, fiber.map_bytes);
+  }
+  delete queue_;
+}
+
+Mailbox::Parker* FiberScheduler::parker(std::size_t index) {
+  PLIN_CHECK(index < fibers_.size());
+  return &fibers_[index];
+}
+
+void FiberScheduler::dispatch(RankFiber& fiber, void* worker_tsan) {
+  ucontext_t worker_context;
+  fiber.return_context = &worker_context;
+  fiber.return_tsan_fiber = worker_tsan;
+  // Measurement reads (simulated RAPL/PAPI) resolve through the host
+  // thread's binding, so it must follow the rank onto whichever worker
+  // dispatches it.
+  trace::ScopedHardwareBinding binding(fiber.task.hw);
+  t_launching_fiber = &fiber;
+  tsan_switch_to_fiber(fiber.tsan_fiber);
+  ::swapcontext(&worker_context, &fiber.context);
+  // Control returns here when the fiber parks or finishes.
+}
+
+void FiberScheduler::worker_loop() {
+  void* worker_tsan = tsan_current_fiber();
+  QueueState& queue = *queue_;
+  std::unique_lock<std::mutex> lock(queue.mutex);
+  for (;;) {
+    queue.cv.wait(lock, [&] { return queue.stop || !queue.ready.empty(); });
+    if (queue.ready.empty()) {
+      if (queue.stop) return;
+      continue;
+    }
+    const std::size_t index = queue.ready.front();
+    queue.ready.pop_front();
+    RankFiber& fiber = fibers_[index];
+    fiber.state = RankFiber::State::kRunning;
+    ++queue.running;
+    lock.unlock();
+
+    dispatch(fiber, worker_tsan);
+
+    lock.lock();
+    --queue.running;
+    if (fiber.body_done) {
+      fiber.state = RankFiber::State::kFinished;
+      if (++queue.finished == fibers_.size()) {
+        queue.stop = true;
+        queue.cv.notify_all();
+      }
+    } else if (fiber.wake_pending) {
+      // A wake raced with the switch-out: skip Parked entirely.
+      fiber.wake_pending = false;
+      fiber.state = RankFiber::State::kReady;
+      queue.ready.push_back(index);
+      queue.cv.notify_one();
+    } else {
+      fiber.state = RankFiber::State::kParked;
+    }
+    if (!queue.stop && queue.running == 0 && queue.ready.empty() &&
+        queue.finished < fibers_.size() && !deadlock_) {
+      // Every unfinished rank is parked and nothing can wake them: a
+      // simulated-communication deadlock. Checked after *any* transition
+      // that can idle the pool (a park, or the last running rank
+      // finishing while a peer stays parked). Fire the callback outside
+      // the queue lock — it typically calls World::abort, whose interrupt
+      // path re-enters wake() and therefore this mutex.
+      deadlock_ = true;
+      lock.unlock();
+      if (on_deadlock_) on_deadlock_();
+      lock.lock();
+    }
+  }
+}
+
+void FiberScheduler::run() {
+  if (workers_ == 1) {
+    // Degenerate pool: run the scheduler loop on the calling thread and
+    // skip the spawn entirely (also the single-CPU default).
+    worker_loop();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i) {
+    pool.emplace_back([this] { worker_loop(); });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+}  // namespace plin::xmpi
