@@ -1,84 +1,94 @@
-// A miniature of the paper's §5 evaluation campaign: both algorithms,
-// several matrix sizes, several rank counts and all three load layouts,
-// each job repeated and measured through the white-box monitor; results
-// are printed human-readable and written as CSV (the framework's
-// "automatically collects and stores results" requirement).
+// A miniature of the paper's §5 evaluation campaign, driven by the batch
+// orchestrator: both algorithms, several matrix sizes, several rank counts
+// and all three load layouts, each job repeated and measured through the
+// white-box monitor. Results land in a content-addressed result store, so
+// an interrupted campaign resumes where it stopped, and the CSV/markdown
+// reports are derived from the store alone (docs/campaign.md).
 //
-//   ./energy_campaign [--reps 2] [--csv campaign.csv] [--out results_dir]
-#include <fstream>
+//   ./energy_campaign [--reps 2] [--store campaign_store] [--workers 2]
 #include <iostream>
 
-#include "monitor/campaign.hpp"
+#include "batch/campaign.hpp"
 #include "support/cli.hpp"
-#include "support/logging.hpp"
+#include "support/error.hpp"
 #include "support/units.hpp"
 
 int main(int argc, char** argv) {
   using namespace plin;
   const CliArgs args(argc, argv);
-  const int reps = static_cast<int>(args.get_int("reps", 2));
-  const std::string csv_path = args.get("csv", "campaign.csv");
-  const std::string out_dir = args.get("out", "");
-
-  const hw::MachineSpec machine = hw::mini_cluster(/*nodes=*/16,
-                                                   /*cores_per_socket=*/4);
-  monitor::MonitorOptions options;
-  options.output_dir = out_dir;
+  try {
+    args.require_known({"reps", "store", "workers", "help"});
+  } catch (const plin::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  if (args.get_bool("help", false)) {
+    std::cout << "energy_campaign — miniature §5 campaign on the batch "
+                 "orchestrator\n\n"
+                 "  --reps N     repetitions per job (default 2)\n"
+                 "  --store DIR  result store directory (default "
+                 "campaign_store)\n"
+                 "  --workers N  host worker threads (default 2)\n"
+                 "  --help       this text\n";
+    return 0;
+  }
 
   // The miniature sweep: sizes and rank counts scaled to the container,
   // same structure as the paper's (4 sizes x 3 rank counts x 3 layouts).
-  const std::size_t sizes[] = {256, 384, 512};
-  const int rank_counts[] = {8, 16};
-  const hw::LoadLayout layouts[] = {hw::LoadLayout::kFullLoad,
-                                    hw::LoadLayout::kHalfLoadOneSocket,
-                                    hw::LoadLayout::kHalfLoadTwoSockets};
+  batch::CampaignManifest manifest;
+  manifest.name = "energy-campaign-mini";
+  manifest.tier = batch::Tier::kNumeric;
+  manifest.machine = "mini:16x4";
+  manifest.algorithms = {perfsim::Algorithm::kIme,
+                         perfsim::Algorithm::kScalapack};
+  manifest.sizes = {256, 384, 512};
+  manifest.rank_counts = {8, 16};
+  manifest.layouts = {hw::LoadLayout::kFullLoad,
+                      hw::LoadLayout::kHalfLoadOneSocket,
+                      hw::LoadLayout::kHalfLoadTwoSockets};
+  manifest.blocks = {32};
+  manifest.repetitions = static_cast<int>(args.get_int("reps", 2));
+  manifest.workers = static_cast<int>(args.get_int("workers", 2));
 
-  std::vector<monitor::JobResult> jobs;
-  for (perfsim::Algorithm algorithm :
-       {perfsim::Algorithm::kIme, perfsim::Algorithm::kScalapack}) {
-    for (std::size_t n : sizes) {
-      for (int ranks : rank_counts) {
-        for (hw::LoadLayout layout : layouts) {
-          monitor::JobSpec spec;
-          spec.algorithm = algorithm;
-          spec.n = n;
-          spec.ranks = ranks;
-          spec.layout = layout;
-          spec.nb = 32;
-          spec.repetitions = reps;
-          PLIN_LOG_INFO << "running " << spec.describe();
-          jobs.push_back(monitor::run_job(machine, spec, options));
-        }
+  batch::CampaignOptions options;
+  options.store_dir = args.get("store", "campaign_store");
+
+  try {
+    const batch::CampaignResult result =
+        batch::run_campaign(manifest, options);
+
+    std::cout << "\nCampaign results (" << result.records.size()
+              << " jobs x " << manifest.repetitions
+              << " repetitions, numeric tier; " << result.outcome.executed
+              << " executed now, " << result.outcome.cached
+              << " served from the store)\n\n";
+    batch::print_report_table(std::cout, result.records);
+    std::cout << "\nReports written to " << result.csv_path << " and "
+              << result.markdown_path << "\n";
+
+    // Quick take-aways, mirroring §5.4.
+    double ime_j = 0.0;
+    double sca_j = 0.0;
+    for (const batch::JobRecord& record : result.records) {
+      double total = 0.0;
+      for (const batch::RepetitionRecord& rep : record.repetitions) {
+        total += rep.total_j();
+      }
+      total /= static_cast<double>(record.repetitions.size());
+      if (record.spec.algorithm == perfsim::Algorithm::kIme) {
+        ime_j += total;
+      } else {
+        sca_j += total;
       }
     }
+    std::cout << "\nTotal energy across the campaign: IMe "
+              << format_energy(ime_j) << " vs ScaLAPACK "
+              << format_energy(sca_j) << " ("
+              << format_fixed(100.0 * (ime_j / sca_j - 1.0), 1)
+              << "% more for IMe).\n";
+    return result.outcome.failures.empty() ? 0 : 1;
+  } catch (const plin::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
   }
-
-  std::cout << "\nCampaign results (" << jobs.size() << " jobs x " << reps
-            << " repetitions, numeric tier)\n\n";
-  monitor::print_campaign_table(std::cout, jobs);
-
-  std::ofstream csv(csv_path, std::ios::trunc);
-  monitor::write_campaign_csv(csv, jobs);
-  std::cout << "\nPer-repetition CSV written to " << csv_path << "\n";
-  if (!out_dir.empty()) {
-    std::cout << "Per-processor monitor files written under " << out_dir
-              << "\n";
-  }
-
-  // Quick take-aways, mirroring §5.4.
-  double ime_j = 0.0;
-  double sca_j = 0.0;
-  for (const monitor::JobResult& job : jobs) {
-    if (job.spec.algorithm == perfsim::Algorithm::kIme) {
-      ime_j += job.mean_total_j();
-    } else {
-      sca_j += job.mean_total_j();
-    }
-  }
-  std::cout << "\nTotal energy across the campaign: IMe "
-            << format_energy(ime_j) << " vs ScaLAPACK "
-            << format_energy(sca_j) << " ("
-            << format_fixed(100.0 * (ime_j / sca_j - 1.0), 1)
-            << "% more for IMe).\n";
-  return 0;
 }

@@ -1,0 +1,55 @@
+#include "batch/campaign.hpp"
+
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace plin::batch {
+
+CampaignResult run_campaign(const CampaignManifest& manifest,
+                            const CampaignOptions& options) {
+  const std::vector<JobSpec> specs = manifest.expand();
+  ResultStore store(options.store_dir);
+  if (store.recovered_torn_tail()) {
+    PLIN_LOG_WARN << "campaign '" << manifest.name
+                  << "': store recovered from a mid-write crash";
+  }
+
+  QueueOptions queue_options;
+  queue_options.workers =
+      options.workers > 0 ? options.workers : manifest.workers;
+  queue_options.retries = manifest.retries;
+  queue_options.timeout_s = manifest.timeout_s;
+  queue_options.max_jobs = options.max_jobs;
+  queue_options.job_hook = options.job_hook;
+
+  PLIN_LOG_INFO << "campaign '" << manifest.name << "': " << specs.size()
+                << " jobs on " << queue_options.workers << " worker(s), store "
+                << store.dir();
+
+  CampaignResult result;
+  result.outcome = run_queue(specs, store, queue_options);
+  PLIN_LOG_INFO << "campaign '" << manifest.name << "': "
+                << result.outcome.executed << " executed, "
+                << result.outcome.cached << " cached, "
+                << result.outcome.failures.size() << " failed, "
+                << result.outcome.stopped << " stopped";
+
+  result.records = collect_records(specs, store, &result.missing);
+
+  if (options.write_reports) {
+    result.csv_path = store.dir() + "/report.csv";
+    std::ofstream csv(result.csv_path, std::ios::trunc);
+    if (!csv) throw IoError("cannot write report: " + result.csv_path);
+    write_report_csv(csv, result.records);
+
+    result.markdown_path = store.dir() + "/report.md";
+    std::ofstream md(result.markdown_path, std::ios::trunc);
+    if (!md) throw IoError("cannot write report: " + result.markdown_path);
+    write_report_markdown(md, result.records);
+  }
+  return result;
+}
+
+}  // namespace plin::batch

@@ -1,0 +1,50 @@
+// Campaign orchestrator — ties manifest, store, queue and report together:
+// the top-level entry point behind `powerlin_run --campaign` and
+// examples/energy_campaign.
+//
+//   manifest -> expand grid -> skip cache hits -> run misses on the worker
+//   pool -> journal results -> regenerate reports from the store.
+//
+// Reports are rewritten on every invocation (including pure-cache resumes),
+// so <store>/report.csv and <store>/report.md always reflect the full
+// journal. See docs/campaign.md for the resume workflow.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "batch/manifest.hpp"
+#include "batch/queue.hpp"
+#include "batch/report.hpp"
+
+namespace plin::batch {
+
+struct CampaignOptions {
+  std::string store_dir = "campaign_store";
+  /// Overrides the manifest's worker count when > 0.
+  int workers = 0;
+  /// Deterministic interrupt: execute at most this many jobs (cache hits
+  /// excluded) before stopping. Used by tests and the CI resume job.
+  std::size_t max_jobs = static_cast<std::size_t>(-1);
+  /// Write <store>/report.csv and <store>/report.md after the queue drains.
+  bool write_reports = true;
+  /// Test hook forwarded to the queue (fault injection).
+  std::function<void(const JobSpec&)> job_hook;
+};
+
+struct CampaignResult {
+  QueueOutcome outcome;
+  /// Records present after this invocation, in manifest order.
+  std::vector<JobRecord> records;
+  /// Jobs of the manifest still absent from the store (failed / stopped).
+  std::size_t missing = 0;
+  std::string csv_path;       // empty when write_reports is false
+  std::string markdown_path;  // empty when write_reports is false
+};
+
+CampaignResult run_campaign(const CampaignManifest& manifest,
+                            const CampaignOptions& options = {});
+
+}  // namespace plin::batch

@@ -1,0 +1,211 @@
+#include "batch/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/kvfile.hpp"
+
+namespace plin::batch {
+namespace {
+
+[[noreturn]] void fail(const KvLine& line, const std::string& what) {
+  throw InvalidArgument("manifest line " + std::to_string(line.line_no) +
+                        ": " + what);
+}
+
+const std::string& single_value(const KvLine& line) {
+  if (line.values.size() != 1) {
+    fail(line, "key '" + line.key + "' takes exactly one value");
+  }
+  return line.values[0];
+}
+
+long parse_long(const KvLine& line, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const long value = std::stol(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    fail(line, "not an integer: " + token);
+  }
+}
+
+double parse_num(const KvLine& line, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return value;
+  } catch (const std::exception&) {
+    fail(line, "not a number: " + token);
+  }
+}
+
+void parse_grid(CampaignManifest& manifest, const KvLine& line) {
+  if (line.values.size() < 2) {
+    fail(line, "grid lines need an axis name and at least one value");
+  }
+  const std::string& axis = line.values[0];
+  const auto tokens =
+      std::vector<std::string>(line.values.begin() + 1, line.values.end());
+  try {
+    if (axis == "algorithm") {
+      manifest.algorithms.clear();
+      for (const auto& t : tokens) {
+        manifest.algorithms.push_back(parse_algorithm_token(t));
+      }
+    } else if (axis == "n") {
+      manifest.sizes.clear();
+      for (const auto& t : tokens) {
+        const long v = parse_long(line, t);
+        if (v <= 0) fail(line, "n must be positive: " + t);
+        manifest.sizes.push_back(static_cast<std::size_t>(v));
+      }
+    } else if (axis == "ranks") {
+      manifest.rank_counts.clear();
+      for (const auto& t : tokens) {
+        const long v = parse_long(line, t);
+        if (v <= 0) fail(line, "ranks must be positive: " + t);
+        manifest.rank_counts.push_back(static_cast<int>(v));
+      }
+    } else if (axis == "layout") {
+      manifest.layouts.clear();
+      for (const auto& t : tokens) {
+        manifest.layouts.push_back(parse_layout_token(t));
+      }
+    } else if (axis == "nb") {
+      manifest.blocks.clear();
+      for (const auto& t : tokens) {
+        const long v = parse_long(line, t);
+        if (v <= 0) fail(line, "nb must be positive: " + t);
+        manifest.blocks.push_back(static_cast<std::size_t>(v));
+      }
+    } else if (axis == "seed") {
+      manifest.seeds.clear();
+      for (const auto& t : tokens) {
+        manifest.seeds.push_back(
+            static_cast<std::uint64_t>(parse_long(line, t)));
+      }
+    } else if (axis == "power_cap_w") {
+      manifest.power_caps_w.clear();
+      for (const auto& t : tokens) {
+        const double v = parse_num(line, t);
+        if (v < 0.0) fail(line, "power_cap_w must be >= 0: " + t);
+        manifest.power_caps_w.push_back(v);
+      }
+    } else {
+      fail(line, "unknown grid axis '" + axis +
+                     "' (algorithm | n | ranks | layout | nb | seed | "
+                     "power_cap_w)");
+    }
+  } catch (const InvalidArgument&) {
+    throw;  // already carries line context or a precise token message
+  }
+}
+
+}  // namespace
+
+std::vector<JobSpec> CampaignManifest::expand() const {
+  std::vector<JobSpec> specs;
+  specs.reserve(job_count());
+  for (const perfsim::Algorithm algorithm : algorithms) {
+    for (const std::size_t n : sizes) {
+      for (const int ranks : rank_counts) {
+        for (const hw::LoadLayout layout : layouts) {
+          for (const std::size_t nb : blocks) {
+            for (const std::uint64_t seed : seeds) {
+              for (const double cap_w : power_caps_w) {
+                JobSpec spec;
+                spec.tier = tier;
+                spec.machine = machine;
+                spec.algorithm = algorithm;
+                spec.n = n;
+                spec.ranks = ranks;
+                spec.layout = layout;
+                spec.nb = nb;
+                spec.seed = seed;
+                spec.repetitions = repetitions;
+                spec.iterations = iterations;
+                spec.power_cap_w = cap_w;
+                specs.push_back(std::move(spec));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+std::size_t CampaignManifest::job_count() const {
+  return algorithms.size() * sizes.size() * rank_counts.size() *
+         layouts.size() * blocks.size() * seeds.size() * power_caps_w.size();
+}
+
+CampaignManifest parse_manifest(const std::string& text) {
+  CampaignManifest manifest;
+  for (const KvLine& line : parse_kv_text(text)) {
+    if (line.key == "campaign") {
+      manifest.name = single_value(line);
+    } else if (line.key == "tier") {
+      manifest.tier = parse_tier(single_value(line));
+    } else if (line.key == "machine") {
+      // Resolve eagerly so typos fail at parse time, not mid-campaign.
+      (void)machine_from_name(single_value(line));
+      manifest.machine = single_value(line);
+    } else if (line.key == "reps") {
+      const long v = parse_long(line, single_value(line));
+      if (v <= 0) fail(line, "reps must be positive");
+      manifest.repetitions = static_cast<int>(v);
+    } else if (line.key == "workers") {
+      const long v = parse_long(line, single_value(line));
+      if (v <= 0) fail(line, "workers must be positive");
+      manifest.workers = static_cast<int>(v);
+    } else if (line.key == "retries") {
+      const long v = parse_long(line, single_value(line));
+      if (v < 0) fail(line, "retries must be >= 0");
+      manifest.retries = static_cast<int>(v);
+    } else if (line.key == "timeout_s") {
+      const double v = parse_num(line, single_value(line));
+      if (v < 0.0) fail(line, "timeout_s must be >= 0");
+      manifest.timeout_s = v;
+    } else if (line.key == "iterations") {
+      const long v = parse_long(line, single_value(line));
+      if (v <= 0) fail(line, "iterations must be positive");
+      manifest.iterations = static_cast<int>(v);
+    } else if (line.key == "grid") {
+      parse_grid(manifest, line);
+    } else {
+      fail(line, "unknown key '" + line.key +
+                     "' (campaign | tier | machine | reps | workers | "
+                     "retries | timeout_s | iterations | grid)");
+    }
+  }
+
+  if (manifest.tier == Tier::kReplay) {
+    for (const double cap : manifest.power_caps_w) {
+      if (cap > 0.0) {
+        throw InvalidArgument(
+            "manifest: power caps are numeric-tier only (perfsim does not "
+            "model capped frequency scaling)");
+      }
+    }
+  }
+  PLIN_CHECK_MSG(manifest.job_count() > 0, "manifest: empty grid");
+  PLIN_CHECK_MSG(manifest.job_count() <= 100000,
+                 "manifest: grid expands to more than 100000 jobs");
+  return manifest;
+}
+
+CampaignManifest load_manifest_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot read manifest file: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_manifest(buffer.str());
+}
+
+}  // namespace plin::batch

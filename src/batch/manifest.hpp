@@ -1,0 +1,65 @@
+// Campaign manifests — the declarative analogue of the paper's SLURM batch
+// scripts. A manifest names the campaign, picks a tier and machine, sets
+// execution policy (workers, retries, timeout) and spans a grid over
+// algorithm / n / ranks / layout / nb / seed / power cap. Syntax is the
+// support/kvfile line format; see docs/campaign.md for the reference.
+//
+//   campaign  ci-smoke
+//   tier      numeric
+//   machine   mini:8x4
+//   reps      2
+//   workers   4
+//   retries   1
+//   timeout_s 600
+//   grid algorithm ime scalapack
+//   grid n         192 256
+//   grid ranks     4 8
+//   grid layout    full half1 half2
+//
+// expand() walks the grid in declaration-independent canonical order
+// (algorithm, n, ranks, layout, nb, seed, cap — outermost first), so job
+// order, and therefore every report derived from it, is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "batch/spec.hpp"
+
+namespace plin::batch {
+
+struct CampaignManifest {
+  std::string name = "campaign";
+  Tier tier = Tier::kNumeric;
+  std::string machine = "mini:16x4";
+  int repetitions = 1;
+  int workers = 1;
+  int retries = 0;
+  double timeout_s = 0.0;  // per job; 0 = unlimited
+  int iterations = 100;    // Jacobi replay sweeps
+
+  // Grid axes (each must be non-empty after parsing; defaults below).
+  std::vector<perfsim::Algorithm> algorithms = {perfsim::Algorithm::kIme};
+  std::vector<std::size_t> sizes = {256};
+  std::vector<int> rank_counts = {4};
+  std::vector<hw::LoadLayout> layouts = {hw::LoadLayout::kFullLoad};
+  std::vector<std::size_t> blocks = {32};
+  std::vector<std::uint64_t> seeds = {1};
+  std::vector<double> power_caps_w = {0.0};
+
+  /// Expands the grid into one JobSpec per point, canonical order.
+  std::vector<JobSpec> expand() const;
+
+  /// Total grid size without materializing the specs.
+  std::size_t job_count() const;
+};
+
+/// Parses manifest text; throws InvalidArgument naming the offending line
+/// on unknown keys, bad values, or empty grids.
+CampaignManifest parse_manifest(const std::string& text);
+
+/// Reads and parses a manifest file (IoError if unreadable).
+CampaignManifest load_manifest_file(const std::string& path);
+
+}  // namespace plin::batch

@@ -1,0 +1,62 @@
+// JobQueue — expands a campaign's job list across a bounded pool of host
+// worker threads (the PR-2 worker-pool pattern one level up: there fibers
+// over workers inside one world, here whole worlds over workers).
+//
+// Each worker claims jobs in index order from a shared cursor. Per job:
+//   * store hit  -> skipped (logged), counted as cached;
+//   * store miss -> executed with up to 1 + retries attempts; failures are
+//     captured per job (spec, error, attempts) and never abort the
+//     campaign; successes are journaled into the store immediately, so an
+//     interrupt after any job loses nothing.
+//
+// The per-job timeout is cooperative: simulated jobs always terminate (the
+// xmpi scheduler aborts deadlocked worlds), so the budget is checked when
+// the job returns — an over-budget job is recorded as a failure and its
+// result is discarded, keeping pathological grid points out of the store.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "batch/runner.hpp"
+#include "batch/store.hpp"
+
+namespace plin::batch {
+
+struct QueueOptions {
+  int workers = 1;
+  int retries = 0;          // extra attempts after the first failure
+  double timeout_s = 0.0;   // per-job host-seconds budget; 0 = unlimited
+  /// Stop claiming new work after this many jobs have been *executed*
+  /// (cache hits don't count). The deterministic interrupt used by tests
+  /// and the CI kill-and-resume job.
+  std::size_t max_jobs = static_cast<std::size_t>(-1);
+  /// Test hook invoked before each execution attempt; a throw from here is
+  /// indistinguishable from a job failure (fault injection).
+  std::function<void(const JobSpec&)> job_hook;
+};
+
+struct JobFailure {
+  JobSpec spec;
+  std::string error;   // message of the final attempt
+  int attempts = 0;
+};
+
+struct QueueOutcome {
+  std::size_t executed = 0;  // jobs run (and stored) this invocation
+  std::size_t cached = 0;    // jobs skipped via store hits
+  std::size_t stopped = 0;   // jobs left unprocessed by the max_jobs cutoff
+  std::vector<JobFailure> failures;
+
+  bool complete() const { return stopped == 0 && failures.empty(); }
+};
+
+/// Runs every spec not already in the store. Returns once all claimed jobs
+/// finished; safe to call again (resume) with the same store.
+QueueOutcome run_queue(std::span<const JobSpec> specs, ResultStore& store,
+                       const QueueOptions& options);
+
+}  // namespace plin::batch

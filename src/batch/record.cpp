@@ -1,0 +1,79 @@
+#include "batch/record.hpp"
+
+#include "support/error.hpp"
+
+namespace plin::batch {
+
+json::Value to_json(const JobRecord& record) {
+  json::Value spec = json::make_object();
+  spec.set("tier", to_string(record.spec.tier));
+  spec.set("machine", record.spec.machine);
+  spec.set("algorithm", algorithm_token(record.spec.algorithm));
+  spec.set("n", static_cast<double>(record.spec.n));
+  spec.set("ranks", record.spec.ranks);
+  spec.set("layout", layout_token(record.spec.layout));
+  spec.set("nb", static_cast<double>(record.spec.nb));
+  spec.set("seed", static_cast<double>(record.spec.seed));
+  spec.set("reps", record.spec.repetitions);
+  spec.set("iterations", record.spec.iterations);
+  spec.set("power_cap_w", record.spec.power_cap_w);
+
+  json::Array reps;
+  reps.reserve(record.repetitions.size());
+  for (const RepetitionRecord& rep : record.repetitions) {
+    json::Value r = json::make_object();
+    r.set("duration_s", rep.duration_s);
+    r.set("pkg0_j", rep.pkg_j[0]);
+    r.set("pkg1_j", rep.pkg_j[1]);
+    r.set("dram0_j", rep.dram_j[0]);
+    r.set("dram1_j", rep.dram_j[1]);
+    r.set("residual", rep.residual);
+    r.set("host_s", rep.host_s);
+    reps.push_back(std::move(r));
+  }
+
+  json::Value root = json::make_object();
+  root.set("key", record.key());
+  root.set("spec", std::move(spec));
+  root.set("reps", json::Value(std::move(reps)));
+  return root;
+}
+
+JobRecord record_from_json(const json::Value& value) {
+  JobRecord record;
+  const json::Value& spec = value.at("spec");
+  record.spec.tier = parse_tier(spec.at("tier").as_string());
+  record.spec.machine = spec.at("machine").as_string();
+  record.spec.algorithm =
+      parse_algorithm_token(spec.at("algorithm").as_string());
+  record.spec.n = static_cast<std::size_t>(spec.at("n").as_number());
+  record.spec.ranks = static_cast<int>(spec.at("ranks").as_number());
+  record.spec.layout = parse_layout_token(spec.at("layout").as_string());
+  record.spec.nb = static_cast<std::size_t>(spec.at("nb").as_number());
+  record.spec.seed = static_cast<std::uint64_t>(spec.at("seed").as_number());
+  record.spec.repetitions = static_cast<int>(spec.at("reps").as_number());
+  record.spec.iterations =
+      static_cast<int>(spec.at("iterations").as_number());
+  record.spec.power_cap_w = spec.at("power_cap_w").as_number();
+
+  for (const json::Value& r : value.at("reps").as_array()) {
+    RepetitionRecord rep;
+    rep.duration_s = r.at("duration_s").as_number();
+    rep.pkg_j[0] = r.at("pkg0_j").as_number();
+    rep.pkg_j[1] = r.at("pkg1_j").as_number();
+    rep.dram_j[0] = r.at("dram0_j").as_number();
+    rep.dram_j[1] = r.at("dram1_j").as_number();
+    rep.residual = r.at("residual").as_number();
+    rep.host_s = r.at("host_s").as_number();
+    record.repetitions.push_back(rep);
+  }
+
+  // The stored key column is advisory; the spec is authoritative. A
+  // mismatch means the record was written by an incompatible version.
+  const std::string stored_key = value.at("key").as_string();
+  PLIN_CHECK_MSG(stored_key == record.key(),
+                 "store record key does not match its spec (stale format?)");
+  return record;
+}
+
+}  // namespace plin::batch

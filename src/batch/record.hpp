@@ -1,0 +1,45 @@
+// JobRecord — the unit the result store persists: one completed job, its
+// spec, and every repetition's measurement. Serialization is exact: all
+// doubles survive a JSON round trip bit-for-bit, so reports generated from
+// freshly-computed records and from journal-replayed records are
+// byte-identical (the store's resumability contract).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/spec.hpp"
+#include "support/json.hpp"
+
+namespace plin::batch {
+
+/// One repetition of one job. Virtual-time quantities are deterministic
+/// (identical across host schedules); host_s is wall-clock diagnostics and
+/// is excluded from every report for exactly that reason.
+struct RepetitionRecord {
+  double duration_s = 0.0;
+  double pkg_j[2] = {0.0, 0.0};
+  double dram_j[2] = {0.0, 0.0};
+  double residual = 0.0;
+  double host_s = 0.0;
+
+  double total_j() const {
+    return pkg_j[0] + pkg_j[1] + dram_j[0] + dram_j[1];
+  }
+  double total_pkg_j() const { return pkg_j[0] + pkg_j[1]; }
+  double total_dram_j() const { return dram_j[0] + dram_j[1]; }
+};
+
+struct JobRecord {
+  JobSpec spec;
+  std::vector<RepetitionRecord> repetitions;
+
+  std::string key() const { return spec.key(); }
+};
+
+/// Record <-> JSON. to_json emits a stable field order; from_json accepts
+/// any order and throws plin::Error on missing fields or kind mismatches.
+json::Value to_json(const JobRecord& record);
+JobRecord record_from_json(const json::Value& value);
+
+}  // namespace plin::batch

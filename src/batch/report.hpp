@@ -1,0 +1,37 @@
+// Report engine — deterministic aggregation from the result store alone.
+//
+// Rows follow the manifest's canonical expansion order, never journal
+// (completion) order, and only virtual-time quantities are emitted — the
+// two properties that make a report byte-identical across worker counts
+// and across interrupted-and-resumed versus uninterrupted campaigns.
+// Repetitions fold through support/stats (mean / stddev / 95% CI).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "batch/record.hpp"
+#include "batch/store.hpp"
+
+namespace plin::batch {
+
+/// Records present in `store` for `specs`, in spec order. Absent jobs
+/// (failed or not yet run) are counted into `missing` when non-null.
+std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
+                                       const ResultStore& store,
+                                       std::size_t* missing = nullptr);
+
+/// Aggregate CSV: one row per job with repetition statistics.
+void write_report_csv(std::ostream& os, std::span<const JobRecord> records);
+
+/// Markdown table (for docs / PR-style summaries).
+void write_report_markdown(std::ostream& os,
+                           std::span<const JobRecord> records);
+
+/// Human-readable table mirroring monitor::print_campaign_table, plus
+/// spread columns.
+void print_report_table(std::ostream& os, std::span<const JobRecord> records);
+
+}  // namespace plin::batch

@@ -1,0 +1,124 @@
+#include "batch/store.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/logging.hpp"
+
+namespace plin::batch {
+namespace {
+
+std::string journal_path(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir)) {
+  PLIN_CHECK_MSG(!dir_.empty(), "store: directory must not be empty");
+  std::filesystem::create_directories(dir_);
+  std::filesystem::create_directories(dir_ + "/records");
+  replay_journal();
+  journal_.open(journal_path(dir_), std::ios::app);
+  if (!journal_) {
+    throw IoError("store: cannot open journal for append: " +
+                  journal_path(dir_));
+  }
+}
+
+void ResultStore::replay_journal() {
+  std::ifstream is(journal_path(dir_), std::ios::binary);
+  if (!is) return;  // fresh store
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t pos = 0;
+  std::size_t valid_bytes = 0;  // prefix ending after the last good line
+  while (pos < text.size()) {
+    const std::size_t line_start = pos;
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) {
+      // No terminating newline: the writer died mid-append. Drop the tail.
+      torn_tail_ = true;
+      break;
+    }
+    const std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      valid_bytes = pos;
+      continue;
+    }
+
+    json::Value value;
+    try {
+      value = json::parse(line);
+    } catch (const Error&) {
+      if (pos >= text.size()) {
+        // Newline present but the JSON itself is truncated — still the
+        // final line, still a recoverable mid-write crash.
+        torn_tail_ = true;
+        pos = line_start;
+        break;
+      }
+      throw IoError("store: corrupt journal line (not at end of file): " +
+                    journal_path(dir_));
+    }
+    valid_bytes = pos;
+    try {
+      JobRecord record = record_from_json(value);
+      const std::string key = record.key();
+      records_.insert_or_assign(key, std::move(record));
+    } catch (const Error&) {
+      // Semantically stale (format-version bump): a cache miss, not fatal.
+      ++skipped_stale_;
+    }
+  }
+  if (torn_tail_) {
+    // Truncate the torn tail away so the next put() starts a fresh line
+    // instead of appending onto the partial one.
+    std::filesystem::resize_file(journal_path(dir_), valid_bytes);
+    PLIN_LOG_WARN << "store: dropped torn trailing journal line in " << dir_;
+  }
+  if (skipped_stale_ > 0) {
+    PLIN_LOG_WARN << "store: skipped " << skipped_stale_
+                  << " stale-format record(s) in " << dir_;
+  }
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.count(key) != 0;
+}
+
+JobRecord ResultStore::lookup(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  PLIN_CHECK_MSG(it != records_.end(), "store: no record for key " + key);
+  return it->second;
+}
+
+void ResultStore::put(const JobRecord& record) {
+  const std::string key = record.key();
+  const std::string line = json::serialize(to_json(record));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  journal_ << line << '\n';
+  journal_.flush();
+  if (!journal_) throw IoError("store: journal append failed in " + dir_);
+
+  // Human-readable mirror; the journal stays authoritative.
+  const std::string path = dir_ + "/records/" + key + ".json";
+  std::ofstream os(path, std::ios::trunc);
+  os << line << '\n';
+
+  records_.insert_or_assign(key, record);
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace plin::batch

@@ -1,0 +1,69 @@
+// ResultStore — persistent, resumable, content-addressed storage for
+// campaign results.
+//
+// Layout under the store directory:
+//   journal.jsonl    append-only journal, one JobRecord JSON per line; the
+//                    single source of truth on open()
+//   records/<key>.json   per-job mirror of the same JSON (for humans and
+//                    external tooling; never read back)
+//
+// Crash safety: put() appends "record\n" and flushes before returning, so
+// a killed campaign loses at most the line being written. open() replays
+// the journal; a torn final line (no newline, or truncated JSON) is
+// detected and dropped, anything torn *before* the final line is corruption
+// and throws. Records whose stored key no longer matches their spec (a
+// format-version bump) are skipped — they simply become cache misses.
+//
+// Thread safety: put() and lookups are mutex-guarded; the queue's workers
+// write concurrently.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "batch/record.hpp"
+
+namespace plin::batch {
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store at `dir` and replays the journal.
+  explicit ResultStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  bool contains(const std::string& key) const;
+
+  /// Copy of the record under `key`; throws if absent (check contains()).
+  JobRecord lookup(const std::string& key) const;
+
+  /// Journals and indexes one completed job. Re-putting a key overwrites
+  /// (last write wins on replay, matching the in-memory index).
+  void put(const JobRecord& record);
+
+  std::size_t size() const;
+
+  /// True when open() dropped a torn trailing journal line (i.e. this
+  /// store survived a mid-write crash).
+  bool recovered_torn_tail() const { return torn_tail_; }
+
+  /// Number of records open() skipped because their key no longer matches
+  /// their spec (stale format version).
+  std::size_t skipped_stale() const { return skipped_stale_; }
+
+ private:
+  void replay_journal();
+
+  std::string dir_;
+  std::ofstream journal_;
+  std::map<std::string, JobRecord> records_;
+  bool torn_tail_ = false;
+  std::size_t skipped_stale_ = 0;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace plin::batch

@@ -4,16 +4,31 @@
 
 #include "linalg/generate.hpp"
 #include "linalg/kernels.hpp"
+#include "papisim/papi.hpp"
 #include "solvers/gepp/pdgesv.hpp"
 #include "solvers/ime/imep.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/stats.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
 #include "xmpi/runtime.hpp"
 
 namespace plin::monitor {
+namespace {
+
+/// Folds one per-repetition quantity through the shared statistics helper.
+template <typename Get>
+SampleStats repetition_stats(const std::vector<RepetitionResult>& reps,
+                             Get&& get) {
+  std::vector<double> samples;
+  samples.reserve(reps.size());
+  for (const RepetitionResult& rep : reps) samples.push_back(get(rep));
+  return compute_stats(samples);
+}
+
+}  // namespace
 
 std::string JobSpec::describe() const {
   return std::string(perfsim::to_string(algorithm)) + " n=" +
@@ -21,28 +36,35 @@ std::string JobSpec::describe() const {
          hw::to_string(layout);
 }
 
-double JobResult::mean_duration_s() const {
-  double sum = 0.0;
-  for (const auto& rep : repetitions) sum += rep.measurement.duration_s;
-  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+SampleStats JobResult::duration_stats() const {
+  return repetition_stats(
+      repetitions, [](const RepetitionResult& r) {
+        return r.measurement.duration_s;
+      });
 }
 
-double JobResult::mean_total_j() const {
-  double sum = 0.0;
-  for (const auto& rep : repetitions) sum += rep.measurement.total_j();
-  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+SampleStats JobResult::total_j_stats() const {
+  return repetition_stats(repetitions, [](const RepetitionResult& r) {
+    return r.measurement.total_j();
+  });
 }
+
+double JobResult::mean_duration_s() const { return duration_stats().mean; }
+
+double JobResult::mean_total_j() const { return total_j_stats().mean; }
 
 double JobResult::mean_pkg_j() const {
-  double sum = 0.0;
-  for (const auto& rep : repetitions) sum += rep.measurement.total_pkg_j();
-  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+  return repetition_stats(repetitions, [](const RepetitionResult& r) {
+           return r.measurement.total_pkg_j();
+         })
+      .mean;
 }
 
 double JobResult::mean_dram_j() const {
-  double sum = 0.0;
-  for (const auto& rep : repetitions) sum += rep.measurement.total_dram_j();
-  return repetitions.empty() ? 0.0 : sum / repetitions.size();
+  return repetition_stats(repetitions, [](const RepetitionResult& r) {
+           return r.measurement.total_dram_j();
+         })
+      .mean;
 }
 
 double JobResult::mean_power_w() const {
@@ -78,6 +100,21 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
       std::vector<double> x;
       const RunMeasurement measurement = monitored_run(
           world, options, [&](xmpi::Comm& comm) {
+            if (spec.power_cap_w > 0.0) {
+              // One rank per node programs both package limits, then the
+              // world synchronizes before the solve (the powercap_explorer
+              // protocol, now reachable from batch manifests).
+              if (comm.my_location().socket == 0 &&
+                  comm.my_location().core == 0) {
+                (void)papisim::set_powercap_limit(
+                    "powercap:::POWER_LIMIT_A_UW:ZONE0",
+                    static_cast<long long>(spec.power_cap_w * 1e6));
+                (void)papisim::set_powercap_limit(
+                    "powercap:::POWER_LIMIT_A_UW:ZONE1",
+                    static_cast<long long>(spec.power_cap_w * 1e6));
+              }
+              comm.barrier();
+            }
             if (spec.algorithm == perfsim::Algorithm::kIme) {
               solvers::ImepOptions opt;
               opt.n = spec.n;

@@ -18,6 +18,7 @@
 #include "monitor/white_box.hpp"
 #include "perfsim/prediction.hpp"
 #include "solvers/efficiency.hpp"
+#include "support/stats.hpp"
 
 namespace plin::monitor {
 
@@ -29,6 +30,10 @@ struct JobSpec {
   std::uint64_t seed = 1;
   std::size_t nb = solvers::kDefaultBlock;  // ScaLAPACK block size
   int repetitions = 3;  // the paper uses 10 on the real machine
+  /// Per-package RAPL power cap programmed before the solve (0 = uncapped)
+  /// — the paper's §6 "application of power caps" extension, reachable
+  /// from batch campaign manifests.
+  double power_cap_w = 0.0;
 
   std::string describe() const;
 };
@@ -42,6 +47,11 @@ struct RepetitionResult {
 struct JobResult {
   JobSpec spec;
   std::vector<RepetitionResult> repetitions;
+
+  /// Full repetition statistics (support/stats.hpp) for the two headline
+  /// quantities; mean_* below are the means of the same distributions.
+  SampleStats duration_stats() const;
+  SampleStats total_j_stats() const;
 
   double mean_duration_s() const;
   double mean_total_j() const;

@@ -55,6 +55,27 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return value;
 }
 
+void CliArgs::require_known(
+    std::initializer_list<std::string_view> known) const {
+  std::string unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string_view candidate : known) {
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (!unknown.empty()) {
+    throw InvalidArgument("unknown flag(s): " + unknown + " (see --help)");
+  }
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;

@@ -2,8 +2,10 @@
 // Supports --name=value, --name value, and boolean --name forms.
 #pragma once
 
+#include <initializer_list>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace plin {
@@ -22,6 +24,12 @@ class CliArgs {
 
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
+
+  /// Rejects flags outside `known` with an InvalidArgument that lists every
+  /// offender and suggests --help. Tools call this so a mistyped flag fails
+  /// loudly; benches skip it and keep forwarding unknown flags to
+  /// google-benchmark.
+  void require_known(std::initializer_list<std::string_view> known) const;
 
  private:
   std::string program_;

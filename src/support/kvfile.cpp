@@ -1,0 +1,59 @@
+#include "support/kvfile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace plin {
+
+std::vector<KvLine> parse_kv_text(std::string_view text) {
+  std::vector<KvLine> lines;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    ++line_no;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+
+    KvLine parsed;
+    parsed.line_no = line_no;
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                                 line[i] == '\r')) {
+        ++i;
+      }
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+             line[i] != '\r') {
+        ++i;
+      }
+      if (i > start) {
+        std::string token(line.substr(start, i - start));
+        if (parsed.key.empty()) {
+          parsed.key = std::move(token);
+        } else {
+          parsed.values.push_back(std::move(token));
+        }
+      }
+    }
+    if (!parsed.key.empty()) lines.push_back(std::move(parsed));
+  }
+  return lines;
+}
+
+std::vector<KvLine> parse_kv_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw IoError("cannot read manifest file: " + path);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_kv_text(buffer.str());
+}
+
+}  // namespace plin

@@ -1,0 +1,33 @@
+// Line-oriented key/value-list text format, the syntax layer under batch
+// campaign manifests (docs/campaign.md):
+//
+//   # comment
+//   key value
+//   key value1 value2 value3
+//
+// Blank lines and everything after '#' are ignored; tokens are separated
+// by spaces or tabs. Semantics (which keys exist, how values parse) stay
+// with the caller; this parser only reports keys, tokens and line numbers
+// so callers can produce errors that point at the offending line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace plin {
+
+struct KvLine {
+  int line_no = 0;         // 1-based line in the source text
+  std::string key;         // first token
+  std::vector<std::string> values;  // remaining tokens (may be empty)
+};
+
+/// Parses manifest-style text into lines. Never throws: any non-blank,
+/// non-comment line has at least a key token by construction.
+std::vector<KvLine> parse_kv_text(std::string_view text);
+
+/// Reads and parses a file; throws plin::IoError if unreadable.
+std::vector<KvLine> parse_kv_file(const std::string& path);
+
+}  // namespace plin

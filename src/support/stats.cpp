@@ -1,0 +1,36 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plin {
+
+SampleStats compute_stats(std::span<const double> samples) {
+  SampleStats stats;
+  stats.count = samples.size();
+  if (samples.empty()) return stats;
+
+  double sum = 0.0;
+  stats.min = samples[0];
+  stats.max = samples[0];
+  for (const double x : samples) {
+    sum += x;
+    stats.min = std::min(stats.min, x);
+    stats.max = std::max(stats.max, x);
+  }
+  stats.mean = sum / static_cast<double>(samples.size());
+
+  if (samples.size() >= 2) {
+    double sq = 0.0;
+    for (const double x : samples) {
+      const double d = x - stats.mean;
+      sq += d * d;
+    }
+    stats.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+    stats.ci95_half =
+        1.96 * stats.stddev / std::sqrt(static_cast<double>(samples.size()));
+  }
+  return stats;
+}
+
+}  // namespace plin

@@ -1,0 +1,30 @@
+// Repetition statistics shared by the campaign table and the batch report
+// engine. The paper runs every job 10 times and reports aggregate numbers;
+// this is the one place that aggregation math lives.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace plin {
+
+/// Summary statistics of one sample set (e.g. the repetitions of a job).
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 for count < 2.
+  double stddev = 0.0;
+  /// Half-width of the 95% confidence interval of the mean, using the
+  /// normal approximation (1.96 * stddev / sqrt(n)); 0 for count < 2.
+  double ci95_half = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes SampleStats over `samples`. An empty span yields all zeros; a
+/// single sample yields mean = min = max = value with zero spread. The
+/// mean accumulates in index order, so callers that previously summed by
+/// hand get bit-identical results.
+SampleStats compute_stats(std::span<const double> samples);
+
+}  // namespace plin

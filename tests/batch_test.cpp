@@ -1,0 +1,486 @@
+// Tests for the batch campaign orchestrator: manifest parsing and grid
+// expansion, content-addressed job keys, the crash-safe result store
+// (journal replay, torn-tail recovery, corruption detection), the worker
+// queue (caching, retries, timeouts, deterministic interruption) and the
+// byte-identical report contract across interrupts and worker counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "batch/campaign.hpp"
+#include "batch/manifest.hpp"
+#include "batch/queue.hpp"
+#include "batch/record.hpp"
+#include "batch/report.hpp"
+#include "batch/runner.hpp"
+#include "batch/spec.hpp"
+#include "batch/store.hpp"
+#include "support/error.hpp"
+
+namespace plin::batch {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, removed up-front so reruns start clean.
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / "plin_batch_test" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir.parent_path());
+  return dir.string();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// A 4-job numeric campaign small enough for unit tests.
+CampaignManifest tiny_manifest() {
+  CampaignManifest manifest;
+  manifest.name = "tiny";
+  manifest.tier = Tier::kNumeric;
+  manifest.machine = "mini:8x4";
+  manifest.algorithms = {perfsim::Algorithm::kIme,
+                         perfsim::Algorithm::kScalapack};
+  manifest.sizes = {96, 128};
+  manifest.rank_counts = {4};
+  manifest.repetitions = 2;
+  return manifest;
+}
+
+// --- manifest parsing -------------------------------------------------------
+
+TEST(ManifestTest, ParsesFullManifest) {
+  const CampaignManifest m = parse_manifest(R"(# comment
+campaign  demo
+tier      replay
+machine   marconi
+reps      3
+workers   4
+retries   1
+timeout_s 600
+grid algorithm ime scalapack
+grid n         8640 17280
+grid ranks     144 576
+grid layout    full half1 half2
+grid nb        64
+grid seed      1 2
+)");
+  EXPECT_EQ(m.name, "demo");
+  EXPECT_EQ(m.tier, Tier::kReplay);
+  EXPECT_EQ(m.machine, "marconi");
+  EXPECT_EQ(m.repetitions, 3);
+  EXPECT_EQ(m.workers, 4);
+  EXPECT_EQ(m.retries, 1);
+  EXPECT_DOUBLE_EQ(m.timeout_s, 600.0);
+  EXPECT_EQ(m.job_count(), 2u * 2u * 2u * 3u * 1u * 2u);
+  EXPECT_EQ(m.expand().size(), m.job_count());
+}
+
+TEST(ManifestTest, ExpansionIsCanonicalOrder) {
+  CampaignManifest m = tiny_manifest();
+  const std::vector<JobSpec> jobs = m.expand();
+  ASSERT_EQ(jobs.size(), 4u);
+  // algorithm outermost, then n.
+  EXPECT_EQ(jobs[0].algorithm, perfsim::Algorithm::kIme);
+  EXPECT_EQ(jobs[0].n, 96u);
+  EXPECT_EQ(jobs[1].n, 128u);
+  EXPECT_EQ(jobs[2].algorithm, perfsim::Algorithm::kScalapack);
+  EXPECT_EQ(jobs[2].n, 96u);
+  for (const JobSpec& job : jobs) {
+    EXPECT_EQ(job.tier, Tier::kNumeric);
+    EXPECT_EQ(job.machine, "mini:8x4");
+    EXPECT_EQ(job.repetitions, 2);
+  }
+}
+
+TEST(ManifestTest, RejectsUnknownKeyWithLineNumber) {
+  try {
+    parse_manifest("campaign x\nbogus 1\n");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ManifestTest, RejectsBadValuesAndEmptyGrids) {
+  EXPECT_THROW(parse_manifest("tier warp\n"), InvalidArgument);
+  EXPECT_THROW(parse_manifest("grid layout diagonal\n"), InvalidArgument);
+  EXPECT_THROW(parse_manifest("grid n\n"), InvalidArgument);
+  EXPECT_THROW(parse_manifest("machine nonsuch\n"), InvalidArgument);
+  EXPECT_THROW(parse_manifest("reps 0\n"), InvalidArgument);
+}
+
+TEST(ManifestTest, RejectsPowerCapsOnReplayTier) {
+  EXPECT_THROW(
+      parse_manifest("tier replay\nmachine marconi\ngrid power_cap_w 150\n"),
+      InvalidArgument);
+}
+
+// --- spec keys --------------------------------------------------------------
+
+TEST(SpecTest, KeyIsStableAcrossProcesses) {
+  // Pinned value: changing the canonical format or hash is a format-version
+  // bump and must be deliberate (stale store entries become cache misses).
+  EXPECT_EQ(fnv1a64("powerlin"), 0xed687e7bbd43cc01ull);
+  const JobSpec spec;
+  EXPECT_EQ(spec.key(), JobSpec{}.key());
+  EXPECT_EQ(spec.key().size(), 16u);
+}
+
+TEST(SpecTest, EveryResultFieldChangesTheKey) {
+  const JobSpec base;
+  const std::string base_key = base.key();
+  JobSpec s = base;
+  s.tier = Tier::kReplay;
+  s.machine = "marconi";  // replay needs a paper machine; still a key change
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.machine = "mini:8x4";
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.algorithm = perfsim::Algorithm::kScalapack;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.n = 384;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.ranks = 8;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.layout = hw::LoadLayout::kHalfLoadOneSocket;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.nb = 64;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.seed = 2;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.repetitions = 5;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.iterations = 50;
+  EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.power_cap_w = 150.0;
+  EXPECT_NE(s.key(), base_key);
+}
+
+TEST(SpecTest, MachineNamesResolve) {
+  EXPECT_GT(machine_from_name("marconi").total_nodes, 0);
+  EXPECT_GT(machine_from_name("epyc").total_nodes, 0);
+  EXPECT_EQ(machine_from_name("mini:8x4").total_nodes, 8);
+  EXPECT_THROW(machine_from_name("mini:0x4"), InvalidArgument);
+  EXPECT_THROW(machine_from_name("cray"), InvalidArgument);
+}
+
+// --- record serialization ---------------------------------------------------
+
+JobRecord sample_record() {
+  JobRecord record;
+  record.spec.n = 96;
+  record.spec.machine = "mini:8x4";
+  record.spec.repetitions = 2;
+  RepetitionRecord rep;
+  rep.duration_s = 0.001234567891234567;
+  rep.pkg_j[0] = 1.5;
+  rep.pkg_j[1] = 1.25;
+  rep.dram_j[0] = 0.125;
+  rep.dram_j[1] = 0.0625;
+  rep.residual = 3.0e-17;
+  rep.host_s = 0.25;
+  record.repetitions = {rep, rep};
+  return record;
+}
+
+TEST(RecordTest, JsonRoundTripIsExact) {
+  const JobRecord record = sample_record();
+  const std::string text = json::serialize(to_json(record));
+  const JobRecord back = record_from_json(json::parse(text));
+  EXPECT_EQ(back.key(), record.key());
+  ASSERT_EQ(back.repetitions.size(), 2u);
+  EXPECT_EQ(back.repetitions[0].duration_s, record.repetitions[0].duration_s);
+  EXPECT_EQ(back.repetitions[0].residual, record.repetitions[0].residual);
+  EXPECT_EQ(back.repetitions[0].total_j(), record.repetitions[0].total_j());
+  // Second round trip is byte-stable.
+  EXPECT_EQ(json::serialize(to_json(back)), text);
+}
+
+TEST(RecordTest, RejectsKeyMismatch) {
+  json::Value value = to_json(sample_record());
+  value.set("key", json::Value("0000000000000000"));
+  EXPECT_THROW(record_from_json(value), Error);
+}
+
+// --- result store -----------------------------------------------------------
+
+TEST(StoreTest, PutLookupAndReplay) {
+  const std::string dir = scratch_dir("store_replay");
+  const JobRecord record = sample_record();
+  {
+    ResultStore store(dir);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_FALSE(store.contains(record.key()));
+    store.put(record);
+    EXPECT_TRUE(store.contains(record.key()));
+  }
+  ResultStore reopened(dir);
+  EXPECT_EQ(reopened.size(), 1u);
+  EXPECT_FALSE(reopened.recovered_torn_tail());
+  const JobRecord back = reopened.lookup(record.key());
+  EXPECT_EQ(back.repetitions[0].duration_s, record.repetitions[0].duration_s);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "records" /
+                         (record.key() + ".json")));
+}
+
+TEST(StoreTest, RecoversTornFinalLine) {
+  const std::string dir = scratch_dir("store_torn");
+  JobRecord first = sample_record();
+  JobRecord second = sample_record();
+  second.spec.seed = 2;
+  {
+    ResultStore store(dir);
+    store.put(first);
+    store.put(second);
+  }
+  // Simulate a crash mid-append: chop the tail of the last journal line.
+  const fs::path journal = fs::path(dir) / "journal.jsonl";
+  const std::string text = read_file(journal.string());
+  std::ofstream out(journal, std::ios::binary | std::ios::trunc);
+  out << text.substr(0, text.size() - 25);
+  out.close();
+
+  ResultStore recovered(dir);
+  EXPECT_TRUE(recovered.recovered_torn_tail());
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_TRUE(recovered.contains(first.key()));
+  EXPECT_FALSE(recovered.contains(second.key()));
+  // The torn job can be re-put and survives the next replay.
+  recovered.put(second);
+  ResultStore again(dir);
+  EXPECT_EQ(again.size(), 2u);
+  EXPECT_FALSE(again.recovered_torn_tail());
+}
+
+TEST(StoreTest, MidFileCorruptionThrows) {
+  const std::string dir = scratch_dir("store_corrupt");
+  JobRecord first = sample_record();
+  JobRecord second = sample_record();
+  second.spec.seed = 2;
+  {
+    ResultStore store(dir);
+    store.put(first);
+    store.put(second);
+  }
+  const fs::path journal = fs::path(dir) / "journal.jsonl";
+  std::string text = read_file(journal.string());
+  text[0] = 'x';  // first line is no longer JSON; the last stays intact
+  std::ofstream(journal, std::ios::binary | std::ios::trunc) << text;
+  EXPECT_THROW(ResultStore{dir}, IoError);
+}
+
+TEST(StoreTest, StaleKeysAreSkippedNotFatal) {
+  const std::string dir = scratch_dir("store_stale");
+  { ResultStore{dir}.put(sample_record()); }
+  const fs::path journal = fs::path(dir) / "journal.jsonl";
+  std::string text = read_file(journal.string());
+  // Rewrite the stored key: the record now looks like an older format
+  // version whose hash no longer matches.
+  const std::string key = sample_record().key();
+  text.replace(text.find(key), key.size(), "deadbeefdeadbeef");
+  std::ofstream(journal, std::ios::binary | std::ios::trunc) << text;
+  ResultStore store(dir);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.skipped_stale(), 1u);
+}
+
+// --- queue ------------------------------------------------------------------
+
+TEST(QueueTest, ExecutesThenServesFromCache) {
+  const std::string dir = scratch_dir("queue_cache");
+  const std::vector<JobSpec> jobs = tiny_manifest().expand();
+  ResultStore store(dir);
+  QueueOptions options;
+  const QueueOutcome fresh = run_queue(jobs, store, options);
+  EXPECT_EQ(fresh.executed, jobs.size());
+  EXPECT_EQ(fresh.cached, 0u);
+  EXPECT_TRUE(fresh.complete());
+  const QueueOutcome resumed = run_queue(jobs, store, options);
+  EXPECT_EQ(resumed.executed, 0u);
+  EXPECT_EQ(resumed.cached, jobs.size());
+}
+
+TEST(QueueTest, MaxJobsStopsDeterministically) {
+  const std::string dir = scratch_dir("queue_maxjobs");
+  const std::vector<JobSpec> jobs = tiny_manifest().expand();
+  ResultStore store(dir);
+  QueueOptions options;
+  options.max_jobs = 2;
+  const QueueOutcome first = run_queue(jobs, store, options);
+  EXPECT_EQ(first.executed, 2u);
+  EXPECT_EQ(first.stopped, 2u);
+  EXPECT_FALSE(first.complete());
+  // Resume with the same budget: the cached prefix doesn't consume it.
+  const QueueOutcome second = run_queue(jobs, store, options);
+  EXPECT_EQ(second.executed, 2u);
+  EXPECT_EQ(second.cached, 2u);
+  EXPECT_EQ(second.stopped, 0u);
+  EXPECT_TRUE(second.complete());
+}
+
+TEST(QueueTest, RetriesAfterInjectedFault) {
+  const std::string dir = scratch_dir("queue_retry");
+  std::vector<JobSpec> jobs = tiny_manifest().expand();
+  jobs.resize(1);
+  ResultStore store(dir);
+  QueueOptions options;
+  options.retries = 1;
+  int calls = 0;
+  options.job_hook = [&](const JobSpec&) {
+    if (++calls == 1) throw Error("injected fault");
+  };
+  const QueueOutcome outcome = run_queue(jobs, store, options);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(outcome.executed, 1u);
+  EXPECT_TRUE(outcome.failures.empty());
+}
+
+TEST(QueueTest, CapturesPermanentFailures) {
+  const std::string dir = scratch_dir("queue_fail");
+  std::vector<JobSpec> jobs = tiny_manifest().expand();
+  jobs.resize(2);
+  ResultStore store(dir);
+  QueueOptions options;
+  options.retries = 1;
+  options.job_hook = [&](const JobSpec& spec) {
+    if (spec.n == 96) throw Error("injected permanent fault");
+  };
+  const QueueOutcome outcome = run_queue(jobs, store, options);
+  EXPECT_EQ(outcome.executed, 1u);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].spec.n, 96u);
+  EXPECT_EQ(outcome.failures[0].attempts, 2);
+  EXPECT_NE(outcome.failures[0].error.find("injected"), std::string::npos);
+  // The failed job is absent from the store; the good one persisted.
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(QueueTest, TimeoutDiscardsOverBudgetJobs) {
+  const std::string dir = scratch_dir("queue_timeout");
+  std::vector<JobSpec> jobs = tiny_manifest().expand();
+  jobs.resize(1);
+  ResultStore store(dir);
+  QueueOptions options;
+  options.timeout_s = 1e-12;  // everything is over budget
+  const QueueOutcome outcome = run_queue(jobs, store, options);
+  EXPECT_EQ(outcome.executed, 0u);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_NE(outcome.failures[0].error.find("time budget"),
+            std::string::npos);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// --- runner -----------------------------------------------------------------
+
+TEST(RunnerTest, NumericTierRejectsJacobi) {
+  JobSpec spec;
+  spec.algorithm = perfsim::Algorithm::kJacobi;
+  EXPECT_THROW(execute_job(spec), Error);
+}
+
+TEST(RunnerTest, ReplayTierProducesPaperScaleRecord) {
+  JobSpec spec;
+  spec.tier = Tier::kReplay;
+  spec.machine = "marconi";
+  spec.algorithm = perfsim::Algorithm::kScalapack;
+  spec.n = 8640;
+  spec.ranks = 144;
+  spec.nb = 64;
+  spec.repetitions = 3;
+  const JobRecord record = execute_job(spec);
+  ASSERT_EQ(record.repetitions.size(), 3u);
+  EXPECT_GT(record.repetitions[0].duration_s, 0.0);
+  EXPECT_GT(record.repetitions[0].total_j(), 0.0);
+  EXPECT_EQ(record.repetitions[0].residual, 0.0);
+  // Replay repetitions are analytic: identical by construction.
+  EXPECT_EQ(record.repetitions[0].duration_s,
+            record.repetitions[2].duration_s);
+}
+
+TEST(RunnerTest, PowerCapStretchesDurationAndClampsPower) {
+  JobSpec spec;
+  spec.machine = "mini:8x4";
+  spec.n = 512;
+  spec.ranks = 16;
+  const JobRecord uncapped = execute_job(spec);
+  spec.power_cap_w = 30.0;  // well below the ~60 W/package full-load draw
+  const JobRecord capped = execute_job(spec);
+  const RepetitionRecord& u = uncapped.repetitions[0];
+  const RepetitionRecord& c = capped.repetitions[0];
+  EXPECT_GT(c.duration_s, u.duration_s);
+  EXPECT_LT(c.total_j() / c.duration_s, u.total_j() / u.duration_s);
+}
+
+// --- campaign-level determinism --------------------------------------------
+
+TEST(CampaignTest, ReportsAreByteIdenticalAcrossInterruptAndResume) {
+  const CampaignManifest manifest = tiny_manifest();
+
+  CampaignOptions fresh_options;
+  fresh_options.store_dir = scratch_dir("campaign_fresh");
+  const CampaignResult fresh = run_campaign(manifest, fresh_options);
+  EXPECT_EQ(fresh.outcome.executed, 4u);
+  EXPECT_EQ(fresh.missing, 0u);
+
+  CampaignOptions interrupted_options;
+  interrupted_options.store_dir = scratch_dir("campaign_resumed");
+  interrupted_options.max_jobs = 2;
+  const CampaignResult interrupted =
+      run_campaign(manifest, interrupted_options);
+  EXPECT_EQ(interrupted.outcome.executed, 2u);
+  EXPECT_EQ(interrupted.outcome.stopped, 2u);
+  EXPECT_EQ(interrupted.missing, 2u);
+
+  interrupted_options.max_jobs = static_cast<std::size_t>(-1);
+  const CampaignResult resumed = run_campaign(manifest, interrupted_options);
+  EXPECT_EQ(resumed.outcome.executed, 2u);
+  EXPECT_EQ(resumed.outcome.cached, 2u);
+  EXPECT_EQ(resumed.missing, 0u);
+
+  const std::string fresh_csv = read_file(fresh.csv_path);
+  EXPECT_FALSE(fresh_csv.empty());
+  EXPECT_EQ(fresh_csv, read_file(resumed.csv_path));
+  EXPECT_EQ(read_file(fresh.markdown_path), read_file(resumed.markdown_path));
+}
+
+TEST(CampaignTest, ReportsAreByteIdenticalAcrossWorkerCounts) {
+  const CampaignManifest manifest = tiny_manifest();
+
+  CampaignOptions serial;
+  serial.store_dir = scratch_dir("campaign_w1");
+  serial.workers = 1;
+  const CampaignResult one = run_campaign(manifest, serial);
+
+  CampaignOptions pooled;
+  pooled.store_dir = scratch_dir("campaign_w4");
+  pooled.workers = 4;
+  const CampaignResult four = run_campaign(manifest, pooled);
+
+  EXPECT_EQ(one.outcome.executed, 4u);
+  EXPECT_EQ(four.outcome.executed, 4u);
+  const std::string csv = read_file(one.csv_path);
+  EXPECT_FALSE(csv.empty());
+  EXPECT_EQ(csv, read_file(four.csv_path));
+}
+
+}  // namespace
+}  // namespace plin::batch

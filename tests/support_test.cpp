@@ -3,10 +3,15 @@
 
 #include <sstream>
 
+#include <cstdlib>
+
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/kvfile.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
 
@@ -114,6 +119,100 @@ TEST(RngTest, RoughlyUniformMean) {
   constexpr int kSamples = 100000;
   for (int i = 0; i < kSamples; ++i) sum += rng.next_double();
   EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(StatsTest, HandComputedSample) {
+  const double samples[] = {1.0, 2.0, 3.0, 4.0};
+  const SampleStats s = compute_stats(samples);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  // Sample (n-1) standard deviation of {1,2,3,4} is sqrt(5/3).
+  EXPECT_DOUBLE_EQ(s.stddev, 1.2909944487358056);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 1.96 * s.stddev / 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(StatsTest, SingleRepetitionHasNoSpread) {
+  const double one[] = {7.25};
+  const SampleStats s = compute_stats(one);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.25);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.25);
+  EXPECT_DOUBLE_EQ(s.max, 7.25);
+}
+
+TEST(StatsTest, EmptySampleIsAllZeros) {
+  const SampleStats s = compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(CliTest, RequireKnownAcceptsKnownFlags) {
+  const char* argv[] = {"prog", "--n", "4", "--verbose"};
+  const CliArgs args(4, argv);
+  EXPECT_NO_THROW(args.require_known({"n", "verbose"}));
+}
+
+TEST(CliTest, RequireKnownListsEveryOffender) {
+  const char* argv[] = {"prog", "--n", "4", "--bogus", "--also-bad=1"};
+  const CliArgs args(5, argv);
+  try {
+    args.require_known({"n"});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--bogus"), std::string::npos) << what;
+    EXPECT_NE(what.find("--also-bad"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
+TEST(JsonTest, ParseSerializeRoundTripIsByteStable) {
+  const std::string text =
+      R"({"a":1,"b":[true,false,null],"c":{"nested":"str\"ing"},)"
+      R"("d":0.001234567891234567})";
+  const json::Value value = json::parse(text);
+  EXPECT_EQ(json::serialize(value), text);
+  EXPECT_DOUBLE_EQ(value.at("d").as_number(), 0.001234567891234567);
+  EXPECT_EQ(value.at("c").at("nested").as_string(), "str\"ing");
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(json::format_number(0.0), "0");
+  EXPECT_EQ(json::format_number(42.0), "42");
+  EXPECT_EQ(json::format_number(-3.0), "-3");
+  EXPECT_EQ(json::format_number(0.5), "0.5");
+  // Round-trips exactly through strtod.
+  const double tricky = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(json::format_number(tricky).c_str(), nullptr),
+            tricky);
+}
+
+TEST(JsonTest, ErrorsNameTheOffset) {
+  EXPECT_THROW(json::parse("{\"a\":}"), Error);
+  EXPECT_THROW(json::parse("[1,2"), Error);
+  EXPECT_THROW(json::parse("{} trailing"), Error);
+}
+
+TEST(KvFileTest, ParsesKeysValuesAndComments) {
+  const auto lines = parse_kv_text(
+      "# header comment\n"
+      "campaign demo\n"
+      "\n"
+      "grid n 8640 17280   # trailing comment\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].line_no, 2);
+  EXPECT_EQ(lines[0].key, "campaign");
+  ASSERT_EQ(lines[0].values.size(), 1u);
+  EXPECT_EQ(lines[0].values[0], "demo");
+  EXPECT_EQ(lines[1].line_no, 4);
+  EXPECT_EQ(lines[1].key, "grid");
+  EXPECT_EQ(lines[1].values,
+            (std::vector<std::string>{"n", "8640", "17280"}));
 }
 
 TEST(ErrorTest, CheckMacrosThrowWithContext) {

@@ -5,7 +5,7 @@
 // line per claim plus the numbers behind it. Exit code 0 iff every claim
 // holds — the one-command answer to "does this reproduction still stand?".
 //
-//   ./powerlin_report [--markdown]
+//   ./powerlin_report [--markdown]   (--help for the flag reference)
 #include <cmath>
 #include <iostream>
 #include <map>
@@ -15,6 +15,7 @@
 #include "hwmodel/placement.hpp"
 #include "perfsim/simulator.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/units.hpp"
 
 namespace {
@@ -69,6 +70,18 @@ class Grid {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  try {
+    args.require_known({"markdown", "help"});
+  } catch (const plin::Error& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+  if (args.get_bool("help", false)) {
+    std::cout << "powerlin_report — self-checking reproduction report\n\n"
+                 "  --markdown  emit the claim table as GitHub markdown\n"
+                 "  --help      this text\n";
+    return 0;
+  }
   const bool markdown = args.get_bool("markdown", false);
   const Grid grid;
   using A = perfsim::Algorithm;

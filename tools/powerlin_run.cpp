@@ -1,21 +1,15 @@
-// powerlin_run — command-line driver for one-off energy profiling runs.
+// powerlin_run — command-line driver for energy profiling runs.
 //
 //   powerlin_run --tier numeric --algorithm ime --n 512 --ranks 16
 //   powerlin_run --tier replay  --algorithm scalapack --n 34560 --ranks 1296
+//   powerlin_run --campaign manifests/ci_smoke.plc --store campaign_store
 //
-// Flags:
-//   --tier       numeric (execute on xmpi, default) | replay (perfsim)
-//   --algorithm  ime (default) | scalapack | jacobi (numeric only)
-//   --n          matrix dimension (default 512 numeric / 17280 replay)
-//   --ranks      MPI ranks (default 16 numeric / 576 replay)
-//   --layout     full (default) | half1 | half2
-//   --nb         ScaLAPACK block size (default 64; 32 for numeric)
-//   --seed       generator seed (default 1)
-//   --reps       numeric repetitions (default 1)
-//   --tol        Jacobi tolerance (default 1e-12)
-//   --out        directory for per-processor monitor files (numeric)
+// Run `powerlin_run --help` for the full flag reference. Unknown flags are
+// rejected (a mistyped manifest or flag fails loudly instead of being
+// silently ignored).
 #include <iostream>
 
+#include "batch/campaign.hpp"
 #include "hwmodel/machine.hpp"
 #include "hwmodel/placement.hpp"
 #include "monitor/campaign.hpp"
@@ -30,12 +24,36 @@ namespace {
 
 using namespace plin;
 
+constexpr const char* kUsage = R"(powerlin_run — energy profiling driver
+
+One-off modes:
+  --tier       numeric (execute on xmpi, default) | replay (perfsim)
+  --algorithm  ime (default) | scalapack | jacobi
+  --n          matrix dimension (default 512 numeric / 17280 replay)
+  --ranks      MPI ranks (default 16 numeric / 576 replay)
+  --layout     full (default) | half1 | half2
+  --nb         ScaLAPACK block size (default 64 replay; 32 numeric)
+  --seed       generator seed (default 1)
+  --reps       numeric repetitions (default 1)
+  --tol        Jacobi tolerance (default 1e-12)
+  --dominance  Jacobi diagonal dominance (default 0)
+  --iterations Jacobi replay sweep count (default 100)
+  --out        directory for per-processor monitor files (numeric)
+
+Campaign mode (batch orchestrator, docs/campaign.md):
+  --campaign   path to a campaign manifest; runs the whole grid through the
+               job queue with the content-addressed result store, skipping
+               every job already journaled (resume = re-run same command)
+  --store      result store directory (default campaign_store)
+  --workers    override the manifest's host worker count
+  --max-jobs   execute at most N jobs this invocation, then stop (the
+               deterministic interrupt used to test resumability)
+
+  --help       this text
+)";
+
 hw::LoadLayout parse_layout(const std::string& name) {
-  if (name == "full") return hw::LoadLayout::kFullLoad;
-  if (name == "half1") return hw::LoadLayout::kHalfLoadOneSocket;
-  if (name == "half2") return hw::LoadLayout::kHalfLoadTwoSockets;
-  throw InvalidArgument("unknown --layout (use full | half1 | half2): " +
-                        name);
+  return batch::parse_layout_token(name);
 }
 
 int run_replay(const CliArgs& args) {
@@ -130,11 +148,54 @@ int run_numeric(const CliArgs& args) {
   return 0;
 }
 
+int run_campaign_mode(const CliArgs& args) {
+  const batch::CampaignManifest manifest =
+      batch::load_manifest_file(args.get("campaign", ""));
+  batch::CampaignOptions options;
+  options.store_dir = args.get("store", "campaign_store");
+  options.workers = static_cast<int>(args.get_int("workers", 0));
+  const long max_jobs = args.get_int("max-jobs", -1);
+  if (max_jobs >= 0) {
+    options.max_jobs = static_cast<std::size_t>(max_jobs);
+  }
+
+  const batch::CampaignResult result = batch::run_campaign(manifest, options);
+
+  std::cout << "Campaign '" << manifest.name << "': "
+            << result.outcome.executed << " executed, "
+            << result.outcome.cached << " cached, "
+            << result.outcome.failures.size() << " failed, "
+            << result.outcome.stopped << " stopped ("
+            << result.records.size() << "/"
+            << (result.records.size() + result.missing)
+            << " jobs in store)\n\n";
+  batch::print_report_table(std::cout, result.records);
+  if (!result.csv_path.empty()) {
+    std::cout << "\nReports: " << result.csv_path << ", "
+              << result.markdown_path << "\n";
+  }
+  for (const batch::JobFailure& failure : result.outcome.failures) {
+    std::cerr << "failed after " << failure.attempts << " attempt(s): "
+              << failure.spec.describe() << ": " << failure.error << "\n";
+  }
+  if (!result.outcome.failures.empty()) return 1;
+  return result.outcome.stopped > 0 ? 2 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
+    args.require_known({"tier", "algorithm", "n", "ranks", "layout", "nb",
+                        "seed", "reps", "tol", "dominance", "iterations",
+                        "out", "campaign", "store", "workers", "max-jobs",
+                        "help"});
+    if (args.get_bool("help", false)) {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (args.has("campaign")) return run_campaign_mode(args);
     const std::string tier = args.get("tier", "numeric");
     if (tier == "replay") return run_replay(args);
     if (tier == "numeric") return run_numeric(args);
