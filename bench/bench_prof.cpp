@@ -1,0 +1,225 @@
+// Span-tracing overhead harness (`BENCH_prof.json`).
+//
+// Measures what src/prof costs the host when it is OFF (runtime toggle
+// false), ON (recorder active on every rank), and — when the binary was
+// built with -DPLIN_PROF=OFF — COMPILED OUT (every hook is an empty inline
+// stub). Two workloads bracket the hot paths the recorder touches:
+//
+//   * spawn+collective at paper scale (576 ranks; 144 in --smoke): the
+//     per-message / per-collective record cost in the xmpi runtime;
+//   * a GEPP solve at n=1728 (576 in --smoke): the per-phase bracket cost
+//     inside a compute-dominated solver.
+//
+// Simulated results are virtual-time, so tracing must not change them:
+// `--check` exits nonzero if any duration or energy total differs between
+// the off and on runs (bit-for-bit), or if the on-run produced no trace
+// while tracing is compiled in.
+//
+// Flags:
+//   --smoke     smaller scales (CI smoke mode)
+//   --out=PATH  JSON output path (default BENCH_prof.json)
+//   --check     verify off-vs-on bit-identical simulated outputs
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hwmodel/placement.hpp"
+#include "prof/recorder.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace {
+
+using namespace plin;
+
+xmpi::RunConfig base_config(int ranks) {
+  constexpr int kCoresPerSocket = 8;
+  const int nodes = (ranks + 2 * kCoresPerSocket - 1) / (2 * kCoresPerSocket);
+  xmpi::RunConfig config;
+  config.machine = hw::mini_cluster(std::max(nodes, 1), kCoresPerSocket);
+  config.placement =
+      hw::make_placement(ranks, hw::LoadLayout::kFullLoad, config.machine);
+  return config;
+}
+
+/// The bench_xmpi acceptance workload: collective-dense, so every hop
+/// crosses the runtime hooks the recorder instruments.
+void spawn_collective(xmpi::Comm& comm) {
+  double value = comm.rank() == 0 ? 1.5 : 0.0;
+  for (int round = 0; round < 4; ++round) {
+    comm.barrier();
+    comm.bcast_value(value, /*root=*/0);
+    (void)comm.allreduce_value(1.0, xmpi::ReduceOp::kSum);
+  }
+}
+
+template <typename F>
+double seconds_of(F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-N wall-clock (one untimed warmup; fewer reps for slow cases).
+template <typename F>
+double best_seconds(F&& body) {
+  const double first = seconds_of(body);
+  int reps = 3;
+  if (first > 2.0) reps = 1;
+  if (first < 0.02) reps = 6;
+  double best = first;
+  for (int r = 0; r < reps; ++r) best = std::min(best, seconds_of(body));
+  return best;
+}
+
+struct ProbeResult {
+  std::string workload;
+  int ranks = 0;
+  double off_s = 0.0;
+  double on_s = 0.0;
+  // Simulated outputs captured from the last off/on run for --check.
+  double off_duration = 0.0;
+  double on_duration = 0.0;
+  double off_energy = 0.0;
+  double on_energy = 0.0;
+  bool trace_present = false;
+
+  double overhead() const {
+    return off_s > 0.0 ? on_s / off_s - 1.0 : 0.0;
+  }
+};
+
+template <typename Body>
+ProbeResult measure(const char* name, int ranks, Body&& body) {
+  ProbeResult result;
+  result.workload = name;
+  result.ranks = ranks;
+
+  xmpi::RunConfig config = base_config(ranks);
+  config.trace = false;
+  result.off_s = best_seconds([&] {
+    const xmpi::RunResult run = xmpi::Runtime::run(config, body);
+    result.off_duration = run.duration_s;
+    result.off_energy = run.energy.total_j();
+  });
+
+  config.trace = true;
+  result.on_s = best_seconds([&] {
+    const xmpi::RunResult run = xmpi::Runtime::run(config, body);
+    result.on_duration = run.duration_s;
+    result.on_energy = run.energy.total_j();
+    result.trace_present = run.trace != nullptr;
+  });
+  return result;
+}
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+bool write_json(const std::string& path, bool smoke,
+                const std::vector<ProbeResult>& results) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"powerlin-bench-prof/v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"compiled_in\": " << (prof::kCompiledIn ? "true" : "false")
+      << ",\n"
+      // When compiled_in is false the binary was built -DPLIN_PROF=OFF and
+      // "off_s" measures the fully compiled-out hooks; "on_s" then measures
+      // the runtime toggle hitting empty stubs.
+      << "  \"results\": [\n";
+  bool first = true;
+  for (const ProbeResult& r : results) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"workload\": \"" << r.workload << "\", \"ranks\": "
+        << r.ranks << ", \"off_s\": " << fmt(r.off_s) << ", \"on_s\": "
+        << fmt(r.on_s) << ", \"overhead\": " << fmt(r.overhead()) << "}";
+  }
+  out << "\n  ]\n}\n";
+  return static_cast<bool>(out.flush());
+}
+
+int run_harness(bool smoke, bool check, const std::string& out_path) {
+  const int collective_ranks = smoke ? 144 : 576;
+  const std::size_t gepp_n = smoke ? 576 : 1728;
+  const int gepp_ranks = smoke ? 16 : 64;
+
+  std::vector<ProbeResult> results;
+  results.push_back(
+      measure("spawn+collective", collective_ranks, spawn_collective));
+  results.push_back(measure("gepp_solve", gepp_ranks, [gepp_n](
+                                                          xmpi::Comm& comm) {
+    solvers::PdgesvOptions options;
+    options.n = gepp_n;
+    options.seed = 7;
+    (void)solve_pdgesv(comm, options);
+  }));
+
+  std::printf("tracing compiled %s\n\n",
+              prof::kCompiledIn ? "IN" : "OUT (-DPLIN_PROF=OFF)");
+  std::printf("%-18s %6s | %12s %12s %9s\n", "workload", "ranks", "off s",
+              "on s", "overhead");
+  for (const ProbeResult& r : results) {
+    std::printf("%-18s %6d | %12.6f %12.6f %8.2f%%\n", r.workload.c_str(),
+                r.ranks, r.off_s, r.on_s, 100.0 * r.overhead());
+  }
+
+  if (!write_json(out_path, smoke, results)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (check) {
+    for (const ProbeResult& r : results) {
+      if (r.off_duration != r.on_duration || r.off_energy != r.on_energy) {
+        std::fprintf(stderr,
+                     "FAIL: %s simulated outputs differ with tracing on "
+                     "(duration %.17g vs %.17g, energy %.17g vs %.17g)\n",
+                     r.workload.c_str(), r.off_duration, r.on_duration,
+                     r.off_energy, r.on_energy);
+        return 1;
+      }
+      if (prof::kCompiledIn && !r.trace_present) {
+        std::fprintf(stderr, "FAIL: %s traced run produced no trace\n",
+                     r.workload.c_str());
+        return 1;
+      }
+    }
+    std::printf("check passed: off-vs-on simulated outputs bit-identical\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::string out_path = "BENCH_prof.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown argument '%s' (expected --smoke --check "
+                   "--out=PATH)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  return run_harness(smoke, check, out_path);
+}

@@ -23,6 +23,7 @@ CampaignResult run_campaign(const CampaignManifest& manifest,
   queue_options.timeout_s = manifest.timeout_s;
   queue_options.max_jobs = options.max_jobs;
   queue_options.job_hook = options.job_hook;
+  queue_options.trace_dir = options.trace_dir;
 
   PLIN_LOG_INFO << "campaign '" << manifest.name << "': " << specs.size()
                 << " jobs on " << queue_options.workers << " worker(s), store "

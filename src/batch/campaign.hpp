@@ -32,6 +32,10 @@ struct CampaignOptions {
   bool write_reports = true;
   /// Test hook forwarded to the queue (fault injection).
   std::function<void(const JobSpec&)> job_hook;
+  /// If non-empty, numeric-tier jobs archive their span-trace bundle under
+  /// <trace_dir>/<spec.key()>/ — `powerlin_run --campaign ... --trace-dir`
+  /// (docs/tracing.md).
+  std::string trace_dir;
 };
 
 struct CampaignResult {

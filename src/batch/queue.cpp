@@ -54,7 +54,7 @@ QueueOutcome run_queue(std::span<const JobSpec> specs, ResultStore& store,
         try {
           if (options.job_hook) options.job_hook(spec);
           Stopwatch wall;
-          JobRecord record = execute_job(spec);
+          JobRecord record = execute_job(spec, options.trace_dir);
           const double elapsed = wall.elapsed_s();
           if (options.timeout_s > 0.0 && elapsed > options.timeout_s) {
             throw Error("job exceeded its time budget (" +

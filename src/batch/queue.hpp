@@ -37,6 +37,9 @@ struct QueueOptions {
   /// Test hook invoked before each execution attempt; a throw from here is
   /// indistinguishable from a job failure (fault injection).
   std::function<void(const JobSpec&)> job_hook;
+  /// Forwarded to execute_job: numeric-tier jobs archive their span-trace
+  /// bundle under <trace_dir>/<spec.key()>/ when non-empty.
+  std::string trace_dir;
 };
 
 struct JobFailure {

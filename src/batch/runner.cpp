@@ -8,7 +8,8 @@
 namespace plin::batch {
 namespace {
 
-JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine) {
+JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
+                      const std::string& trace_dir) {
   PLIN_CHECK_MSG(spec.algorithm != perfsim::Algorithm::kJacobi,
                  "batch: the numeric tier runs ime | scalapack (jacobi is "
                  "replay-tier only)");
@@ -22,7 +23,12 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine) {
   mspec.repetitions = spec.repetitions;
   mspec.power_cap_w = spec.power_cap_w;
 
-  const monitor::JobResult result = monitor::run_job(machine, mspec);
+  monitor::MonitorOptions moptions;
+  if (!trace_dir.empty()) {
+    // One bundle per job, addressed by the same key the result store uses.
+    moptions.trace_dir = trace_dir + "/" + spec.key();
+  }
+  const monitor::JobResult result = monitor::run_job(machine, mspec, moptions);
 
   JobRecord record;
   record.spec = spec;
@@ -74,11 +80,11 @@ JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
 
 }  // namespace
 
-JobRecord execute_job(const JobSpec& spec) {
+JobRecord execute_job(const JobSpec& spec, const std::string& trace_dir) {
   PLIN_CHECK_MSG(spec.n > 0, "batch: job needs a matrix size");
   PLIN_CHECK_MSG(spec.repetitions > 0, "batch: need >= 1 repetition");
   const hw::MachineSpec machine = machine_from_name(spec.machine);
-  return spec.tier == Tier::kNumeric ? run_numeric(spec, machine)
+  return spec.tier == Tier::kNumeric ? run_numeric(spec, machine, trace_dir)
                                      : run_replay(spec, machine);
 }
 

@@ -6,6 +6,8 @@
 // papisim library is internally locked.
 #pragma once
 
+#include <string>
+
 #include "batch/record.hpp"
 #include "batch/spec.hpp"
 
@@ -14,6 +16,10 @@ namespace plin::batch {
 /// Runs `spec` to completion and returns its record. Throws (solver
 /// failure, bad residual, impossible placement, ...) rather than returning
 /// partial data; the queue layer captures and retries.
-JobRecord execute_job(const JobSpec& spec);
+///
+/// If `trace_dir` is non-empty, a numeric-tier job archives the span-trace
+/// bundle of its first repetition under `<trace_dir>/<spec.key()>/`
+/// (docs/tracing.md); replay-tier jobs never trace (no xmpi world runs).
+JobRecord execute_job(const JobSpec& spec, const std::string& trace_dir = {});
 
 }  // namespace plin::batch

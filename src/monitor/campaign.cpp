@@ -94,6 +94,9 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
   JobResult result;
   result.spec = spec;
   for (int rep = 0; rep < spec.repetitions; ++rep) {
+    // The trace is canonical (independent of host scheduling), so archiving
+    // the first repetition captures the job exactly once.
+    config.trace_dir = rep == 0 ? options.trace_dir : std::string();
     Stopwatch wall;
     RepetitionResult rr;
     xmpi::Runtime::run(config, [&](xmpi::Comm& world) {

@@ -79,6 +79,7 @@ PhasedMeasurement run_phases_protocol(xmpi::Comm& world,
   node_comm.barrier();
   if (monitoring) {
     session.start(world, options.component);
+    world.prof_instant("papi:start");
     cuts.push_back(Cut{session.start_time_s(), {0.0, 0.0}, {0.0, 0.0}});
   }
 
@@ -86,8 +87,13 @@ PhasedMeasurement run_phases_protocol(xmpi::Comm& world,
   // phase (white-box only; the black-box variant skips it).
   if (align_world) world.barrier();
 
+  // Every rank brackets its measured region (and each phase) for the span
+  // tracer, mirroring the monitoring ranks' counter windows.
+  world.prof_phase_begin("monitor:measured");
   for (std::size_t p = 0; p < nphases; ++p) {
+    world.prof_phase_begin(phases[p].name);
     phases[p].workload(world);
+    world.prof_phase_end();
     // Phase boundaries are node-aligned so the mid-flight PAPI read covers
     // every rank's share of the phase; the final boundary is the ordinary
     // end-of-monitoring node barrier.
@@ -95,16 +101,19 @@ PhasedMeasurement run_phases_protocol(xmpi::Comm& world,
       node_comm.barrier();
       if (monitoring) {
         const double t = session.sample(world);
+        world.prof_instant("papi:sample");
         cuts.push_back(cut_from_session(session, t));
       }
     }
   }
+  world.prof_phase_end();
 
   // Node synchronization so the monitoring rank stops only after every
   // rank of its node finished its part.
   node_comm.barrier();
   if (monitoring) {
     session.stop(world);
+    world.prof_instant("papi:stop");
     cuts.push_back(cut_from_session(session, session.stop_time_s()));
     if (!options.output_dir.empty()) {
       write_processor_file(options.output_dir, world.my_node(), session);

@@ -30,6 +30,10 @@ struct MonitorOptions {
   std::string component = "powercap";
   /// If non-empty, monitoring ranks write per-processor result files here.
   std::string output_dir;
+  /// If non-empty, the first repetition of a campaign job archives its span
+  /// trace bundle (docs/tracing.md) into this directory. Later repetitions
+  /// run untraced — the trace is canonical, so one copy is enough.
+  std::string trace_dir;
 };
 
 /// Per-node measurement, as gathered from that node's monitoring rank.

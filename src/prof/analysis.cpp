@@ -1,0 +1,322 @@
+#include "prof/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace plin::prof {
+namespace {
+
+constexpr const char* kUnphased = "(unphased)";
+constexpr const char* kBaseline = "(baseline)";
+
+/// Innermost-enclosing-phase lookup for one rank. Phases arrive in close
+/// order; re-sorting by (t0, depth) puts deeper brackets after their
+/// parents even when both opened at the same virtual instant (begin_phase
+/// does not advance the clock), so the first hit walking backwards from
+/// the query point is the innermost open bracket.
+class PhaseIndex {
+ public:
+  explicit PhaseIndex(const RankTrace& rank) {
+    by_t0_.reserve(rank.phases.size());
+    for (const PhaseSpan& phase : rank.phases) by_t0_.push_back(&phase);
+    std::sort(by_t0_.begin(), by_t0_.end(),
+              [](const PhaseSpan* a, const PhaseSpan* b) {
+                if (a->t0 != b->t0) return a->t0 < b->t0;
+                return a->depth < b->depth;
+              });
+  }
+
+  /// The innermost phase with t0 <= t < t1, or nullptr.
+  const PhaseSpan* innermost(double t) const {
+    auto it = std::upper_bound(
+        by_t0_.begin(), by_t0_.end(), t,
+        [](double value, const PhaseSpan* p) { return value < p->t0; });
+    while (it != by_t0_.begin()) {
+      --it;
+      if ((*it)->t1 > t) return *it;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::vector<const PhaseSpan*> by_t0_;
+};
+
+/// First-appearance-ordered row lookup (the order is deterministic because
+/// ranks are visited in world-rank order and spans in program order).
+template <typename Row>
+class RowTable {
+ public:
+  Row& row(const std::string& name) {
+    const auto [it, inserted] = index_.try_emplace(name, rows_.size());
+    if (inserted) {
+      rows_.emplace_back();
+      rows_.back().phase = name;
+    }
+    return rows_[it->second];
+  }
+
+  std::vector<Row>& rows() { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+  std::map<std::string, std::size_t> index_;
+};
+
+const std::string& phase_name(const RankTrace& rank, const PhaseSpan* phase) {
+  static const std::string unphased = kUnphased;
+  if (phase == nullptr) return unphased;
+  return rank.names[static_cast<std::size_t>(phase->name)];
+}
+
+/// Residual r such that folding `partial + r` reproduces `total`
+/// bit-exactly. Grouping segment energies by phase re-associates the
+/// floating-point sum, so the plain difference can be one ulp off; the
+/// nextafter nudge absorbs that (the loop moves by single ulps and both
+/// operands are non-negative with partial <= total in practice, so it
+/// terminates in a step or two).
+double exact_residual(double total, double partial) {
+  double r = total - partial;
+  for (int i = 0; i < 64 && partial + r != total; ++i) {
+    r = std::nextafter(r, partial + r < total
+                              ? std::numeric_limits<double>::infinity()
+                              : -std::numeric_limits<double>::infinity());
+  }
+  return r;
+}
+
+void add_kind_seconds(PhaseEnergyRow& row, hw::ActivityKind kind, double dt) {
+  switch (kind) {
+    case hw::ActivityKind::kCompute: row.compute_s += dt; break;
+    case hw::ActivityKind::kMemBound: row.membound_s += dt; break;
+    case hw::ActivityKind::kCommActive: row.commactive_s += dt; break;
+    case hw::ActivityKind::kCommWait: row.commwait_s += dt; break;
+    case hw::ActivityKind::kIdle: break;
+  }
+}
+
+}  // namespace
+
+EnergyAttribution attribute_energy(const TraceData& trace) {
+  EnergyAttribution out;
+  const hw::PowerModel power{trace.power};
+  const double idle_w = power.core_power_w(hw::ActivityKind::kIdle);
+
+  std::map<std::pair<int, int>, double> scales;
+  for (const PackagePower& pkg : trace.packages) {
+    scales[{pkg.node, pkg.package}] = pkg.dynamic_scale;
+    out.total_cpu_j += pkg.pkg_j;
+    out.total_dram_j += pkg.dram_j;
+  }
+
+  RowTable<PhaseEnergyRow> table;
+  for (const RankTrace& rank : trace.ranks) {
+    out.dropped_spans += rank.dropped;
+    const PhaseIndex phases(rank);
+    const auto scale_it = scales.find({rank.node, rank.socket});
+    const double scale = scale_it != scales.end() ? scale_it->second : 1.0;
+    for (const Span& span : rank.spans) {
+      if (span.kind != SpanKind::kActivity) continue;
+      const double dt = span.t1 - span.t0;
+      PhaseEnergyRow& row =
+          table.row(phase_name(rank, phases.innermost(span.t0)));
+      row.seconds += dt;
+      add_kind_seconds(row, span.activity, dt);
+      row.cpu_j += dt * (power.core_power_w(span.activity) - idle_w) * scale;
+      row.dram_j += span.aux * power.dram_energy_per_byte();
+    }
+  }
+  out.complete = out.dropped_spans == 0;
+
+  // Baseline row: package base power, idle-core power, idle-socket leakage
+  // and (with drops) any unmirrored dynamic energy — everything the ledger
+  // totals carry beyond the span-attributed joules. Constructed so the
+  // front-to-back fold of `rows` lands exactly on the totals.
+  double cpu_sum = 0.0;
+  double dram_sum = 0.0;
+  for (const PhaseEnergyRow& row : table.rows()) {
+    cpu_sum += row.cpu_j;
+    dram_sum += row.dram_j;
+  }
+  PhaseEnergyRow baseline;
+  baseline.phase = kBaseline;
+  baseline.cpu_j = exact_residual(out.total_cpu_j, cpu_sum);
+  baseline.dram_j = exact_residual(out.total_dram_j, dram_sum);
+  table.rows().push_back(std::move(baseline));
+
+  out.rows = std::move(table.rows());
+  return out;
+}
+
+CommMatrix comm_matrix(const TraceData& trace) {
+  CommMatrix out;
+  out.ranks = static_cast<int>(trace.ranks.size());
+  std::map<std::pair<int, int>, CommEdge> edges;
+  for (const RankTrace& rank : trace.ranks) {
+    for (const PeerStat& peer : rank.peers) {
+      if (peer.sent_messages > 0) {
+        CommEdge& edge = edges[{rank.world_rank, peer.peer}];
+        edge.src = rank.world_rank;
+        edge.dst = peer.peer;
+        edge.messages += peer.sent_messages;
+        edge.bytes += peer.sent_bytes;
+      }
+      if (peer.recv_messages > 0) {
+        CommEdge& edge = edges[{peer.peer, rank.world_rank}];
+        edge.src = peer.peer;
+        edge.dst = rank.world_rank;
+        edge.wait_s += peer.recv_wait_s;
+      }
+    }
+  }
+  out.edges.reserve(edges.size());
+  for (const auto& [key, edge] : edges) {
+    out.total_messages += edge.messages;
+    out.total_bytes += edge.bytes;
+    out.total_wait_s += edge.wait_s;
+    out.edges.push_back(edge);
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-rank span indices for the critical-path walk.
+struct RankIndex {
+  std::vector<const Span*> activities;  // program order (t1 nondecreasing)
+  std::vector<const Span*> recvs;
+  std::vector<const Span*> sends;       // seq ascending (program order)
+  const RankTrace* rank = nullptr;
+};
+
+const Span* find_send(const RankIndex& idx, std::uint64_t seq) {
+  const auto it = std::lower_bound(
+      idx.sends.begin(), idx.sends.end(), seq,
+      [](const Span* s, std::uint64_t value) { return s->seq < value; });
+  if (it == idx.sends.end() || (*it)->seq != seq) return nullptr;
+  return *it;
+}
+
+void add_path_kind(CriticalPath& out, hw::ActivityKind kind, double dt) {
+  switch (kind) {
+    case hw::ActivityKind::kCompute: out.compute_s += dt; break;
+    case hw::ActivityKind::kMemBound: out.membound_s += dt; break;
+    case hw::ActivityKind::kCommActive: out.commactive_s += dt; break;
+    case hw::ActivityKind::kCommWait: out.commwait_s += dt; break;
+    case hw::ActivityKind::kIdle: break;
+  }
+}
+
+}  // namespace
+
+CriticalPath critical_path(const TraceData& trace) {
+  CriticalPath out;
+  out.duration_s = trace.duration_s;
+  if (trace.ranks.empty()) return out;
+
+  out.end_rank = 0;
+  for (const RankTrace& rank : trace.ranks) {
+    if (rank.finish_s >
+        trace.ranks[static_cast<std::size_t>(out.end_rank)].finish_s) {
+      out.end_rank = rank.world_rank;
+    }
+  }
+
+  std::vector<RankIndex> index(trace.ranks.size());
+  std::vector<PhaseIndex> phases;
+  phases.reserve(trace.ranks.size());
+  RowTable<CriticalPhase> rows;
+  std::size_t total_spans = 0;
+  for (std::size_t r = 0; r < trace.ranks.size(); ++r) {
+    const RankTrace& rank = trace.ranks[r];
+    RankIndex& idx = index[r];
+    idx.rank = &rank;
+    phases.emplace_back(rank);
+    for (const Span& span : rank.spans) {
+      switch (span.kind) {
+        case SpanKind::kActivity: idx.activities.push_back(&span); break;
+        case SpanKind::kRecv: idx.recvs.push_back(&span); break;
+        case SpanKind::kSend: idx.sends.push_back(&span); break;
+        default: break;
+      }
+    }
+    total_spans += rank.spans.size();
+    // Per-phase core-second totals (the slack baseline), accumulated in
+    // rank-major program order.
+    for (const Span* span : idx.activities) {
+      rows.row(phase_name(rank, phases[r].innermost(span->t0)))
+          .total_rank_s += span->t1 - span->t0;
+    }
+  }
+
+  // Adds the local activity of (a, b] on rank `r` to the path buckets.
+  const auto add_window = [&](std::size_t r, double a, double b) {
+    const RankIndex& idx = index[r];
+    auto it = std::upper_bound(
+        idx.activities.begin(), idx.activities.end(), a,
+        [](double value, const Span* s) { return value < s->t1; });
+    for (; it != idx.activities.end() && (*it)->t0 < b; ++it) {
+      const double lo = std::max(a, (*it)->t0);
+      const double hi = std::min(b, (*it)->t1);
+      if (hi <= lo) continue;
+      add_path_kind(out, (*it)->activity, hi - lo);
+      rows.row(phase_name(*idx.rank, phases[r].innermost((*it)->t0)))
+          .critical_s += hi - lo;
+    }
+  };
+
+  std::size_t cur = static_cast<std::size_t>(out.end_rank);
+  double t = trace.ranks[cur].finish_s;
+  const std::size_t max_steps = total_spans + trace.ranks.size() + 16;
+  for (std::size_t step = 0; t > 0.0; ++step) {
+    if (step >= max_steps) {
+      out.truncated = true;
+      break;
+    }
+    const RankIndex& idx = index[cur];
+    if (idx.rank->dropped > 0) out.truncated = true;
+
+    // Latest receive completed by `t` that actually waited on its sender;
+    // receives whose message had already arrived do not constrain the path.
+    const Span* blocking = nullptr;
+    auto it = std::upper_bound(
+        idx.recvs.begin(), idx.recvs.end(), t,
+        [](double value, const Span* s) { return value < s->t1; });
+    while (it != idx.recvs.begin()) {
+      --it;
+      if ((*it)->aux > (*it)->t0) {
+        blocking = *it;
+        break;
+      }
+    }
+    if (blocking == nullptr) {
+      add_window(cur, 0.0, t);
+      break;
+    }
+
+    add_window(cur, blocking->aux, t);
+    const RankIndex& sender = index[static_cast<std::size_t>(blocking->peer)];
+    const Span* send = find_send(sender, blocking->seq);
+    if (send == nullptr) {
+      // The matching send fell out of the sender's ring: close out locally.
+      out.truncated = true;
+      add_window(cur, 0.0, blocking->aux);
+      break;
+    }
+    out.network_s += std::max(0.0, blocking->aux - send->t1);
+    ++out.rank_switches;
+    cur = static_cast<std::size_t>(blocking->peer);
+    t = send->t1;
+  }
+
+  for (CriticalPhase& row : rows.rows()) {
+    row.slack_s = row.total_rank_s - row.critical_s;
+  }
+  out.phases = std::move(rows.rows());
+  return out;
+}
+
+}  // namespace plin::prof

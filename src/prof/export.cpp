@@ -1,0 +1,363 @@
+#include "prof/export.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace plin::prof {
+namespace {
+
+/// Maximum points per node on the power counter track; denser series are
+/// resampled onto a uniform grid (deterministically — a pure function of
+/// the span data).
+constexpr std::size_t kMaxCounterPoints = 512;
+
+std::string escaped(std::string_view text) {
+  return json::serialize(json::Value(std::string(text)));
+}
+
+std::string us(double seconds) {  // virtual seconds -> trace microseconds
+  return json::format_number(seconds * 1e6);
+}
+
+/// One trace_event line still missing its pid/tid framing.
+struct Slice {
+  double t0 = 0.0;
+  double dur = 0.0;
+  bool instant = false;
+  std::string name;  // already JSON-escaped (includes quotes)
+  const char* cat = "";
+  std::string args;  // raw JSON object text, or empty
+  std::size_t index = 0;
+};
+
+void append_rank_slices(std::string& out, const RankTrace& rank,
+                        bool& first) {
+  std::vector<Slice> slices;
+  slices.reserve(rank.phases.size() + rank.spans.size());
+  for (const PhaseSpan& phase : rank.phases) {
+    Slice s;
+    s.t0 = phase.t0;
+    s.dur = phase.t1 - phase.t0;
+    s.name = escaped(rank.names[static_cast<std::size_t>(phase.name)]);
+    s.cat = "phase";
+    slices.push_back(std::move(s));
+  }
+  for (const Span& span : rank.spans) {
+    Slice s;
+    s.t0 = span.t0;
+    s.dur = span.t1 - span.t0;
+    switch (span.kind) {
+      case SpanKind::kActivity:
+        s.name = escaped(hw::to_string(span.activity));
+        s.cat = hw::to_string(span.activity);
+        break;
+      case SpanKind::kCollective:
+        s.name = escaped(rank.names[static_cast<std::size_t>(span.name)]);
+        s.cat = "collective";
+        break;
+      case SpanKind::kSend:
+      case SpanKind::kRecv: {
+        const bool send = span.kind == SpanKind::kSend;
+        s.name = send ? "\"send\"" : "\"recv\"";
+        s.cat = "msg";
+        s.args = "{\"peer\":" + std::to_string(span.peer) +
+                 ",\"bytes\":" + std::to_string(span.bytes) +
+                 ",\"tag\":" + std::to_string(span.tag) +
+                 ",\"seq\":" + std::to_string(span.seq);
+        if (!send && span.aux > span.t0) {
+          s.args += ",\"wait_us\":" + us(span.aux - span.t0);
+        }
+        s.args += "}";
+        break;
+      }
+      case SpanKind::kInstant:
+        s.instant = true;
+        s.name = escaped(rank.names[static_cast<std::size_t>(span.name)]);
+        s.cat = "marker";
+        break;
+    }
+    slices.push_back(std::move(s));
+  }
+  // Nesting order for trace viewers: outer slices (earlier start, longer
+  // duration) first; original order is the final tie-break so the sort is
+  // total and deterministic.
+  for (std::size_t i = 0; i < slices.size(); ++i) slices[i].index = i;
+  std::sort(slices.begin(), slices.end(), [](const Slice& a, const Slice& b) {
+    if (a.t0 != b.t0) return a.t0 < b.t0;
+    if (a.dur != b.dur) return a.dur > b.dur;
+    return a.index < b.index;
+  });
+
+  const std::string frame = ",\"pid\":" + std::to_string(rank.node) +
+                            ",\"tid\":" + std::to_string(rank.world_rank);
+  for (const Slice& s : slices) {
+    out += first ? "" : ",\n";
+    first = false;
+    if (s.instant) {
+      out += "{\"ph\":\"i\",\"name\":" + s.name + ",\"s\":\"t\"" + frame +
+             ",\"ts\":" + us(s.t0) + "}";
+      continue;
+    }
+    out += "{\"ph\":\"X\",\"name\":" + s.name + ",\"cat\":\"" + s.cat +
+           "\"" + frame + ",\"ts\":" + us(s.t0) +
+           ",\"dur\":" + json::format_number(s.dur * 1e6);
+    if (!s.args.empty()) out += ",\"args\":" + s.args;
+    out += "}";
+  }
+}
+
+/// Per-node dynamic CPU power (watts above all-idle, uncapped) as a
+/// stepwise counter series built from the activity span edges.
+void append_power_counters(std::string& out, const TraceData& trace,
+                           bool& first) {
+  const hw::PowerModel power{trace.power};
+  const double idle_w = power.core_power_w(hw::ActivityKind::kIdle);
+
+  std::set<int> nodes;
+  for (const RankTrace& rank : trace.ranks) nodes.insert(rank.node);
+  for (const int node : nodes) {
+    std::vector<std::pair<double, double>> edges;  // (t, watts delta)
+    for (const RankTrace& rank : trace.ranks) {
+      if (rank.node != node) continue;
+      for (const Span& span : rank.spans) {
+        if (span.kind != SpanKind::kActivity || span.t1 <= span.t0) continue;
+        const double watts = power.core_power_w(span.activity) - idle_w;
+        edges.emplace_back(span.t0, watts);
+        edges.emplace_back(span.t1, -watts);
+      }
+    }
+    // stable: ties keep rank-major program order, fixing the FP fold.
+    std::stable_sort(edges.begin(), edges.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    std::vector<std::pair<double, double>> points;  // (t, cumulative watts)
+    double watts = 0.0;
+    for (std::size_t i = 0; i < edges.size();) {
+      const double t = edges[i].first;
+      for (; i < edges.size() && edges[i].first == t; ++i) {
+        watts += edges[i].second;
+      }
+      points.emplace_back(t, watts);
+    }
+    if (points.size() > kMaxCounterPoints && trace.duration_s > 0.0) {
+      std::vector<std::pair<double, double>> sampled;
+      sampled.reserve(kMaxCounterPoints);
+      std::size_t cursor = 0;
+      double value = 0.0;
+      for (std::size_t k = 0; k < kMaxCounterPoints; ++k) {
+        const double t = trace.duration_s *
+                         static_cast<double>(k) /
+                         static_cast<double>(kMaxCounterPoints - 1);
+        while (cursor < points.size() && points[cursor].first <= t) {
+          value = points[cursor].second;
+          ++cursor;
+        }
+        sampled.emplace_back(t, value);
+      }
+      points = std::move(sampled);
+    }
+    for (const auto& [t, value] : points) {
+      out += first ? "" : ",\n";
+      first = false;
+      out += "{\"ph\":\"C\",\"name\":\"dynamic power\",\"pid\":" +
+             std::to_string(node) + ",\"tid\":0,\"ts\":" + us(t) +
+             ",\"args\":{\"w\":" + json::format_number(value) + "}}";
+    }
+  }
+}
+
+void write_text_file(const std::filesystem::path& path,
+                     const std::string& text) {
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  if (!os) throw IoError("cannot open for write: " + path.string());
+  os << text;
+  if (!os) throw IoError("write failed: " + path.string());
+}
+
+}  // namespace
+
+std::string perfetto_json(const TraceData& trace) {
+  std::string out;
+  out += "[\n";
+  bool first = true;
+
+  std::set<int> nodes;
+  for (const RankTrace& rank : trace.ranks) nodes.insert(rank.node);
+  for (const int node : nodes) {
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+           std::to_string(node) + ",\"args\":{\"name\":\"node " +
+           std::to_string(node) + "\"}}";
+  }
+  for (const RankTrace& rank : trace.ranks) {
+    out += first ? "" : ",\n";
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+           std::to_string(rank.node) + ",\"tid\":" +
+           std::to_string(rank.world_rank) + ",\"args\":{\"name\":\"rank " +
+           std::to_string(rank.world_rank) + "\"}}";
+    append_rank_slices(out, rank, first);
+  }
+  append_power_counters(out, trace, first);
+  out += "\n]\n";
+  return out;
+}
+
+void write_perfetto(const std::string& path, const TraceData& trace) {
+  write_text_file(path, perfetto_json(trace));
+}
+
+json::Value summary_json(const TraceData& trace,
+                         const EnergyAttribution& energy,
+                         const CommMatrix& comm, const CriticalPath& path) {
+  json::Value doc = json::make_object();
+  doc.set("schema", "powerlin-trace-summary/v1");
+  doc.set("duration_s", trace.duration_s);
+  doc.set("ranks", static_cast<int>(trace.ranks.size()));
+  doc.set("ring_capacity", static_cast<double>(trace.ring_capacity));
+  doc.set("dropped_spans", static_cast<double>(trace.dropped_spans()));
+  doc.set("complete", energy.complete);
+
+  json::Value energy_doc = json::make_object();
+  energy_doc.set("total_cpu_j", energy.total_cpu_j);
+  energy_doc.set("total_dram_j", energy.total_dram_j);
+  json::Array phase_rows;
+  for (const PhaseEnergyRow& row : energy.rows) {
+    json::Value entry = json::make_object();
+    entry.set("phase", row.phase);
+    entry.set("seconds", row.seconds);
+    entry.set("compute_s", row.compute_s);
+    entry.set("membound_s", row.membound_s);
+    entry.set("commactive_s", row.commactive_s);
+    entry.set("commwait_s", row.commwait_s);
+    entry.set("cpu_j", row.cpu_j);
+    entry.set("dram_j", row.dram_j);
+    phase_rows.push_back(std::move(entry));
+  }
+  energy_doc.set("phases", json::Value(std::move(phase_rows)));
+  doc.set("energy", std::move(energy_doc));
+
+  json::Value comm_doc = json::make_object();
+  comm_doc.set("total_messages", static_cast<double>(comm.total_messages));
+  comm_doc.set("total_bytes", static_cast<double>(comm.total_bytes));
+  comm_doc.set("total_wait_s", comm.total_wait_s);
+  json::Array edge_rows;
+  for (const CommEdge& edge : comm.edges) {
+    json::Value entry = json::make_object();
+    entry.set("src", edge.src);
+    entry.set("dst", edge.dst);
+    entry.set("messages", static_cast<double>(edge.messages));
+    entry.set("bytes", static_cast<double>(edge.bytes));
+    entry.set("wait_s", edge.wait_s);
+    edge_rows.push_back(std::move(entry));
+  }
+  comm_doc.set("edges", json::Value(std::move(edge_rows)));
+  doc.set("comm", std::move(comm_doc));
+
+  json::Value path_doc = json::make_object();
+  path_doc.set("duration_s", path.duration_s);
+  path_doc.set("end_rank", path.end_rank);
+  path_doc.set("rank_switches", path.rank_switches);
+  path_doc.set("truncated", path.truncated);
+  path_doc.set("compute_s", path.compute_s);
+  path_doc.set("membound_s", path.membound_s);
+  path_doc.set("commactive_s", path.commactive_s);
+  path_doc.set("commwait_s", path.commwait_s);
+  path_doc.set("network_s", path.network_s);
+  json::Array cp_rows;
+  for (const CriticalPhase& row : path.phases) {
+    json::Value entry = json::make_object();
+    entry.set("phase", row.phase);
+    entry.set("critical_s", row.critical_s);
+    entry.set("total_rank_s", row.total_rank_s);
+    entry.set("slack_s", row.slack_s);
+    cp_rows.push_back(std::move(entry));
+  }
+  path_doc.set("phases", json::Value(std::move(cp_rows)));
+  doc.set("critical_path", std::move(path_doc));
+
+  json::Array pkg_rows;
+  for (const PackagePower& pkg : trace.packages) {
+    json::Value entry = json::make_object();
+    entry.set("node", pkg.node);
+    entry.set("package", pkg.package);
+    entry.set("pkg_j", pkg.pkg_j);
+    entry.set("dram_j", pkg.dram_j);
+    entry.set("dram_traffic_bytes", pkg.dram_traffic_bytes);
+    entry.set("cap_w", pkg.cap_w);
+    entry.set("ranked_cores", pkg.ranked_cores);
+    pkg_rows.push_back(std::move(entry));
+  }
+  doc.set("packages", json::Value(std::move(pkg_rows)));
+  return doc;
+}
+
+json::Value summary_json(const TraceData& trace) {
+  return summary_json(trace, attribute_energy(trace), comm_matrix(trace),
+                      critical_path(trace));
+}
+
+std::string phases_csv(const EnergyAttribution& energy) {
+  std::string out =
+      "phase,seconds,compute_s,membound_s,commactive_s,commwait_s,cpu_j,"
+      "dram_j\n";
+  for (const PhaseEnergyRow& row : energy.rows) {
+    out += row.phase + "," + json::format_number(row.seconds) + "," +
+           json::format_number(row.compute_s) + "," +
+           json::format_number(row.membound_s) + "," +
+           json::format_number(row.commactive_s) + "," +
+           json::format_number(row.commwait_s) + "," +
+           json::format_number(row.cpu_j) + "," +
+           json::format_number(row.dram_j) + "\n";
+  }
+  return out;
+}
+
+std::string comm_matrix_csv(const CommMatrix& comm) {
+  std::string out = "src,dst,messages,bytes,wait_s\n";
+  for (const CommEdge& edge : comm.edges) {
+    out += std::to_string(edge.src) + "," + std::to_string(edge.dst) + "," +
+           std::to_string(edge.messages) + "," + std::to_string(edge.bytes) +
+           "," + json::format_number(edge.wait_s) + "\n";
+  }
+  return out;
+}
+
+std::string critical_path_csv(const CriticalPath& path) {
+  std::string out = "phase,critical_s,total_rank_s,slack_s\n";
+  for (const CriticalPhase& row : path.phases) {
+    out += row.phase + "," + json::format_number(row.critical_s) + "," +
+           json::format_number(row.total_rank_s) + "," +
+           json::format_number(row.slack_s) + "\n";
+  }
+  return out;
+}
+
+void write_trace_bundle(const std::string& dir, const TraceData& trace) {
+  const std::filesystem::path root(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) throw IoError("cannot create trace dir: " + dir);
+
+  const EnergyAttribution energy = attribute_energy(trace);
+  const CommMatrix comm = comm_matrix(trace);
+  const CriticalPath path = critical_path(trace);
+
+  write_text_file(root / "trace.json", perfetto_json(trace));
+  write_text_file(root / "summary.json",
+                  json::serialize(summary_json(trace, energy, comm, path)) +
+                      "\n");
+  write_text_file(root / "phases.csv", phases_csv(energy));
+  write_text_file(root / "comm_matrix.csv", comm_matrix_csv(comm));
+  write_text_file(root / "critical_path.csv", critical_path_csv(path));
+}
+
+}  // namespace plin::prof

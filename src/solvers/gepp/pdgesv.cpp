@@ -158,28 +158,35 @@ void factor_one_panel(GridContext& ctx, xmpi::Comm& comm,
   const int prow_k = ctx.desc.owner_prow(k0);
 
   if (ctx.mycol == panel_pcol) {
+    comm.prof_phase_begin("gepp:factor_panel");
     factor_panel(ctx, local, k0, w, pivots);
+    comm.prof_phase_end();
   }
 
   // Pivot indices travel along the process row so every process column
   // can apply the interchanges (and every rank learns the permutation
   // for the solve phase).
+  comm.prof_phase_begin("gepp:pivot_bcast");
   ctx.row_comm.bcast(std::span<std::size_t>(pivots.data() + k0, w),
                      panel_pcol);
+  comm.prof_phase_end();
 
   // Apply this panel's interchanges to the leading and trailing columns.
+  comm.prof_phase_begin("gepp:row_swap");
   const std::size_t c_panel_lo = ctx.local_cols_below(k0);
   const std::size_t c_panel_hi = ctx.local_cols_below(k0 + w);
   for (std::size_t j = k0; j < k0 + w; ++j) {
     swap_row_segments(ctx, local, j, pivots[j], 0, c_panel_lo);
     swap_row_segments(ctx, local, j, pivots[j], c_panel_hi, lcols);
   }
+  comm.prof_phase_end();
 
   const std::size_t r_k0 = ctx.local_rows_below(k0);
   const std::size_t slab_rows = lrows - r_k0;
 
   // L panel travels along the process row.
   if (slab_rows > 0) {
+    comm.prof_phase_begin("gepp:lpanel_bcast");
     ws.panel_slab = linalg::Matrix(slab_rows, w);
     if (ctx.mycol == panel_pcol) {
       for (std::size_t r = 0; r < slab_rows; ++r) {
@@ -189,12 +196,14 @@ void factor_one_panel(GridContext& ctx, xmpi::Comm& comm,
       }
     }
     ctx.row_comm.bcast(std::span<double>(ws.panel_slab.flat()), panel_pcol);
+    comm.prof_phase_end();
   }
 
   if (k0 + w >= n) return;
 
   // U12 := L11^{-1} A12 inside the pivot process row, then down the
   // process columns.
+  comm.prof_phase_begin("gepp:u12");
   const std::size_t c_trail = ctx.local_cols_below(k0 + w);
   const std::size_t trail_cols = lcols - c_trail;
   ws.u12 = linalg::Matrix(w, std::max<std::size_t>(trail_cols, 1));
@@ -216,8 +225,10 @@ void factor_one_panel(GridContext& ctx, xmpi::Comm& comm,
   if (trail_cols > 0) {
     ctx.col_comm.bcast(std::span<double>(ws.u12.flat()), prow_k);
   }
+  comm.prof_phase_end();
 
   // Trailing update: A22 -= L21 * U12 with my local pieces.
+  comm.prof_phase_begin("gepp:gemm");
   const std::size_t r_lo2 = ctx.local_rows_below(k0 + w);
   const std::size_t gemm_rows = lrows - r_lo2;
   if (gemm_rows > 0 && trail_cols > 0) {
@@ -231,6 +242,7 @@ void factor_one_panel(GridContext& ctx, xmpi::Comm& comm,
                                     static_cast<double>(w) *
                                     static_cast<double>(trail_cols)));
   }
+  comm.prof_phase_end();
 }
 
 }  // namespace
@@ -254,6 +266,7 @@ PdluFactorization pdgetrf(xmpi::Comm& comm, const PdgesvOptions& options) {
   ctx.mycol = ctx.desc.grid.col_of(comm.rank());
 
   // ---- allocation + generation ("matrix allocation" phase) -----------------
+  comm.prof_phase_begin("gepp:setup");
   const std::size_t lrows = ctx.desc.local_rows(ctx.myrow);
   const std::size_t lcols = ctx.desc.local_cols(ctx.mycol);
   linalg::Matrix local(std::max<std::size_t>(lrows, 1),
@@ -266,6 +279,7 @@ PdluFactorization pdgetrf(xmpi::Comm& comm, const PdgesvOptions& options) {
     }
   }
   comm.memory_touch(static_cast<double>(local.size_bytes()));
+  comm.prof_phase_end();
 
   std::vector<std::size_t> pivots(n, 0);
   FactorWorkspace workspace;
@@ -305,6 +319,7 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
   ctx.myrow = ctx.desc.grid.row_of(comm.rank());
   ctx.mycol = ctx.desc.grid.col_of(comm.rank());
 
+  comm.prof_phase_begin("gepp:setup");
   const std::size_t lrows = ctx.desc.local_rows(ctx.myrow);
   const std::size_t lcols = ctx.desc.local_cols(ctx.mycol);
   linalg::Matrix local(std::max<std::size_t>(lrows, 1),
@@ -317,6 +332,7 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
     }
   }
   comm.memory_touch(static_cast<double>(local.size_bytes()));
+  comm.prof_phase_end();
 
   std::vector<std::size_t> pivots(n, 0);
   FactorWorkspace workspace;
@@ -339,6 +355,7 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
   for (std::size_t panel = 0; panel < nblocks;) {
     if (panel == next_checkpoint) {
       // Snapshot: one read + one write of the full local state.
+      comm.prof_phase_begin("gepp:checkpoint");
       ckpt_local = local;
       ckpt_pivots = pivots;
       ckpt_panel = panel;
@@ -366,14 +383,17 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
       }
       ++result.checkpoints_taken;
       next_checkpoint += options.checkpoint_every_panels;
+      comm.prof_phase_end();
     }
     if (fault_pending && panel == *options.inject_fault_at_panel) {
       // The in-flight state is lost; every rank rolls back to the last
       // coordinated checkpoint and recomputes the panels since.
       fault_pending = false;
+      comm.prof_phase_begin("gepp:rollback");
       local = ckpt_local;
       pivots = ckpt_pivots;
       comm.memory_touch(2.0 * static_cast<double>(local.size_bytes()));
+      comm.prof_phase_end();
       ++result.restarts;
       result.panels_recomputed += panel - ckpt_panel;
       panel = ckpt_panel;
@@ -396,6 +416,7 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
 std::vector<double> PdluFactorization::solve(std::vector<double> rhs) const {
   const std::size_t n = n_;
   PLIN_CHECK_MSG(rhs.size() == n, "pdgetrs: rhs size mismatch");
+  world_.prof_phase_begin("gepp:solve");
   const std::size_t nb = nb_;
   const std::size_t lcols = desc_.local_cols(mycol_);
   const auto local_rows_below = [this](std::size_t g) {
@@ -502,6 +523,7 @@ std::vector<double> PdluFactorization::solve(std::vector<double> rhs) const {
     for (std::size_t i = 0; i < w; ++i) rhs[k0 + i] = block_y[i];
   }
 
+  world_.prof_phase_end();
   return rhs;
 }
 

@@ -107,6 +107,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
   }
 
   // ---- allocation + generation ("matrix allocation" phase) ---------------
+  comm.prof_phase_begin("ime:setup");
   // Local row k holds the working values M(*, j_k) of equation j_k, where
   // M = A^T — the distributed equivalent of every rank loading its share of
   // the same input file. Storing each owned table column as a contiguous
@@ -143,6 +144,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     comm.compute(ime_cost(static_cast<double>(n) *
                           static_cast<double>(ncols > 0 ? ncols : 1)));
   }
+  comm.prof_phase_end();
 
   ImepResult result;
   result.retired_diagonals.assign(n, 0.0);
@@ -174,7 +176,9 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     // independent FIFO channel, so the two broadcast sequences cannot
     // cross-match).
     if (rank == 0 && ranks > 1) {
+      comm.prof_phase_begin("ime:aux_bcast");
       comm.bcast(std::span<double>(h), 0, /*stream=*/1);
+      comm.prof_phase_end();
     }
 
     // ---- last-row exchange (t_{l,*} to the master) -----------------------
@@ -182,6 +186,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     // fundamental formula is about to zero, and the master needs them for
     // the auxiliary update. Sending first keeps the master's pipeline fed.
     if (ranks > 1) {
+      comm.prof_phase_begin("ime:gather_row");
       blob.clear();
       const ChunkHeader header{static_cast<std::uint64_t>(rank),
                                static_cast<std::uint64_t>(ncols)};
@@ -195,6 +200,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       gather_row_to_master(comm, ncols_of,
                            l % static_cast<std::size_t>(ranks - 1), blob,
                            incoming);
+      comm.prof_phase_end();
     }
 
     // ---- pivot column broadcast t_{*,n+l} --------------------------------
@@ -202,6 +208,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     // equation l, so the column is "certainly 0" below — the same structure
     // the paper exploits for the last-row exchange).
     const std::size_t live = l + 1;
+    comm.prof_phase_begin("ime:pivot_bcast");
     if (rank == owner) {
       if (next_pivot_sent) {
         c.swap(next_c);  // already updated and broadcast during level l+1
@@ -214,6 +221,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     } else if (ranks > 1) {
       comm.bcast(std::span<double>(c.data(), live), owner);
     }
+    comm.prof_phase_end();
     next_pivot_sent = false;
 
     const double dl = c[l];
@@ -224,6 +232,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
 
     // ---- master: decode the gathered last row and update h ----------------
     if (rank == 0) {
+      comm.prof_phase_begin("ime:master_update");
       if (ranks > 1) {
         std::size_t offset = 0;
         while (offset < blob.size()) {
@@ -251,6 +260,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       // every level (matched by the analytic replay's master term).
       comm.memory_touch(static_cast<double>(blob.size()) +
                         8.0 * static_cast<double>(n));
+      comm.prof_phase_end();
     }
 
     // ---- column updates ----------------------------------------------------
@@ -269,6 +279,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     // Pipelining: the owner of the *next* pivot column updates it first and
     // broadcasts it immediately, so the next level's critical input is on
     // the wire while everyone (including us) finishes this level's bulk.
+    comm.prof_phase_begin("ime:update");
     double factor_sum = 0.0;
     std::size_t early_k = ncols;  // sentinel: none
     if (l > 0 && rank == map.owner_of(l - 1)) {
@@ -294,28 +305,34 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       comm.compute(
           ime_cost(per_column_flops * static_cast<double>(updated)));
     }
+    comm.prof_phase_end();
 
     // ---- auxiliary vector broadcast (slaves' receive side) -----------------
     // Collected after the bulk updates: nothing here depends on it (it
     // backs the fault-tolerance story and is the paper's stated protocol),
     // so it must not stall the pipeline.
     if (rank != 0 && ranks > 1) {
+      comm.prof_phase_begin("ime:aux_bcast");
       comm.bcast(std::span<double>(h), 0, /*stream=*/1);
+      comm.prof_phase_end();
     }
 
     // Checksum maintenance mirrors the column updates with the factor sum
     // (the pivot column l itself is not updated, so remove its would-be
     // contribution explicitly: it stays in the checksum unchanged).
     if (options.checksum_ft) {
+      comm.prof_phase_begin("ime:checksum");
       for (std::size_t r = 0; r <= l; ++r) {
         checksum[r] -= factor_sum * c[r];
       }
       comm.compute(ime_cost(2.0 * static_cast<double>(l + 1)));
+      comm.prof_phase_end();
     }
 
     // ---- fault injection / checksum recovery (test hook) -------------------
     for (const ImeFault& fault : options.inject_faults) {
       if (fault.level != l || fault.rank != rank || ncols == 0) continue;
+      comm.prof_phase_begin("ime:recovery");
       // Corrupt the first local column...
       for (std::size_t i = 0; i < n; ++i) local(0, i) = 1e30;
       // ...and rebuild it from the checksum minus the other columns.
@@ -326,11 +343,13 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
       for (std::size_t i = 0; i < n; ++i) local(0, i) = rebuilt[i];
       comm.compute(ime_cost(static_cast<double>(n) *
                             static_cast<double>(ncols)));
+      comm.prof_phase_end();
       ++result.ft_recoveries;
     }
   }
 
   // ---- solution ------------------------------------------------------------
+  comm.prof_phase_begin("ime:solution");
   if (rank == 0) {
     result.x.assign(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -342,6 +361,7 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     if (rank != 0) result.x.assign(n, 0.0);
     comm.bcast(std::span<double>(result.x), 0);
   }
+  comm.prof_phase_end();
   return result;
 }
 

@@ -1,0 +1,10 @@
+// Single source of the release version string reported by the command-line
+// tools (`powerlin_run --version`, `powerlin_report --version`).
+#pragma once
+
+namespace plin {
+
+/// Bumped whenever a release changes tool behaviour or output formats.
+inline constexpr const char* kVersion = "0.4.0";
+
+}  // namespace plin

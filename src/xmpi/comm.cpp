@@ -33,6 +33,34 @@ RankState& Comm::me() const { return world_->rank_state(world_rank()); }
 
 double Comm::now() const { return me().clock.now(); }
 
+prof::SpanRecorder* Comm::recorder() const {
+  if constexpr (prof::kCompiledIn) {
+    return me().prof.get();
+  } else {
+    return nullptr;
+  }
+}
+
+void Comm::prof_phase_begin(std::string_view name) {
+  if (prof::SpanRecorder* rec = recorder()) rec->begin_phase(name, now());
+}
+
+void Comm::prof_phase_end() {
+  if (prof::SpanRecorder* rec = recorder()) rec->end_phase(now());
+}
+
+void Comm::prof_instant(std::string_view name) {
+  if (prof::SpanRecorder* rec = recorder()) rec->instant(name, now());
+}
+
+void Comm::prof_collective_begin(const char* name) {
+  if (prof::SpanRecorder* rec = recorder()) rec->begin_collective(name, now());
+}
+
+void Comm::prof_collective_end() {
+  if (prof::SpanRecorder* rec = recorder()) rec->end_collective(now());
+}
+
 void Comm::log_segment(hw::ActivityKind kind, double dt, double dram_bytes) {
   PLIN_ASSERT(dt >= 0.0);
   RankState& state = me();
@@ -45,8 +73,10 @@ void Comm::log_segment(hw::ActivityKind kind, double dt, double dram_bytes) {
       .record(my_location().socket,
               trace::ActivitySegment{t0, t0 + dt, kind, dram_bytes},
               my_location().core);
-  if (world_->tracing()) {
-    state.trace_events.push_back(TraceEvent{t0, dt, kind});
+  // Span mirror of the ledger segment (same t0/t1/kind/bytes), so the
+  // tracer can re-derive and attribute this segment's joules exactly.
+  if (prof::SpanRecorder* rec = recorder()) {
+    rec->activity(kind, t0, t0 + dt, dram_bytes);
   }
 }
 
@@ -134,6 +164,7 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
   PLIN_CHECK_MSG(dst != rank_, "send to self is not supported");
   if (world_->aborted()) throw Aborted();
 
+  const double t_start = now();
   const double overhead = world_->network().per_message_overhead();
   log_segment(hw::ActivityKind::kCommActive, overhead,
               static_cast<double>(data.size()));
@@ -147,10 +178,17 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
 
   Envelope envelope;
   envelope.src = rank_;
+  envelope.src_world = world_rank();
   envelope.tag = tag;
   envelope.context = context_;
   envelope.arrival_time = arrival;
   envelope.payload.assign(data.begin(), data.end());
+  if (prof::SpanRecorder* rec = recorder()) {
+    envelope.send_seq = rec->next_send_seq();
+    rec->send(t_start, now(), dst_world,
+              static_cast<std::int64_t>(data.size()), tag,
+              envelope.send_seq);
+  }
   world_->post(dst_world, std::move(envelope));
 
   TrafficCounters& traffic = me().traffic;
@@ -179,6 +217,11 @@ RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
   }
   log_segment(hw::ActivityKind::kCommActive, overhead,
               static_cast<double>(data.size()));
+  if (prof::SpanRecorder* rec = recorder()) {
+    rec->recv(current, now(), arrival, envelope.src_world,
+              static_cast<std::int64_t>(data.size()), envelope.tag,
+              envelope.send_seq);
+  }
 
   std::copy(envelope.payload.begin(), envelope.payload.end(), data.begin());
   return RecvInfo{envelope.src, envelope.tag, envelope.payload.size()};
@@ -188,18 +231,21 @@ void Comm::barrier() {
   // Dissemination barrier: after ceil(log2 P) rounds every rank has
   // (transitively) heard from every other, so each clock ends at or beyond
   // the latest entry time.
+  prof_collective_begin("barrier");
   for (int mask = 1; mask < size(); mask <<= 1) {
     const int dst = (rank_ + mask) % size();
     const int src = (rank_ - mask + size()) % size();
     send_impl({}, dst, internal_tag::kBarrier, /*control=*/true);
     recv_impl({}, src, internal_tag::kBarrier);
   }
+  prof_collective_end();
 }
 
 void Comm::bcast_impl(std::span<std::byte> data, int root, int stream) {
   PLIN_CHECK_MSG(root >= 0 && root < size(), "bcast root out of range");
   PLIN_CHECK_MSG(stream >= 0 && stream < 16, "bcast stream out of range");
   if (size() == 1) return;
+  prof_collective_begin("bcast");
   const int tag =
       stream == 0 ? internal_tag::kBcast
                   : internal_tag::kBcastStreamBase - stream;
@@ -222,6 +268,7 @@ void Comm::bcast_impl(std::span<std::byte> data, int root, int stream) {
     }
     mask >>= 1;
   }
+  prof_collective_end();
 }
 
 Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
@@ -235,6 +282,7 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
     return a.index < b.index;
   };
 
+  prof_collective_begin("maxloc");
   int mask = 1;
   while (mask < size()) {
     if ((rank_ & mask) == 0) {
@@ -250,6 +298,7 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
     mask <<= 1;
   }
   bcast_value(acc, 0);
+  prof_collective_end();
   return MaxLoc{acc.value, acc.index};
 }
 
@@ -261,6 +310,7 @@ Comm Comm::split(int color, int key) {
   };
   const Entry mine{color, key, rank_};
   std::vector<Entry> all(static_cast<std::size_t>(size()));
+  prof_collective_begin("split");
 
   // Allgather of (color, key): gather to rank 0, then broadcast. Counted as
   // control traffic — communicator management, not application data.
@@ -317,6 +367,7 @@ Comm Comm::split(int color, int key) {
     if (members[i].parent_rank == rank_) new_rank = static_cast<int>(i);
   }
   PLIN_CHECK(new_rank >= 0);
+  prof_collective_end();
 
   const std::uint64_t context = world_->intern_context(context_, split_seq_++);
   return Comm(world_, std::move(group), new_rank, context);

@@ -11,6 +11,7 @@
 
 #include <cstring>
 #include <span>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -56,6 +57,19 @@ class Comm {
   /// Advances this rank's virtual clock by `dt` seconds of idle waiting
   /// (kCommWait power) — the building block for polling/sampling loops.
   void idle_wait(double dt);
+
+  // -- span tracing (src/prof) ------------------------------------------------
+
+  /// Opens / closes a named phase bracket on this rank's span recorder.
+  /// Brackets nest; solver and monitor code mark their algorithmic phases
+  /// with these so the tracer can attribute time and energy
+  /// (docs/tracing.md). No-ops when tracing is disabled; never advance
+  /// virtual time or touch the energy ledger.
+  void prof_phase_begin(std::string_view name);
+  void prof_phase_end();
+
+  /// Records a zero-length marker (PAPI read points and the like).
+  void prof_instant(std::string_view name);
 
   // -- point-to-point ---------------------------------------------------------
 
@@ -190,6 +204,14 @@ class Comm {
   RankState& me() const;
   void log_segment(hw::ActivityKind kind, double dt, double dram_bytes = 0.0);
 
+  /// This rank's span recorder; nullptr when tracing is off (and constant
+  /// nullptr when the prof subsystem is compiled out, which folds every
+  /// hook away).
+  prof::SpanRecorder* recorder() const;
+  /// Collective bracket around one collective call (ring-buffered span).
+  void prof_collective_begin(const char* name);
+  void prof_collective_end();
+
   void send_impl(std::span<const std::byte> data, int dst, int tag,
                  bool control);
   RecvInfo recv_impl(std::span<std::byte> data, int src, int tag);
@@ -269,6 +291,7 @@ void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
   static_assert(std::is_trivially_copyable_v<T>);
   PLIN_CHECK_MSG(rank() != root || out.size() == data.size(),
                  "reduce output span has wrong size on root");
+  prof_collective_begin("reduce");
   std::vector<T> acc(data.begin(), data.end());
   const int vrank = (rank_ - root + size()) % size();
   int mask = 1;
@@ -297,13 +320,16 @@ void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
   if (rank_ == root) {
     std::memcpy(out.data(), acc.data(), acc.size() * sizeof(T));
   }
+  prof_collective_end();
 }
 
 template <typename T>
 void Comm::gather(std::span<const T> data, std::span<T> out, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
+  prof_collective_begin("gather");
   if (rank_ != root) {
     send(data, root, internal_tag::kGather);
+    prof_collective_end();
     return;
   }
   PLIN_CHECK_MSG(out.size() >= data.size() * static_cast<std::size_t>(size()),
@@ -317,6 +343,7 @@ void Comm::gather(std::span<const T> data, std::span<T> out, int root) {
       recv(slot, src, internal_tag::kGather);
     }
   }
+  prof_collective_end();
 }
 
 }  // namespace plin::xmpi

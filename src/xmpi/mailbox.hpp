@@ -47,6 +47,12 @@ struct Envelope {
   int tag = 0;
   std::uint64_t context = 0;  // communicator context id
   double arrival_time = 0.0;  // virtual time the payload is available
+  /// Sender identity for the span tracer (src/prof): world rank plus the
+  /// sender-local message sequence number, which names the matching send
+  /// span in the critical-path dependency graph. send_seq is 0 when
+  /// tracing is off.
+  int src_world = 0;
+  std::uint64_t send_seq = 0;
   std::vector<std::byte> payload;
 };
 

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cstdlib>
 #include <exception>
-#include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 
+#include "prof/export.hpp"
+#include "prof/recorder.hpp"
 #include "support/error.hpp"
 #include "xmpi/scheduler.hpp"
 
@@ -31,31 +34,11 @@ double EnergyReport::total_dram_j() const {
 
 namespace {
 
-/// Writes the collected per-rank activity events as a Chrome trace-event
-/// JSON file (timestamps in microseconds of virtual time).
-void write_chrome_trace(const std::string& path, World& world) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) throw IoError("cannot open trace file: " + path);
-  os << "[\n";
-  bool first = true;
-  for (int rank = 0; rank < world.size(); ++rank) {
-    const RankState& state = world.rank_state(rank);
-    const int node = state.hw_context.node;
-    // Lane metadata: group ranks under their node.
-    os << (first ? "" : ",\n")
-       << R"({"ph":"M","name":"thread_name","pid":)" << node << ",\"tid\":"
-       << rank << R"(,"args":{"name":"rank )" << rank << "\"}}";
-    first = false;
-    for (const TraceEvent& event : state.trace_events) {
-      os << ",\n{\"ph\":\"X\",\"name\":\"" << hw::to_string(event.kind)
-         << "\",\"cat\":\"" << hw::to_string(event.kind)
-         << "\",\"pid\":" << node << ",\"tid\":" << rank
-         << ",\"ts\":" << event.t0 * 1e6 << ",\"dur\":" << event.dt * 1e6
-         << "}";
-    }
-  }
-  os << "\n]\n";
-  if (!os) throw IoError("trace write failed: " + path);
+/// Truthy environment flag: set and neither empty nor "0".
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' &&
+         std::string_view(value) != "0";
 }
 
 /// Reads a non-negative integer environment variable; `fallback` when
@@ -89,7 +72,17 @@ ExecutorKind resolve_executor(ExecutorKind requested) {
 RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
   PLIN_CHECK_MSG(static_cast<bool>(rank_main), "rank_main must be callable");
   World world(config.machine, config.placement);
-  world.set_tracing(!config.chrome_trace_path.empty());
+
+  // Tracing is requested explicitly, implied by an output path, or forced
+  // from the environment (PLIN_TRACE=1). set_tracing additionally requires
+  // prof::kCompiledIn; world.tracing() reports what actually happened.
+  const bool want_trace = config.trace || !config.chrome_trace_path.empty() ||
+                          !config.trace_dir.empty() || env_flag("PLIN_TRACE");
+  const std::size_t ring_spans =
+      config.trace_ring_spans != 0
+          ? config.trace_ring_spans
+          : env_size_t("PLIN_TRACE_SPANS", prof::kDefaultRingSpans);
+  world.set_tracing(want_trace, ring_spans);
 
   RunResult result;
 
@@ -153,6 +146,8 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
       deadlocked = scheduler.deadlocked();
       result.host_executor = "pool";
       result.host_workers = scheduler.worker_count();
+      result.host_parks = scheduler.park_count();
+      result.host_wakes = scheduler.wake_count();
     } else {
       std::vector<std::thread> threads;
       threads.reserve(static_cast<std::size_t>(world.size()));
@@ -176,10 +171,6 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
           "receive or collective with no message in flight");
     }
     if (first_error) std::rethrow_exception(first_error);
-  }
-
-  if (!config.chrome_trace_path.empty()) {
-    write_chrome_trace(config.chrome_trace_path, world);
   }
 
   result.rank_times.reserve(static_cast<std::size_t>(world.size()));
@@ -210,6 +201,54 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
           p, hw::ActivityKind::kCommActive, result.duration_s);
       result.commwait_s += ledger.activity_seconds(
           p, hw::ActivityKind::kCommWait, result.duration_s);
+    }
+  }
+
+  // Extract the span trace while World is still alive, reusing the exact
+  // RunResult energy values so attribution reconciles bit-identically.
+  if (world.tracing()) {
+    auto trace = std::make_shared<prof::TraceData>();
+    trace->duration_s = result.duration_s;
+    trace->ring_capacity = ring_spans;
+    trace->power = world.power().spec();
+    trace->ranks.reserve(static_cast<std::size_t>(world.size()));
+    for (int rank = 0; rank < world.size(); ++rank) {
+      RankState& state = world.rank_state(rank);
+      const hw::RankLocation& loc = world.layout().location_of(rank);
+      trace->ranks.push_back(state.prof->take(rank, loc.node, loc.socket,
+                                              loc.core, state.clock.now()));
+    }
+    trace->packages.reserve(
+        static_cast<std::size_t>(world.node_count() * packages));
+    for (int node = 0; node < world.node_count(); ++node) {
+      trace::EnergyLedger& ledger = world.node_ledger(node);
+      for (int p = 0; p < packages; ++p) {
+        prof::PackagePower pkg;
+        pkg.node = node;
+        pkg.package = p;
+        const PackageEnergy& energy =
+            result.energy.nodes[static_cast<std::size_t>(node)]
+                .packages[static_cast<std::size_t>(p)];
+        pkg.pkg_j = energy.pkg_j;
+        pkg.dram_j = energy.dram_j;
+        pkg.dram_traffic_bytes =
+            ledger.dram_traffic_bytes(p, result.duration_s);
+        pkg.cap_w = ledger.package_cap(p);
+        pkg.ranked_cores = world.layout().ranks_on_socket(node, p);
+        if (pkg.cap_w > 0.0 && pkg.ranked_cores > 0) {
+          pkg.dynamic_scale =
+              world.power().cap_effect(pkg.cap_w, pkg.ranked_cores)
+                  .dynamic_scale;
+        }
+        trace->packages.push_back(pkg);
+      }
+    }
+    result.trace = trace;
+    if (!config.chrome_trace_path.empty()) {
+      prof::write_perfetto(config.chrome_trace_path, *trace);
+    }
+    if (!config.trace_dir.empty()) {
+      prof::write_trace_bundle(config.trace_dir, *trace);
     }
   }
 

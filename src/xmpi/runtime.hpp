@@ -11,12 +11,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hwmodel/machine.hpp"
 #include "hwmodel/placement.hpp"
+#include "prof/span.hpp"
 #include "xmpi/comm.hpp"
 
 namespace plin::xmpi {
@@ -62,11 +65,24 @@ struct RunConfig {
   /// Usable bytes per rank fiber stack; 0 → PLIN_XMPI_STACK_KB env, else
   /// 512 KiB (lazily committed). Ignored by kThreadPerRank.
   std::size_t fiber_stack_bytes = 0;
-  /// If non-empty, every rank's activity segments are written to this path
-  /// as a chrome://tracing / Perfetto JSON file after the run: one lane per
-  /// rank (grouped by node), one slice per compute / memory / comm-active /
-  /// comm-wait interval in virtual time. Numeric-tier scale only.
+  /// Enables span tracing for this run even when no output path is set;
+  /// the collected prof::TraceData is returned in RunResult::trace.
+  /// Tracing is also switched on by chrome_trace_path / trace_dir below or
+  /// by a truthy PLIN_TRACE environment variable (docs/tracing.md).
+  bool trace = false;
+  /// Per-rank span ring capacity; 0 → PLIN_TRACE_SPANS env, else
+  /// prof::kDefaultRingSpans. Phase brackets and per-peer counters are
+  /// exact regardless; only fine-grained spans are ring-bounded.
+  std::size_t trace_ring_spans = 0;
+  /// If non-empty, the run's spans are written to this path as a
+  /// chrome://tracing / Perfetto JSON file: one track per rank (grouped by
+  /// node), slices for phases / collectives / activities / messages, and a
+  /// per-node dynamic-power counter track. Numeric-tier scale only.
   std::string chrome_trace_path;
+  /// If non-empty, the full canonical trace bundle (trace.json,
+  /// summary.json and the analysis CSVs) is written into this directory.
+  /// The bundle bytes are identical across executors and worker counts.
+  std::string trace_dir;
   /// If > 0, RunResult.timeline holds a per-node power time series sampled
   /// at this virtual-time period — the simulated *external wattmeter* view
   /// (the "ground truth" instrument the paper's §6 plans to add next to
@@ -111,11 +127,19 @@ struct RunResult {
   /// RunConfig::timeline_period_s > 0.
   std::vector<NodeTimeline> timeline;
 
+  /// Collected span trace; non-null only when tracing was enabled (and the
+  /// prof subsystem is compiled in). Shared so callers can hold it past
+  /// further runs cheaply.
+  std::shared_ptr<const prof::TraceData> trace;
+
   /// Host-side diagnostics (never feed back into simulated numbers):
-  /// which executor actually ran ("inline", "pool" or "threads") and how
-  /// many host workers it used.
+  /// which executor actually ran ("inline", "pool" or "threads"), how many
+  /// host workers it used, and the pool's fiber park/wake counts (0 for
+  /// the inline and thread-per-rank executors).
   std::string host_executor;
   std::size_t host_workers = 0;
+  std::uint64_t host_parks = 0;
+  std::uint64_t host_wakes = 0;
 
   double busy_s() const {
     return compute_s + membound_s + commactive_s + commwait_s;

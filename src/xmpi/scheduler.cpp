@@ -123,6 +123,8 @@ struct FiberScheduler::QueueState {
   std::deque<std::size_t> ready;
   std::size_t running = 0;
   std::size_t finished = 0;
+  std::uint64_t parks = 0;  // fibers returning to the worker unfinished
+  std::uint64_t wakes = 0;  // wake() calls on unfinished fibers
   bool stop = false;
 };
 
@@ -151,6 +153,7 @@ void FiberScheduler::RankFiber::park() { switch_to_worker(); }
 void FiberScheduler::RankFiber::wake() {
   QueueState& queue = *sched->queue_;
   std::lock_guard<std::mutex> lock(queue.mutex);
+  if (state != State::kFinished) ++queue.wakes;
   if (state == State::kParked) {
     state = State::kReady;
     queue.ready.push_back(index);
@@ -222,6 +225,16 @@ Mailbox::Parker* FiberScheduler::parker(std::size_t index) {
   return &fibers_[index];
 }
 
+std::uint64_t FiberScheduler::park_count() const {
+  std::lock_guard<std::mutex> lock(queue_->mutex);
+  return queue_->parks;
+}
+
+std::uint64_t FiberScheduler::wake_count() const {
+  std::lock_guard<std::mutex> lock(queue_->mutex);
+  return queue_->wakes;
+}
+
 void FiberScheduler::dispatch(RankFiber& fiber, void* worker_tsan) {
   ucontext_t worker_context;
   fiber.return_context = &worker_context;
@@ -257,6 +270,7 @@ void FiberScheduler::worker_loop() {
 
     lock.lock();
     --queue.running;
+    if (!fiber.body_done) ++queue.parks;
     if (fiber.body_done) {
       fiber.state = RankFiber::State::kFinished;
       if (++queue.finished == fibers_.size()) {

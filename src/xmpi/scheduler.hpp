@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -79,6 +80,13 @@ class FiberScheduler {
 
   /// Worker threads run() will use.
   std::size_t worker_count() const { return workers_; }
+
+  /// Host-side scheduler counters over the whole run: fiber park
+  /// transitions (a rank yielding its worker) and wake() calls. Purely
+  /// host diagnostics — the values depend on worker count and host timing,
+  /// so they are surfaced in RunResult but never enter a canonical trace.
+  std::uint64_t park_count() const;
+  std::uint64_t wake_count() const;
 
   struct RankFiber;  // opaque in the header; defined in scheduler.cpp
 

@@ -69,6 +69,16 @@ TrafficCounters World::total_traffic() const {
   return total;
 }
 
+void World::set_tracing(bool enabled, std::size_t ring_spans) {
+  tracing_ = enabled && prof::kCompiledIn;
+  const std::size_t capacity =
+      ring_spans != 0 ? ring_spans : prof::kDefaultRingSpans;
+  for (const auto& rank : ranks_) {
+    rank->prof = tracing_ ? std::make_unique<prof::SpanRecorder>(capacity)
+                          : nullptr;
+  }
+}
+
 void World::abort() noexcept {
   abort_flag_.store(true);
   for (const auto& rank : ranks_) rank->mailbox.interrupt();

@@ -13,6 +13,7 @@
 #include "hwmodel/layout.hpp"
 #include "hwmodel/network.hpp"
 #include "hwmodel/power.hpp"
+#include "prof/recorder.hpp"
 #include "trace/clock.hpp"
 #include "trace/hardware_context.hpp"
 #include "trace/ledger.hpp"
@@ -21,13 +22,6 @@
 
 namespace plin::xmpi {
 
-/// One rank-attributed activity event (collected only when tracing).
-struct TraceEvent {
-  double t0 = 0.0;
-  double dt = 0.0;
-  hw::ActivityKind kind = hw::ActivityKind::kIdle;
-};
-
 /// Per-rank mutable state. Owned by World, touched only by the rank's
 /// thread (mailbox is internally synchronized for senders).
 struct RankState {
@@ -35,7 +29,9 @@ struct RankState {
   Mailbox mailbox;
   trace::HardwareContext hw_context;
   TrafficCounters traffic;  // this rank's share of send-side counters
-  std::vector<TraceEvent> trace_events;
+  /// Span recorder (src/prof); allocated by World::set_tracing, null when
+  /// tracing is off.
+  std::unique_ptr<prof::SpanRecorder> prof;
 };
 
 class World {
@@ -69,9 +65,11 @@ class World {
   bool aborted() const { return abort_flag_.load(); }
   const std::atomic<bool>& abort_flag() const { return abort_flag_; }
 
-  /// When enabled, every rank records its activity segments for the
-  /// chrome://tracing export (see Runtime / RunConfig::chrome_trace_path).
-  void set_tracing(bool enabled) { tracing_ = enabled; }
+  /// Enables span tracing: allocates one prof::SpanRecorder per rank with
+  /// the given ring capacity (0 → prof::kDefaultRingSpans). Disabling
+  /// drops the recorders. No-op when the prof subsystem is compiled out
+  /// (-DPLIN_PROF=OFF). See docs/tracing.md.
+  void set_tracing(bool enabled, std::size_t ring_spans = 0);
   bool tracing() const { return tracing_; }
 
  private:

@@ -105,8 +105,10 @@ TEST(WhiteBoxMonitor, MeasuredEnergyIsWithinRunTotal) {
 TEST(WhiteBoxMonitor, WritesPerProcessorFiles) {
   const std::string dir = ::testing::TempDir() + "powerlin_monitor_files";
   std::filesystem::remove_all(dir);
+  MonitorOptions options;
+  options.output_dir = dir;
   xmpi::Runtime::run(mini_config(16), [&](xmpi::Comm& world) {
-    (void)monitored_run(world, MonitorOptions{"powercap", dir},
+    (void)monitored_run(world, options,
                         [](xmpi::Comm& comm) { run_solver(comm, 48); });
   });
   for (int node = 0; node < 2; ++node) {

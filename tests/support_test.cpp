@@ -215,6 +215,102 @@ TEST(KvFileTest, ParsesKeysValuesAndComments) {
             (std::vector<std::string>{"n", "8640", "17280"}));
 }
 
+TEST(KvFileTest, TrailingWhitespaceAndTabsAreSeparators) {
+  const auto lines = parse_kv_text(
+      "key1 value1   \n"            // trailing spaces after last token
+      "key2\tvalue2\tvalue3\t\n"    // tab-separated, trailing tab
+      "  key3 value4\n"             // leading indentation
+      "key4   \t  value5\n");       // mixed space/tab runs collapse
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0].values, (std::vector<std::string>{"value1"}));
+  EXPECT_EQ(lines[1].values, (std::vector<std::string>{"value2", "value3"}));
+  EXPECT_EQ(lines[2].key, "key3");
+  EXPECT_EQ(lines[3].values, (std::vector<std::string>{"value5"}));
+}
+
+TEST(KvFileTest, KeyOnlyLinesHaveEmptyValues) {
+  // A bare key is legal syntax — semantics (is an empty value list allowed
+  // for this key?) belong to the caller, which still gets the line number.
+  const auto lines = parse_kv_text("flag\nflag2   # only a comment after\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].key, "flag");
+  EXPECT_TRUE(lines[0].values.empty());
+  EXPECT_EQ(lines[1].key, "flag2");
+  EXPECT_TRUE(lines[1].values.empty());
+  EXPECT_EQ(lines[1].line_no, 2);
+}
+
+TEST(KvFileTest, DuplicateKeysAreReportedInOrder) {
+  // The parser must not merge or drop duplicates: manifest semantics
+  // (last-wins vs grid accumulation) are decided by the caller per key.
+  const auto lines = parse_kv_text(
+      "grid ranks 144\n"
+      "grid ranks 576\n"
+      "grid ranks 1296\n");
+  ASSERT_EQ(lines.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)].key, "grid");
+    EXPECT_EQ(lines[static_cast<std::size_t>(i)].line_no, i + 1);
+  }
+  EXPECT_EQ(lines[0].values[1], "144");
+  EXPECT_EQ(lines[1].values[1], "576");
+  EXPECT_EQ(lines[2].values[1], "1296");
+}
+
+TEST(KvFileTest, CommentOnlyAndBlankLinesProduceNothing) {
+  EXPECT_TRUE(parse_kv_text("").empty());
+  EXPECT_TRUE(parse_kv_text("\n\n   \n\t\n").empty());
+  EXPECT_TRUE(parse_kv_text("# a\n   # b\n#\n").empty());
+  // '#' mid-token still starts a comment (tokens never contain '#').
+  const auto lines = parse_kv_text("key value#comment\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].values, (std::vector<std::string>{"value"}));
+}
+
+TEST(JsonTest, TraceDocumentRoundTripsByteExactly) {
+  // A miniature trace summary assembled the way export.cpp does it:
+  // ordered objects, nested arrays, doubles at full precision. The bytes
+  // must survive serialize → parse → serialize unchanged, because the CI
+  // trace-diff job compares summary.json files byte-for-byte.
+  json::Value phase = json::make_object();
+  phase.set("phase", "gepp:gemm");
+  phase.set("seconds", 0.12345678901234567);
+  phase.set("cpu_j", 42.5);
+  json::Value doc = json::make_object();
+  doc.set("schema", "powerlin-trace-summary/v1");
+  doc.set("duration_s", 1e-9);
+  doc.set("complete", true);
+  doc.set("dropped_spans", 0);
+  doc.set("phases", json::Array{phase});
+  doc.set("end_rank", nullptr);
+
+  const std::string text = json::serialize(doc);
+  const json::Value reparsed = json::parse(text);
+  EXPECT_EQ(json::serialize(reparsed), text);
+  EXPECT_EQ(reparsed.at("phases").as_array().size(), 1u);
+  EXPECT_EQ(reparsed.at("phases").as_array()[0].at("seconds").as_number(),
+            0.12345678901234567);
+  EXPECT_TRUE(reparsed.at("end_rank").is_null());
+}
+
+TEST(JsonTest, StringEscapingRoundTrips) {
+  // Phase names and file paths end up inside trace JSON; every byte that
+  // JSON requires escaped must round-trip, including embedded quotes,
+  // backslashes (Windows-style paths) and control characters.
+  const std::string hostile =
+      "phase \"q\" \\ slash / tab\t newline\n cr\r bell\x07 nul-adjacent\x1f";
+  json::Value doc = json::make_object();
+  doc.set("name", hostile);
+  const std::string text = json::serialize(doc);
+  // The serialized form contains no raw control bytes.
+  for (const char c : text) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  const json::Value reparsed = json::parse(text);
+  EXPECT_EQ(reparsed.at("name").as_string(), hostile);
+  EXPECT_EQ(json::serialize(reparsed), text);
+}
+
 TEST(ErrorTest, CheckMacrosThrowWithContext) {
   try {
     PLIN_CHECK_MSG(1 == 2, "custom context");

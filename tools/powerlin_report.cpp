@@ -5,8 +5,13 @@
 // line per claim plus the numbers behind it. Exit code 0 iff every claim
 // holds — the one-command answer to "does this reproduction still stand?".
 //
+// A second mode, `--trace DIR`, renders the summary.json of a span-trace
+// bundle (docs/tracing.md) as human-readable tables: per-phase energy
+// attribution, communication totals and the critical-path breakdown.
+//
 //   ./powerlin_report [--markdown]   (--help for the flag reference)
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
@@ -16,7 +21,10 @@
 #include "perfsim/simulator.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
 #include "support/units.hpp"
+#include "support/version.hpp"
 
 namespace {
 
@@ -66,20 +74,97 @@ class Grid {
   std::map<std::string, perfsim::Prediction> grid_;
 };
 
+/// `--trace DIR`: renders <DIR>/summary.json (written by a traced run —
+/// docs/tracing.md) as tables.
+int report_trace(const std::string& dir) {
+  const std::string path = dir + "/summary.json";
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::cerr << "error: cannot open " << path
+              << " (expected a trace bundle directory)\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+
+  std::cout << "Trace summary: " << path << "\n"
+            << "  duration " << format_duration(doc.at("duration_s").as_number())
+            << ", " << doc.at("ranks").as_number() << " ranks, "
+            << doc.at("dropped_spans").as_number() << " dropped spans"
+            << (doc.at("complete").as_bool()
+                    ? ""
+                    : " (ring overflow: attribution is partial)")
+            << "\n\n";
+
+  const json::Value& energy = doc.at("energy");
+  std::cout << "Per-phase energy attribution (CPU "
+            << format_energy(energy.at("total_cpu_j").as_number()) << ", DRAM "
+            << format_energy(energy.at("total_dram_j").as_number()) << "):\n";
+  TextTable phases({"phase", "seconds", "compute", "commwait", "CPU energy",
+                    "DRAM energy"});
+  for (const json::Value& row : energy.at("phases").as_array()) {
+    phases.add_row({row.at("phase").as_string(),
+                    format_duration(row.at("seconds").as_number()),
+                    format_duration(row.at("compute_s").as_number()),
+                    format_duration(row.at("commwait_s").as_number()),
+                    format_energy(row.at("cpu_j").as_number()),
+                    format_energy(row.at("dram_j").as_number())});
+  }
+  phases.print(std::cout);
+
+  const json::Value& comm = doc.at("comm");
+  std::cout << "\nCommunication: " << comm.at("total_messages").as_number()
+            << " messages, " << comm.at("total_bytes").as_number()
+            << " bytes, "
+            << format_duration(comm.at("total_wait_s").as_number())
+            << " receive wait (" << comm.at("edges").as_array().size()
+            << " rank pairs)\n";
+
+  const json::Value& path_doc = doc.at("critical_path");
+  std::cout << "\nCritical path: "
+            << format_duration(path_doc.at("duration_s").as_number())
+            << " ending on rank " << path_doc.at("end_rank").as_number()
+            << " (" << path_doc.at("rank_switches").as_number()
+            << " rank switches; compute "
+            << format_duration(path_doc.at("compute_s").as_number())
+            << ", comm wait "
+            << format_duration(path_doc.at("commwait_s").as_number())
+            << ", network "
+            << format_duration(path_doc.at("network_s").as_number()) << ")\n";
+  TextTable critical({"phase", "critical", "total rank time", "slack"});
+  for (const json::Value& row : path_doc.at("phases").as_array()) {
+    critical.add_row({row.at("phase").as_string(),
+                      format_duration(row.at("critical_s").as_number()),
+                      format_duration(row.at("total_rank_s").as_number()),
+                      format_duration(row.at("slack_s").as_number())});
+  }
+  critical.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
-    args.require_known({"markdown", "help"});
+    args.require_known({"markdown", "trace", "version", "help"});
+    if (args.get_bool("version", false)) {
+      std::cout << "powerlin_report " << plin::kVersion << "\n";
+      return 0;
+    }
+    if (args.has("trace")) return report_trace(args.get("trace", ""));
   } catch (const plin::Error& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
   }
   if (args.get_bool("help", false)) {
     std::cout << "powerlin_report — self-checking reproduction report\n\n"
-                 "  --markdown  emit the claim table as GitHub markdown\n"
-                 "  --help      this text\n";
+                 "  --markdown   emit the claim table as GitHub markdown\n"
+                 "  --trace DIR  render DIR/summary.json (a span-trace "
+                 "bundle, docs/tracing.md)\n"
+                 "  --version    print the release version and exit\n"
+                 "  --help       this text\n";
     return 0;
   }
   const bool markdown = args.get_bool("markdown", false);

@@ -18,6 +18,7 @@
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
+#include "support/version.hpp"
 #include "xmpi/runtime.hpp"
 
 namespace {
@@ -39,6 +40,8 @@ One-off modes:
   --dominance  Jacobi diagonal dominance (default 0)
   --iterations Jacobi replay sweep count (default 100)
   --out        directory for per-processor monitor files (numeric)
+  --trace-dir  archive the span-trace bundle of the run into this directory
+               (numeric tier; first repetition only — docs/tracing.md)
 
 Campaign mode (batch orchestrator, docs/campaign.md):
   --campaign   path to a campaign manifest; runs the whole grid through the
@@ -48,7 +51,10 @@ Campaign mode (batch orchestrator, docs/campaign.md):
   --workers    override the manifest's host worker count
   --max-jobs   execute at most N jobs this invocation, then stop (the
                deterministic interrupt used to test resumability)
+  --trace-dir  archive one span-trace bundle per numeric job under
+               <trace-dir>/<job key>/ (docs/tracing.md)
 
+  --version    print the release version and exit
   --help       this text
 )";
 
@@ -109,6 +115,7 @@ int run_numeric(const CliArgs& args) {
     xmpi::RunConfig config;
     config.machine = machine;
     config.placement = hw::make_placement(ranks, layout, machine);
+    config.trace_dir = args.get("trace-dir", "");
     solvers::JacobiResult result;
     const xmpi::RunResult run =
         xmpi::Runtime::run(config, [&](xmpi::Comm& comm) {
@@ -140,6 +147,7 @@ int run_numeric(const CliArgs& args) {
 
   monitor::MonitorOptions options;
   options.output_dir = args.get("out", "");
+  options.trace_dir = args.get("trace-dir", "");
 
   const monitor::JobResult result =
       monitor::run_job(machine, spec, options);
@@ -158,6 +166,7 @@ int run_campaign_mode(const CliArgs& args) {
   if (max_jobs >= 0) {
     options.max_jobs = static_cast<std::size_t>(max_jobs);
   }
+  options.trace_dir = args.get("trace-dir", "");
 
   const batch::CampaignResult result = batch::run_campaign(manifest, options);
 
@@ -190,9 +199,13 @@ int main(int argc, char** argv) {
     args.require_known({"tier", "algorithm", "n", "ranks", "layout", "nb",
                         "seed", "reps", "tol", "dominance", "iterations",
                         "out", "campaign", "store", "workers", "max-jobs",
-                        "help"});
+                        "trace-dir", "version", "help"});
     if (args.get_bool("help", false)) {
       std::cout << kUsage;
+      return 0;
+    }
+    if (args.get_bool("version", false)) {
+      std::cout << "powerlin_run " << plin::kVersion << "\n";
       return 0;
     }
     if (args.has("campaign")) return run_campaign_mode(args);
