@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -124,6 +125,12 @@ struct HarnessResult {
   double pool_s = 0.0;
   double threads_s = 0.0;  // 0 ⇒ baseline skipped at this scale
   std::size_t pool_workers = 0;
+  // Payload-pool behaviour of one run (last timed repetition): misses are
+  // actual heap allocations, hits are recycled buffers, peak is the high
+  // watermark of live payload bytes.
+  std::uint64_t alloc_count = 0;
+  std::uint64_t pool_hits = 0;
+  std::uint64_t peak_payload_bytes = 0;
 
   bool has_baseline() const { return threads_s > 0.0; }
   double speedup() const {
@@ -143,6 +150,9 @@ HarnessResult measure(const WorkloadSpec& spec, int ranks,
   result.pool_s = best_seconds([&] {
     const xmpi::RunResult run = xmpi::Runtime::run(pool_config, spec.body);
     workers = run.host_workers;
+    result.alloc_count = run.transport.pool.misses;
+    result.pool_hits = run.transport.pool.hits;
+    result.peak_payload_bytes = run.transport.pool.peak_payload_bytes;
     benchmark::DoNotOptimize(run.duration_s);
   });
   result.pool_workers = workers;
@@ -178,6 +188,9 @@ bool write_json(const std::string& path, bool smoke,
     first = false;
     out << "    {\"workload\": \"" << r.workload << "\", \"ranks\": "
         << r.ranks << ", \"pool_workers\": " << r.pool_workers
+        << ", \"alloc_count\": " << r.alloc_count
+        << ", \"pool_hits\": " << r.pool_hits
+        << ", \"peak_payload_bytes\": " << r.peak_payload_bytes
         << ", \"pool_s\": " << fmt(r.pool_s) << ", \"threads_s\": ";
     if (r.has_baseline()) {
       out << fmt(r.threads_s) << ", \"speedup\": " << fmt(r.speedup());

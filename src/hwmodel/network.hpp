@@ -58,6 +58,63 @@ class NetworkModel {
     return 2.0 * tree_bcast_time(bytes, participants, worst);
   }
 
+  /// Largest power of two <= participants (participants >= 1): the core
+  /// width of the pre-folded scalable allreduce schedules.
+  static int floor_pof2(int participants) {
+    int pof2 = 1;
+    while (pof2 * 2 <= participants) pof2 *= 2;
+    return pof2;
+  }
+
+  // -- scalable collective schedules (CollectiveMode::kScalable) ------------
+  //
+  // Analytic mirrors of the xmpi schedules, for the perfsim tier and for
+  // sanity-checking bench_collectives: the executed virtual durations
+  // emerge from the same alpha/beta/overhead terms these closed forms sum.
+
+  /// Ring allgather: P-1 sequential steps, each forwarding one
+  /// `chunk_bytes` block (every rank sends and receives one block per
+  /// step, so per-step cost is one transfer plus both message overheads).
+  double ring_allgather_time(double chunk_bytes, int participants,
+                             LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    return (participants - 1) *
+           (transfer_time(worst, chunk_bytes) + 2.0 * per_message_overhead());
+  }
+
+  /// Recursive-doubling allreduce: log2(pof2) pairwise full-vector
+  /// exchanges (plus a pre/post fold round when P is not a power of two).
+  double rd_allreduce_time(double bytes, int participants,
+                           LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    const int pof2 = floor_pof2(participants);
+    const double round =
+        transfer_time(worst, bytes) + 2.0 * per_message_overhead();
+    double total = tree_depth(pof2) * round;
+    if (pof2 != participants) total += 2.0 * round;  // pre + post fold
+    return total;
+  }
+
+  /// Reduce-scatter + allgather allreduce (vector halving): each of the
+  /// two phases moves bytes * (pof2-1)/pof2 through every rank across
+  /// log2(pof2) halving rounds.
+  double rsag_allreduce_time(double bytes, int participants,
+                             LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    const int pof2 = floor_pof2(participants);
+    const int depth = tree_depth(pof2);
+    const double fraction =
+        static_cast<double>(pof2 - 1) / static_cast<double>(pof2);
+    double total = 2.0 * (depth * (latency(worst) +
+                                   2.0 * per_message_overhead()) +
+                          bytes * fraction / bandwidth(worst));
+    if (pof2 != participants) {
+      total += 2.0 * (transfer_time(worst, bytes) +
+                      2.0 * per_message_overhead());
+    }
+    return total;
+  }
+
   /// Dissemination barrier over `participants`.
   double barrier_time(int participants, LinkClass worst) const {
     if (participants <= 1) return 0.0;

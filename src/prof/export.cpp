@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -261,6 +263,35 @@ json::Value summary_json(const TraceData& trace,
   }
   comm_doc.set("edges", json::Value(std::move(edge_rows)));
   doc.set("comm", std::move(comm_doc));
+
+  // Collective calls aggregated by schedule name (ring-buffered spans, so
+  // counts are lower bounds under overflow — dropped_spans above says by
+  // how much). Schedule variants show up as distinct names (e.g. "reduce"
+  // vs "allreduce:rsag" vs "allgather:ring"), which is how a trace
+  // attributes time to the transport's collective modes (docs/xmpi.md).
+  std::map<std::string, std::pair<std::uint64_t, double>> collectives;
+  for (const RankTrace& rank : trace.ranks) {
+    for (const Span& span : rank.spans) {
+      if (span.kind != SpanKind::kCollective) continue;
+      if (span.name < 0 ||
+          static_cast<std::size_t>(span.name) >= rank.names.size()) {
+        continue;
+      }
+      auto& entry = collectives[rank.names[static_cast<std::size_t>(
+          span.name)]];
+      entry.first += 1;
+      entry.second += span.t1 - span.t0;
+    }
+  }
+  json::Array collective_rows;
+  for (const auto& [name, stat] : collectives) {
+    json::Value entry = json::make_object();
+    entry.set("name", name);
+    entry.set("count", static_cast<double>(stat.first));
+    entry.set("rank_seconds", stat.second);
+    collective_rows.push_back(std::move(entry));
+  }
+  doc.set("collectives", json::Value(std::move(collective_rows)));
 
   json::Value path_doc = json::make_object();
   path_doc.set("duration_s", path.duration_s);

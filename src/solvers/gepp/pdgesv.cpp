@@ -31,6 +31,11 @@ struct GridContext {
   linalg::BlockCyclicDesc desc;
   int myrow;
   int mycol;
+  /// Reused row-swap exchange buffers: swap_row_segments runs O(n) times
+  /// per factorization, and per-call vectors made every pivot swap pay two
+  /// heap allocations on top of the message itself.
+  std::vector<double> swap_outgoing;
+  std::vector<double> swap_incoming;
 
   std::size_t local_rows_below(std::size_t g) const {
     return linalg::numroc(g, desc.mb, myrow, desc.grid.prows);
@@ -63,12 +68,12 @@ void swap_row_segments(GridContext& ctx, linalg::Matrix& local,
   const std::size_t lmine =
       ctx.desc.local_row(ctx.myrow == prow_a ? ga : gb);
   const int peer = ctx.myrow == prow_a ? prow_b : prow_a;
-  std::vector<double> outgoing(local.row(lmine).begin() + c0,
-                               local.row(lmine).begin() + c1);
-  std::vector<double> incoming(width);
-  ctx.col_comm.sendrecv(std::span<const double>(outgoing),
-                        std::span<double>(incoming), peer, kTagSwap);
-  std::copy(incoming.begin(), incoming.end(),
+  ctx.swap_outgoing.assign(local.row(lmine).begin() + c0,
+                           local.row(lmine).begin() + c1);
+  ctx.swap_incoming.resize(width);
+  ctx.col_comm.sendrecv(std::span<const double>(ctx.swap_outgoing),
+                        std::span<double>(ctx.swap_incoming), peer, kTagSwap);
+  std::copy(ctx.swap_incoming.begin(), ctx.swap_incoming.end(),
             local.row(lmine).begin() + c0);
   ctx.world->compute(movement(2.0 * 8.0 * static_cast<double>(width)));
 }
@@ -261,7 +266,9 @@ PdluFactorization pdgetrf(xmpi::Comm& comm, const PdgesvOptions& options) {
       linalg::BlockCyclicDesc{n, n, options.nb, options.nb,
                               linalg::ProcessGrid::squarest(comm.size())},
       0,
-      0};
+      0,
+      {},
+      {}};
   ctx.myrow = ctx.desc.grid.row_of(comm.rank());
   ctx.mycol = ctx.desc.grid.col_of(comm.rank());
 
@@ -315,7 +322,9 @@ PdgetrfFtResult pdgetrf_checkpointed(xmpi::Comm& comm,
       linalg::BlockCyclicDesc{n, n, options.base.nb, options.base.nb,
                               linalg::ProcessGrid::squarest(comm.size())},
       0,
-      0};
+      0,
+      {},
+      {}};
   ctx.myrow = ctx.desc.grid.row_of(comm.rank());
   ctx.mycol = ctx.desc.grid.col_of(comm.rank());
 

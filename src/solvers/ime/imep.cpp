@@ -187,15 +187,17 @@ ImepResult solve_imep(xmpi::Comm& comm, const ImepOptions& options) {
     // the auxiliary update. Sending first keeps the master's pipeline fed.
     if (ranks > 1) {
       comm.prof_phase_begin("ime:gather_row");
-      blob.clear();
+      // One resize + direct stores (capacity persists across levels): the
+      // per-element insert() paid a growth check per double on a path that
+      // runs every level.
       const ChunkHeader header{static_cast<std::uint64_t>(rank),
                                static_cast<std::uint64_t>(ncols)};
-      const auto* hbytes = reinterpret_cast<const std::byte*>(&header);
-      blob.insert(blob.end(), hbytes, hbytes + sizeof(header));
+      blob.resize(sizeof(header) + ncols * sizeof(double));
+      std::memcpy(blob.data(), &header, sizeof(header));
       for (std::size_t k = 0; k < ncols; ++k) {
         const double v = local(k, l);
-        const auto* vbytes = reinterpret_cast<const std::byte*>(&v);
-        blob.insert(blob.end(), vbytes, vbytes + sizeof(double));
+        std::memcpy(blob.data() + sizeof(header) + k * sizeof(double), &v,
+                    sizeof(double));
       }
       gather_row_to_master(comm, ncols_of,
                            l % static_cast<std::size_t>(ranks - 1), blob,

@@ -182,14 +182,16 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
   envelope.tag = tag;
   envelope.context = context_;
   envelope.arrival_time = arrival;
-  envelope.payload.assign(data.begin(), data.end());
   if (prof::SpanRecorder* rec = recorder()) {
     envelope.send_seq = rec->next_send_seq();
     rec->send(t_start, now(), dst_world,
               static_cast<std::int64_t>(data.size()), tag,
               envelope.send_seq);
   }
-  world_->post(dst_world, std::move(envelope));
+  // The transport attaches the payload: straight into the receiver's
+  // registered buffer when the rendezvous conditions hold, else into a
+  // pooled eager buffer (docs/xmpi.md).
+  world_->deliver(dst_world, std::move(envelope), data);
 
   TrafficCounters& traffic = me().traffic;
   if (control) {
@@ -205,8 +207,8 @@ RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
   PLIN_CHECK_MSG(src == kAnySource || (src >= 0 && src < size()),
                  "recv source out of range");
   Envelope envelope =
-      me().mailbox.match(src, tag, context_, world_->abort_flag());
-  PLIN_CHECK_MSG(envelope.payload.size() == data.size(),
+      me().mailbox.match(src, tag, context_, data, world_->abort_flag());
+  PLIN_CHECK_MSG(envelope.bytes == data.size(),
                  "recv buffer size does not match message size");
 
   const double overhead = world_->network().per_message_overhead();
@@ -223,8 +225,16 @@ RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
               envelope.send_seq);
   }
 
-  std::copy(envelope.payload.begin(), envelope.payload.end(), data.begin());
-  return RecvInfo{envelope.src, envelope.tag, envelope.payload.size()};
+  // Rendezvous deliveries already sit in `data`; eager payloads are copied
+  // out here and their buffer returns to the pool when `envelope` dies
+  // (the original transport dropped it on the allocator instead).
+  if (!envelope.inplace && !envelope.payload.empty()) {
+    std::memcpy(data.data(), envelope.payload.data(), envelope.bytes);
+  }
+  TrafficCounters& traffic = me().traffic;
+  traffic.recv_messages += 1;
+  traffic.recv_bytes += envelope.bytes;
+  return RecvInfo{envelope.src, envelope.tag, envelope.bytes};
 }
 
 void Comm::barrier() {
@@ -277,10 +287,54 @@ Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
     long long index;
   };
   Entry acc{value, index};
+  // Strict total order, so the winner is the same under every combine
+  // order (tree and scalable schedules agree bitwise). NaN contract,
+  // documented like the PR-1 idamax contract: a NaN candidate never beats
+  // a numeric one, and among NaNs the lowest index wins. Canonical runs
+  // never feed NaN here (pdgesv pivots on |a_ij| of finite matrices).
   const auto better = [](const Entry& a, const Entry& b) {
-    if (a.value != b.value) return a.value > b.value;
+    const bool a_nan = a.value != a.value;
+    const bool b_nan = b.value != b.value;
+    if (a_nan != b_nan) return b_nan;
+    if (!a_nan && a.value != b.value) return a.value > b.value;
     return a.index < b.index;
   };
+
+  if (world_->collective_mode() == CollectiveMode::kScalable && size() > 1) {
+    // Recursive doubling with a non-power-of-two pre/post fold: every rank
+    // holds the winner after log2 rounds — no root funnel, no broadcast.
+    prof_collective_begin("maxloc:rd");
+    const int pof2 = detail::floor_pof2(size());
+    const int rem = size() - pof2;
+    bool core = true;
+    if (rank_ < 2 * rem) {
+      if ((rank_ & 1) != 0) {
+        send_value(acc, rank_ - 1, internal_tag::kFold);
+        acc = recv_value<Entry>(rank_ - 1, internal_tag::kFold);
+        core = false;
+      } else {
+        const Entry incoming =
+            recv_value<Entry>(rank_ + 1, internal_tag::kFold);
+        if (better(incoming, acc)) acc = incoming;
+      }
+    }
+    if (core) {
+      const int cr = rank_ < 2 * rem ? rank_ / 2 : rank_ - rem;
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int peer_cr = cr ^ mask;
+        const int peer = peer_cr < rem ? 2 * peer_cr : peer_cr + rem;
+        send_value(acc, peer, internal_tag::kAllreduce);
+        const Entry incoming =
+            recv_value<Entry>(peer, internal_tag::kAllreduce);
+        if (better(incoming, acc)) acc = incoming;
+      }
+      if (rank_ < 2 * rem) {
+        send_value(acc, rank_ + 1, internal_tag::kFold);
+      }
+    }
+    prof_collective_end();
+    return MaxLoc{acc.value, acc.index};
+  }
 
   prof_collective_begin("maxloc");
   int mask = 1;

@@ -25,6 +25,39 @@ struct RecvInfo {
   std::size_t bytes = 0;
 };
 
+namespace detail {
+
+/// One reduction step with a fixed operand order: `lower` is the
+/// contribution of the lower-ranked subtree. Every schedule (seed binomial
+/// tree, reduce-scatter+allgather, recursive doubling) funnels its
+/// combines through this helper with rank-ordered operands, which is what
+/// keeps floating-point results bit-identical across schedules on
+/// power-of-two communicators (docs/xmpi.md).
+template <typename T>
+inline T combine_one(ReduceOp op, const T& lower, const T& upper) {
+  switch (op) {
+    case ReduceOp::kSum: return lower + upper;
+    case ReduceOp::kMax: return lower < upper ? upper : lower;
+    case ReduceOp::kMin: return upper < lower ? upper : lower;
+  }
+  return lower;
+}
+
+/// Largest power of two <= size (size >= 1).
+inline int floor_pof2(int size) {
+  int pof2 = 1;
+  while (pof2 * 2 <= size) pof2 *= 2;
+  return pof2;
+}
+
+/// Comm rank of a core rank after the non-power-of-two pre-fold: the first
+/// 2*rem ranks fold pairwise onto their even member, the rest map 1:1.
+inline int core_to_comm_rank(int core_rank, int rem) {
+  return core_rank < rem ? 2 * core_rank : core_rank + rem;
+}
+
+}  // namespace detail
+
 class Comm {
  public:
   /// The world communicator for `world_rank`. Runtime::run constructs one
@@ -152,8 +185,27 @@ class Comm {
   void reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
               int root);
 
+  /// Every rank ends with the element-wise reduction of all
+  /// contributions. Two schedules (CollectiveMode, docs/xmpi.md):
+  ///   - kTree (default): reduce to rank 0 + broadcast — the seed
+  ///     schedule; canonical outputs depend on its virtual timing.
+  ///   - kScalable: reduce-scatter + allgather (vector halving) for
+  ///     vectors with at least one element per power-of-two core rank,
+  ///     recursive doubling for shorter ones. No rank moves more than
+  ///     ~2x the vector, instead of the root's 2·(P-1)·n funnel. On
+  ///     power-of-two communicators the combine bracketing equals the
+  ///     tree's, so results are bit-identical; otherwise a pre-fold pass
+  ///     makes the schedule deterministic but (for kSum) not bit-equal to
+  ///     the tree.
   template <typename T>
   void allreduce(std::span<const T> data, std::span<T> out, ReduceOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PLIN_CHECK_MSG(out.size() == data.size(),
+                   "allreduce output span has wrong size");
+    if (world_->collective_mode() == CollectiveMode::kScalable) {
+      allreduce_scalable(data, out, op);
+      return;
+    }
     reduce(data, out, op, 0);
     bcast(out, 0);
   }
@@ -178,8 +230,19 @@ class Comm {
   template <typename T>
   void gather(std::span<const T> data, std::span<T> out, int root);
 
+  /// Concatenation of every rank's equal-length `data` on every rank.
+  /// kTree: gather to rank 0 + broadcast (root moves ~(P + log P)·n);
+  /// kScalable: ring — each rank forwards one block per step to its right
+  /// neighbor, moving exactly 2·(P-1)·n/P through every rank. Pure data
+  /// movement, so the two schedules are bit-identical at any size.
   template <typename T>
   void allgather(std::span<const T> data, std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (world_->collective_mode() == CollectiveMode::kScalable &&
+        size() > 1) {
+      allgather_ring(data, out);
+      return;
+    }
     gather(data, out, 0);
     bcast(out, 0);
   }
@@ -216,6 +279,12 @@ class Comm {
                  bool control);
   RecvInfo recv_impl(std::span<std::byte> data, int src, int tag);
   void bcast_impl(std::span<std::byte> data, int root, int stream);
+
+  template <typename T>
+  void allreduce_scalable(std::span<const T> data, std::span<T> out,
+                          ReduceOp op);
+  template <typename T>
+  void allgather_ring(std::span<const T> data, std::span<T> out);
 
   World* world_;
   std::vector<int> group_;  // comm rank -> world rank
@@ -293,6 +362,7 @@ void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
                  "reduce output span has wrong size on root");
   prof_collective_begin("reduce");
   std::vector<T> acc(data.begin(), data.end());
+  std::vector<T> incoming;  // hoisted: one allocation across all rounds
   const int vrank = (rank_ - root + size()) % size();
   int mask = 1;
   while (mask < size()) {
@@ -300,14 +370,15 @@ void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,
       const int peer_v = vrank | mask;
       if (peer_v < size()) {
         const int peer = (peer_v + root) % size();
-        std::vector<T> incoming(acc.size());
+        incoming.resize(acc.size());
         recv(std::span<T>(incoming), peer, internal_tag::kReduce);
+        // The receiver always sits on the lower-ranked subtree, so the
+        // accumulator is the `lower` operand (NaN note for kMax/kMin: the
+        // comparison-based combine keeps the lower operand when either
+        // side is NaN, so a NaN contribution survives only from the side
+        // the bracketing puts first — xmpi_collectives_test pins this).
         for (std::size_t i = 0; i < acc.size(); ++i) {
-          switch (op) {
-            case ReduceOp::kSum: acc[i] = acc[i] + incoming[i]; break;
-            case ReduceOp::kMax: acc[i] = acc[i] < incoming[i] ? incoming[i] : acc[i]; break;
-            case ReduceOp::kMin: acc[i] = incoming[i] < acc[i] ? incoming[i] : acc[i]; break;
-          }
+          acc[i] = detail::combine_one(op, acc[i], incoming[i]);
         }
       }
     } else {
@@ -342,6 +413,149 @@ void Comm::gather(std::span<const T> data, std::span<T> out, int root) {
     } else {
       recv(slot, src, internal_tag::kGather);
     }
+  }
+  prof_collective_end();
+}
+
+template <typename T>
+void Comm::allreduce_scalable(std::span<const T> data, std::span<T> out,
+                              ReduceOp op) {
+  const std::size_t count = data.size();
+  if (count != 0) {
+    std::memcpy(out.data(), data.data(), count * sizeof(T));
+  }
+  if (size() == 1 || count == 0) return;
+
+  const int pof2 = detail::floor_pof2(size());
+  const int rem = size() - pof2;
+  // Vector halving needs at least one element per core rank; shorter
+  // vectors (scalars, norms) use latency-optimal recursive doubling.
+  const bool rsag = pof2 > 1 && count >= static_cast<std::size_t>(pof2);
+  prof_collective_begin(rsag ? "allreduce:rsag" : "allreduce:rd");
+  std::vector<T> scratch;
+
+  // Pre-fold: the first 2*rem ranks combine pairwise onto their even
+  // member so the main exchange runs on a power-of-two core. Odd members
+  // sit out and receive the finished vector in the post-fold.
+  if (rank_ < 2 * rem) {
+    if ((rank_ & 1) != 0) {
+      send(std::span<const T>(out.data(), count), rank_ - 1,
+           internal_tag::kFold);
+      recv(std::span<T>(out.data(), count), rank_ - 1, internal_tag::kFold);
+      prof_collective_end();
+      return;
+    }
+    scratch.resize(count);
+    recv(std::span<T>(scratch), rank_ + 1, internal_tag::kFold);
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = detail::combine_one(op, out[i], scratch[i]);
+    }
+  }
+  const int cr = rank_ < 2 * rem ? rank_ / 2 : rank_ - rem;
+
+  if (rsag) {
+    // Reduce-scatter by distance doubling / vector halving, then the
+    // mirrored allgather. The halving recursion reproduces the binomial
+    // tree's combine bracketing element by element (rank-ordered operands
+    // at every level), which is what makes this bit-identical to kTree on
+    // power-of-two communicators.
+    struct Range {
+      std::size_t lo = 0;
+      std::size_t hi = 0;
+    };
+    std::vector<Range> rounds;
+    std::size_t lo = 0;
+    std::size_t hi = count;
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+      const std::size_t mid = lo + (hi - lo + 1) / 2;
+      const bool lower = (cr & mask) == 0;
+      const std::size_t keep_lo = lower ? lo : mid;
+      const std::size_t keep_hi = lower ? mid : hi;
+      const std::size_t give_lo = lower ? mid : lo;
+      send(std::span<const T>(out.data() + give_lo,
+                              (lower ? hi : mid) - give_lo),
+           peer, internal_tag::kAllreduce);
+      scratch.resize(keep_hi - keep_lo);
+      recv(std::span<T>(scratch.data(), keep_hi - keep_lo), peer,
+           internal_tag::kAllreduce);
+      for (std::size_t i = 0; i < keep_hi - keep_lo; ++i) {
+        T& mine = out[keep_lo + i];
+        mine = lower ? detail::combine_one(op, mine, scratch[i])
+                     : detail::combine_one(op, scratch[i], mine);
+      }
+      rounds.push_back(Range{lo, hi});
+      lo = keep_lo;
+      hi = keep_hi;
+    }
+    // Allgather mirror: replay the halving in reverse; at reversed round
+    // r this rank has rebuilt its half of rounds[r] and the same peer has
+    // the other half.
+    for (std::size_t r = rounds.size(); r-- > 0;) {
+      const int mask = 1 << r;
+      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+      const Range range = rounds[r];
+      const std::size_t mid = range.lo + (range.hi - range.lo + 1) / 2;
+      const bool lower = (cr & mask) == 0;
+      const std::size_t other_lo = lower ? mid : range.lo;
+      const std::size_t other_hi = lower ? range.hi : mid;
+      send(std::span<const T>(out.data() + lo, hi - lo), peer,
+           internal_tag::kAllreduce);
+      recv(std::span<T>(out.data() + other_lo, other_hi - other_lo), peer,
+           internal_tag::kAllreduce);
+      lo = range.lo;
+      hi = range.hi;
+    }
+  } else {
+    // Recursive doubling: log2(pof2) full-vector pairwise exchanges.
+    scratch.resize(count);
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+      send(std::span<const T>(out.data(), count), peer,
+           internal_tag::kAllreduce);
+      recv(std::span<T>(scratch), peer, internal_tag::kAllreduce);
+      const bool lower = (cr & mask) == 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        out[i] = lower ? detail::combine_one(op, out[i], scratch[i])
+                       : detail::combine_one(op, scratch[i], out[i]);
+      }
+    }
+  }
+
+  // Post-fold: hand the finished vector back to the folded odd partner.
+  if (rank_ < 2 * rem) {
+    send(std::span<const T>(out.data(), count), rank_ + 1,
+         internal_tag::kFold);
+  }
+  prof_collective_end();
+}
+
+template <typename T>
+void Comm::allgather_ring(std::span<const T> data, std::span<T> out) {
+  PLIN_CHECK_MSG(out.size() >= data.size() * static_cast<std::size_t>(size()),
+                 "allgather output span too small");
+  const std::size_t chunk = data.size();
+  if (chunk != 0) {
+    std::memcpy(out.data() + static_cast<std::size_t>(rank_) * chunk,
+                data.data(), chunk * sizeof(T));
+  }
+  if (size() == 1 || chunk == 0) return;
+  prof_collective_begin("allgather:ring");
+  const int right = (rank_ + 1) % size();
+  const int left = (rank_ + size() - 1) % size();
+  for (int step = 0; step < size() - 1; ++step) {
+    // Forward the block received last step (initially our own) to the
+    // right; receive the next-older block from the left.
+    const int send_block = (rank_ - step + size()) % size();
+    const int recv_block = (rank_ - step + size() - 1) % size();
+    send(std::span<const T>(
+             out.data() + static_cast<std::size_t>(send_block) * chunk,
+             chunk),
+         right, internal_tag::kAllgather);
+    recv(std::span<T>(out.data() +
+                          static_cast<std::size_t>(recv_block) * chunk,
+                      chunk),
+         left, internal_tag::kAllgather);
   }
   prof_collective_end();
 }

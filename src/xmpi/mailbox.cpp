@@ -1,5 +1,6 @@
 #include "xmpi/mailbox.hpp"
 
+#include <cstring>
 #include <limits>
 #include <utility>
 
@@ -39,6 +40,57 @@ void Mailbox::post(Envelope&& envelope) {
   // may be called from a rank that the woken rank immediately posts back
   // to.
   if (to_wake != nullptr) to_wake->wake();
+}
+
+bool Mailbox::deliver(Envelope&& envelope, std::span<const std::byte> data,
+                      PayloadPool& pool, bool rendezvous) {
+  envelope.bytes = data.size();
+  if (!rendezvous) {
+    // No in-place option: prepare the pooled payload outside the mailbox
+    // lock so concurrent senders to the same receiver don't serialize on
+    // the copy.
+    if (!data.empty()) {
+      envelope.payload = pool.acquire(data.size());
+      std::memcpy(envelope.payload.data(), data.data(), data.size());
+    }
+    post(std::move(envelope));
+    return false;
+  }
+  Parker* to_wake = nullptr;
+  bool taken = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ChannelKey key{envelope.context, envelope.src, envelope.tag};
+    const bool wake = pending_.active && satisfies(envelope, pending_);
+    // Rendezvous only when FIFO order proves the registered receive will
+    // consume *this* message: the pending receive is exact (no wildcard
+    // re-pick can intervene), sizes agree, and its channel has no earlier
+    // message queued ahead of us.
+    if (wake && pending_.has_dest &&
+        pending_.src != kAnySource && pending_.tag != kAnyTag &&
+        pending_.dest.size() == data.size() &&
+        channels_.find(key) == channels_.end()) {
+      if (!data.empty()) {
+        std::memcpy(pending_.dest.data(), data.data(), data.size());
+      }
+      envelope.inplace = true;
+      taken = true;
+    } else if (!data.empty()) {
+      envelope.payload = pool.acquire(data.size());
+      std::memcpy(envelope.payload.data(), data.data(), data.size());
+    }
+    channels_[key].push_back(Item{std::move(envelope), next_seq_++});
+    if (wake) {
+      pending_.active = false;
+      if (parker_ != nullptr) {
+        to_wake = parker_;
+      } else {
+        cv_.notify_one();
+      }
+    }
+  }
+  if (to_wake != nullptr) to_wake->wake();
+  return taken;
 }
 
 std::optional<Envelope> Mailbox::try_match_locked(int src, int tag,
@@ -91,18 +143,20 @@ std::optional<Envelope> Mailbox::try_match_locked(int src, int tag,
   return envelope;
 }
 
-Envelope Mailbox::match(int src, int tag, std::uint64_t context,
-                        const std::atomic<bool>& abort_flag) {
+Envelope Mailbox::match_impl(int src, int tag, std::uint64_t context,
+                             bool has_dest, std::span<std::byte> dest,
+                             const std::atomic<bool>& abort_flag) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (abort_flag.load(std::memory_order_acquire)) throw Aborted();
     if (auto envelope = try_match_locked(src, tag, context)) {
       return std::move(*envelope);
     }
-    // Register what we are waiting for so post() can do a targeted wakeup,
-    // then block. Registration happens under the lock, before blocking, so
-    // a post that lands in between still sees the pending receive.
-    pending_ = PendingRecv{src, tag, context, true};
+    // Register what we are waiting for so post() can do a targeted wakeup
+    // (and deliver() an in-place write), then block. Registration happens
+    // under the lock, before blocking, so a post that lands in between
+    // still sees the pending receive.
+    pending_ = PendingRecv{src, tag, context, true, has_dest, dest};
     if (parker_ != nullptr) {
       Parker* parker = parker_;
       lock.unlock();  // never hold a mutex across a fiber switch
@@ -112,7 +166,19 @@ Envelope Mailbox::match(int src, int tag, std::uint64_t context,
       cv_.wait(lock);
     }
     pending_.active = false;
+    pending_.has_dest = false;
   }
+}
+
+Envelope Mailbox::match(int src, int tag, std::uint64_t context,
+                        std::span<std::byte> dest,
+                        const std::atomic<bool>& abort_flag) {
+  return match_impl(src, tag, context, /*has_dest=*/true, dest, abort_flag);
+}
+
+Envelope Mailbox::match(int src, int tag, std::uint64_t context,
+                        const std::atomic<bool>& abort_flag) {
+  return match_impl(src, tag, context, /*has_dest=*/false, {}, abort_flag);
 }
 
 bool Mailbox::probe(int src, int tag, std::uint64_t context) {

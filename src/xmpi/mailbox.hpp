@@ -16,6 +16,19 @@
 // the owner only when the new envelope actually satisfies the registered
 // pending receive (a mailbox has exactly one legal waiter: its owner).
 //
+// The transport has two delivery paths (docs/xmpi.md):
+//   - eager: the sender copies the payload into a buffer acquired from the
+//     world's PayloadPool and enqueues the envelope;
+//   - rendezvous (zero-copy): when the owner is already blocked in an
+//     *exact* receive whose destination buffer is registered, the payload
+//     matches the registered size, and the target (context, src, tag)
+//     channel is empty — i.e. FIFO order proves this message is the one
+//     that receive will consume — the sender writes straight into the
+//     receiver's destination span and enqueues only the envelope metadata.
+//     Wildcard receives never take the rendezvous path: a later post with
+//     an earlier virtual arrival could still win the deterministic
+//     wildcard pick, which an in-place delivery could not be unwound from.
+//
 // Virtual timing is carried by the `arrival_time` stamp computed by the
 // sender; the deterministic wildcard order is part of the public contract
 // (see match()).
@@ -29,9 +42,11 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "support/error.hpp"
+#include "xmpi/pool.hpp"
 #include "xmpi/types.hpp"
 
 namespace plin::xmpi {
@@ -53,7 +68,13 @@ struct Envelope {
   /// tracing is off.
   int src_world = 0;
   std::uint64_t send_seq = 0;
-  std::vector<std::byte> payload;
+  /// Payload size in bytes — authoritative even when `payload` is empty
+  /// because the bytes were rendezvous-delivered in place.
+  std::size_t bytes = 0;
+  /// True when the sender already wrote the payload into the matched
+  /// receiver's destination buffer (zero-copy rendezvous path).
+  bool inplace = false;
+  PayloadBuffer payload;
 };
 
 class Mailbox {
@@ -79,13 +100,30 @@ class Mailbox {
     parker_ = parker;
   }
 
+  /// Enqueues a pre-built envelope (eager path; also the raw hook tests
+  /// drive directly). The payload, if any, must already be attached.
   void post(Envelope&& envelope);
+
+  /// Transport entry point for senders: attaches `data` to `envelope` and
+  /// enqueues it. Takes the zero-copy rendezvous path when `rendezvous` is
+  /// true and the registered pending receive provably matches this message
+  /// (see the header comment); otherwise copies into a buffer from `pool`.
+  /// Returns true when the rendezvous path was taken.
+  bool deliver(Envelope&& envelope, std::span<const std::byte> data,
+               PayloadPool& pool, bool rendezvous);
 
   /// Blocks until a message matching (src, tag, context) is present and
   /// removes it. With kAnySource/kAnyTag, picks the present message with
   /// the earliest virtual arrival (ties: lowest source, then earliest
   /// post) to keep runs deterministic. Throws Aborted if the abort flag
   /// fires.
+  ///
+  /// `dest` is the receive buffer registered for rendezvous delivery; when
+  /// the returned envelope has `inplace` set the payload is already there.
+  /// The dest-less overload never offers rendezvous.
+  Envelope match(int src, int tag, std::uint64_t context,
+                 std::span<std::byte> dest,
+                 const std::atomic<bool>& abort_flag);
   Envelope match(int src, int tag, std::uint64_t context,
                  const std::atomic<bool>& abort_flag);
 
@@ -119,14 +157,23 @@ class Mailbox {
     std::uint64_t seq = 0;
   };
 
-  /// The receive the owner is currently blocked on (at most one).
+  /// The receive the owner is currently blocked on (at most one). `dest`
+  /// is registered only by the dest-aware match overload; senders may
+  /// write through it solely under the mailbox lock while `active` (the
+  /// owner is parked for the whole time, so the store is ordered before
+  /// the owner's wakeup re-acquires the lock).
   struct PendingRecv {
     int src = 0;
     int tag = 0;
     std::uint64_t context = 0;
     bool active = false;
+    bool has_dest = false;
+    std::span<std::byte> dest{};
   };
 
+  Envelope match_impl(int src, int tag, std::uint64_t context, bool has_dest,
+                      std::span<std::byte> dest,
+                      const std::atomic<bool>& abort_flag);
   std::optional<Envelope> try_match_locked(int src, int tag,
                                            std::uint64_t context);
   static bool satisfies(const Envelope& envelope, const PendingRecv& pending);

@@ -72,6 +72,7 @@ ExecutorKind resolve_executor(ExecutorKind requested) {
 RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
   PLIN_CHECK_MSG(static_cast<bool>(rank_main), "rank_main must be callable");
   World world(config.machine, config.placement);
+  world.configure_transport(config.transport);
 
   // Tracing is requested explicitly, implied by an output path, or forced
   // from the environment (PLIN_TRACE=1). set_tracing additionally requires
@@ -180,6 +181,11 @@ RunResult Runtime::run(const RunConfig& config, const RankMain& rank_main) {
     result.duration_s = std::max(result.duration_s, t);
   }
   result.traffic = world.total_traffic();
+  result.rank_traffic.reserve(static_cast<std::size_t>(world.size()));
+  for (int rank = 0; rank < world.size(); ++rank) {
+    result.rank_traffic.push_back(world.rank_state(rank).traffic);
+  }
+  result.transport = world.transport_stats();
 
   const int packages = config.machine.node.sockets;
   result.energy.nodes.resize(static_cast<std::size_t>(world.node_count()));

@@ -65,6 +65,13 @@ struct RunConfig {
   /// Usable bytes per rank fiber stack; 0 → PLIN_XMPI_STACK_KB env, else
   /// 512 KiB (lazily committed). Ignored by kThreadPerRank.
   std::size_t fiber_stack_bytes = 0;
+  /// Message-transport knobs: payload buffer pool, zero-copy rendezvous
+  /// delivery and the collective schedule family. kAuto fields resolve
+  /// from PLIN_XMPI_POOL / PLIN_XMPI_RENDEZVOUS / PLIN_XMPI_COLL /
+  /// PLIN_XMPI_POOL_CAP (docs/xmpi.md). Pool and rendezvous are host-side
+  /// only; the collective mode changes simulated schedules (default: the
+  /// seed tree schedules).
+  TransportConfig transport;
   /// Enables span tracing for this run even when no output path is set;
   /// the collected prof::TraceData is returned in RunResult::trace.
   /// Tracing is also switched on by chrome_trace_path / trace_dir below or
@@ -112,8 +119,11 @@ struct RunResult {
   double duration_s = 0.0;
   /// Per-rank completion times (virtual).
   std::vector<double> rank_times;
-  /// Aggregated send-side traffic counters.
+  /// Aggregated traffic counters (send-side classes + receive mirror).
   TrafficCounters traffic;
+  /// Per-world-rank traffic — through_bytes() of rank 0 is the root-funnel
+  /// load the scalable collectives eliminate (bench_collectives).
+  std::vector<TrafficCounters> rank_traffic;
   /// Per-node, per-package energy integrated over [0, duration_s].
   EnergyReport energy;
   /// Core-seconds by activity, summed over every core of the run — the
@@ -140,6 +150,12 @@ struct RunResult {
   std::size_t host_workers = 0;
   std::uint64_t host_parks = 0;
   std::uint64_t host_wakes = 0;
+  /// Transport counters for this run (pool hits/misses/peak bytes, eager
+  /// vs rendezvous deliveries). Host-side diagnostics like the fields
+  /// above: the values depend on host scheduling (whether a receiver was
+  /// already parked when its sender posted), so they are deliberately
+  /// excluded from the canonical trace bundle.
+  TransportStats transport;
 
   double busy_s() const {
     return compute_s + membound_s + commactive_s + commwait_s;

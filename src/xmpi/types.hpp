@@ -19,6 +19,12 @@ inline constexpr int kReduce = -4;
 inline constexpr int kGather = -5;
 inline constexpr int kSplit = -6;
 inline constexpr int kAllgather = -7;
+/// Pairwise-exchange traffic of the scalable allreduce schedules
+/// (reduce-scatter/allgather halves and recursive doubling).
+inline constexpr int kAllreduce = -8;
+/// Pre/post-fold traffic that folds non-power-of-two rank counts onto the
+/// power-of-two core of the scalable allreduce schedules.
+inline constexpr int kFold = -9;
 /// Base for user-selected broadcast streams (Comm::bcast stream parameter):
 /// stream s uses tag kBcastStreamBase - s. Distinct streams have
 /// independent FIFO channels, so two logically concurrent broadcast
@@ -28,6 +34,39 @@ inline constexpr int kBcastStreamBase = -16;
 }  // namespace internal_tag
 
 enum class ReduceOp { kSum, kMax, kMin };
+
+// -- transport / collective tuning knobs -------------------------------------
+//
+// Resolved by World::configure_transport: explicit kOn/kOff/kTree/kScalable
+// win; kAuto falls back to the PLIN_XMPI_POOL / PLIN_XMPI_RENDEZVOUS /
+// PLIN_XMPI_COLL environment variables, then to the defaults noted below.
+// Pool and rendezvous are host-side only and never perturb simulated
+// outputs; the collective mode changes the simulated schedule itself (see
+// docs/xmpi.md for the determinism contract).
+
+/// Payload buffer pool (default on).
+enum class PoolMode { kAuto, kOn, kOff };
+
+/// Zero-copy rendezvous delivery into an already-registered receive
+/// (default on).
+enum class RendezvousMode { kAuto, kOn, kOff };
+
+/// Collective schedule family. kTree is the seed root/tree schedule set —
+/// canonical outputs depend on its virtual timing, so it stays the
+/// default. kScalable replaces the root-funneled allreduce/allgather/
+/// maxloc with reduce-scatter+allgather / recursive-doubling / ring
+/// schedules that move O(log P) or O(1) of the root-funnel volume through
+/// any single rank.
+enum class CollectiveMode { kAuto, kTree, kScalable };
+
+struct TransportConfig {
+  PoolMode pool = PoolMode::kAuto;
+  RendezvousMode rendezvous = RendezvousMode::kAuto;
+  CollectiveMode collectives = CollectiveMode::kAuto;
+  /// Buffers cached per pool size class; 0 → PLIN_XMPI_POOL_CAP env, else
+  /// PayloadPool::kDefaultMaxCachedPerClass.
+  std::size_t pool_max_cached_per_class = 0;
+};
 
 /// Cost descriptor for Comm::compute. `efficiency` is the fraction of the
 /// core's peak double-precision throughput this kernel sustains; the rank's
@@ -47,15 +86,28 @@ struct TrafficCounters {
   std::uint64_t data_bytes = 0;
   std::uint64_t control_messages = 0;
   std::uint64_t control_bytes = 0;
+  /// Receive-side mirror (all classes combined). Per rank, send + recv
+  /// counters together give the total volume that flows *through* the rank
+  /// — the quantity the root-funnel collectives concentrate on rank 0 and
+  /// the scalable schedules spread out (bench_collectives).
+  std::uint64_t recv_messages = 0;
+  std::uint64_t recv_bytes = 0;
 
   /// The paper measures volume in "number of floating points".
   double data_floats() const { return static_cast<double>(data_bytes) / 8.0; }
+
+  /// Send-side plus receive-side bytes of one rank (its root-funnel load).
+  std::uint64_t through_bytes() const {
+    return data_bytes + control_bytes + recv_bytes;
+  }
 
   TrafficCounters operator-(const TrafficCounters& other) const {
     return TrafficCounters{data_messages - other.data_messages,
                            data_bytes - other.data_bytes,
                            control_messages - other.control_messages,
-                           control_bytes - other.control_bytes};
+                           control_bytes - other.control_bytes,
+                           recv_messages - other.recv_messages,
+                           recv_bytes - other.recv_bytes};
   }
 };
 

@@ -18,9 +18,22 @@
 #include "trace/hardware_context.hpp"
 #include "trace/ledger.hpp"
 #include "xmpi/mailbox.hpp"
+#include "xmpi/pool.hpp"
 #include "xmpi/types.hpp"
 
 namespace plin::xmpi {
+
+/// Resolved transport state plus its counters, surfaced through
+/// RunResult::transport. Host-side diagnostics only — none of it feeds
+/// back into virtual time or energy.
+struct TransportStats {
+  bool pool_enabled = false;
+  bool rendezvous_enabled = false;
+  PoolStats pool;
+  std::uint64_t eager_messages = 0;
+  std::uint64_t rendezvous_messages = 0;
+  std::uint64_t rendezvous_bytes = 0;
+};
 
 /// Per-rank mutable state. Owned by World, touched only by the rank's
 /// thread (mailbox is internally synchronized for senders).
@@ -58,6 +71,23 @@ class World {
   /// Delivers an envelope to `dst_world`'s mailbox.
   void post(int dst_world, Envelope&& envelope);
 
+  /// Sender entry point of the transport: attaches `data` to `envelope`
+  /// (zero-copy into the registered receive when eligible, pooled eager
+  /// buffer otherwise) and delivers it to `dst_world`.
+  void deliver(int dst_world, Envelope&& envelope,
+               std::span<const std::byte> data);
+
+  /// Resolves the transport knobs (explicit settings win, then the
+  /// PLIN_XMPI_POOL / PLIN_XMPI_RENDEZVOUS / PLIN_XMPI_COLL /
+  /// PLIN_XMPI_POOL_CAP environment, then defaults: pool and rendezvous
+  /// on, tree collectives). The World constructor applies the all-kAuto
+  /// configuration; Runtime::run re-applies RunConfig::transport.
+  void configure_transport(const TransportConfig& config);
+  PayloadPool& payload_pool() { return pool_; }
+  bool rendezvous_enabled() const { return rendezvous_enabled_; }
+  CollectiveMode collective_mode() const { return collective_mode_; }
+  TransportStats transport_stats() const;
+
   /// Aggregated traffic across ranks (sum of send-side counters).
   TrafficCounters total_traffic() const;
 
@@ -76,6 +106,14 @@ class World {
   hw::ClusterLayout layout_;
   hw::NetworkModel network_;
   hw::PowerModel power_;
+  /// Declared before ranks_: mailboxes may still hold pooled envelopes at
+  /// destruction, and their buffers return to the pool.
+  PayloadPool pool_;
+  bool rendezvous_enabled_ = true;
+  CollectiveMode collective_mode_ = CollectiveMode::kTree;
+  std::atomic<std::uint64_t> eager_messages_{0};
+  std::atomic<std::uint64_t> rendezvous_messages_{0};
+  std::atomic<std::uint64_t> rendezvous_bytes_{0};
   std::vector<std::unique_ptr<trace::EnergyLedger>> ledgers_;
   std::vector<std::unique_ptr<RankState>> ranks_;
 

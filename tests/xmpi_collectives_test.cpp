@@ -1,0 +1,580 @@
+// Tests for the xmpi message transport (payload pool, zero-copy rendezvous
+// delivery) and the collective schedule families (seed tree vs scalable).
+//
+// The load-bearing contracts:
+//   * simulated outputs (durations, energy, solver results) are
+//     bit-identical with the pool on or off, with rendezvous on or off,
+//     and across executors and worker counts — the transport is host-side
+//     only;
+//   * the scalable schedules are bit-identical to the tree schedules for
+//     power-of-two rank counts (rank-order-preserving combine), and for
+//     kMax/kMin at any rank count; non-power-of-two kSum is deterministic
+//     but may differ from the tree by FP reassociation;
+//   * NaN/tie-break semantics of reduce and allreduce_maxloc are pinned
+//     (like the PR-1 idamax contract) so both schedule families agree.
+//
+// This suite runs under TSan in CI: the wildcard stress below doubles as a
+// race detector for concurrent pool recycling.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "hwmodel/placement.hpp"
+#include "solvers/gepp/pdgesv.hpp"
+#include "xmpi/pool.hpp"
+#include "xmpi/runtime.hpp"
+
+namespace plin::xmpi {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+RunConfig mini_config(int ranks, TransportConfig transport = {},
+                      ExecutorKind executor = ExecutorKind::kWorkerPool,
+                      std::size_t workers = 0) {
+  RunConfig config;
+  config.machine = hw::mini_cluster(/*nodes=*/8, /*cores_per_socket=*/4);
+  config.placement =
+      hw::make_placement(ranks, hw::LoadLayout::kFullLoad, config.machine);
+  config.executor = executor;
+  config.workers = workers;
+  config.transport = transport;
+  return config;
+}
+
+TransportConfig transport(PoolMode pool, RendezvousMode rendezvous,
+                          CollectiveMode collectives = CollectiveMode::kTree) {
+  TransportConfig t;
+  t.pool = pool;
+  t.rendezvous = rendezvous;
+  t.collectives = collectives;
+  return t;
+}
+
+/// Bitwise equality for double vectors (EXPECT_EQ would treat NaNs as
+/// unequal even when the representations match).
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0);
+}
+
+// ---- PayloadPool unit tests ------------------------------------------------
+
+TEST(PayloadPoolTest, SizeClassBoundaries) {
+  EXPECT_EQ(PayloadPool::class_of(1), 0);
+  EXPECT_EQ(PayloadPool::class_of(64), 0);
+  EXPECT_EQ(PayloadPool::class_of(65), 1);
+  EXPECT_EQ(PayloadPool::class_of(128), 1);
+  const std::size_t largest = std::size_t{64}
+                              << (PayloadPool::kClassCount - 1);
+  EXPECT_EQ(largest, std::size_t{4} * 1024 * 1024);
+  EXPECT_EQ(PayloadPool::class_of(largest), PayloadPool::kClassCount - 1);
+  EXPECT_EQ(PayloadPool::class_of(largest + 1), -1);
+  EXPECT_EQ(PayloadPool::class_capacity(0), PayloadPool::kMinClassBytes);
+  EXPECT_EQ(PayloadPool::class_capacity(PayloadPool::kClassCount - 1),
+            largest);
+}
+
+TEST(PayloadPoolTest, RecyclesBufferAcrossAcquires) {
+  PayloadPool pool;
+  std::byte* first = nullptr;
+  {
+    PayloadBuffer buffer = pool.acquire(100);
+    ASSERT_EQ(buffer.size(), 100u);
+    first = buffer.data();
+    buffer.data()[99] = std::byte{0x5a};
+  }  // returned to the 128 B class free list
+  PayloadBuffer again = pool.acquire(120);  // same class
+  EXPECT_EQ(again.data(), first);
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.recycled_buffers, 1u);
+  EXPECT_EQ(stats.recycled_bytes, 128u);
+}
+
+TEST(PayloadPoolTest, CapEvictsExcessReturns) {
+  PayloadPool pool;
+  pool.configure({/*enabled=*/true, /*max_cached_per_class=*/2});
+  {
+    PayloadBuffer a = pool.acquire(64);
+    PayloadBuffer b = pool.acquire(64);
+    PayloadBuffer c = pool.acquire(64);
+  }  // only two of the three returns may park on the free list
+  EXPECT_EQ(pool.stats().recycled_buffers, 2u);
+}
+
+TEST(PayloadPoolTest, OversizePayloadFallsBackToHeap) {
+  PayloadPool pool;
+  const std::size_t huge = std::size_t{8} * 1024 * 1024;
+  {
+    PayloadBuffer buffer = pool.acquire(huge);
+    ASSERT_EQ(buffer.size(), huge);
+    buffer.data()[huge - 1] = std::byte{1};
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.recycled_buffers, 0u);  // oversize is never cached
+  EXPECT_GE(stats.peak_payload_bytes, huge);
+}
+
+TEST(PayloadPoolTest, DisabledPoolCountsEveryAcquireAsMiss) {
+  PayloadPool pool;
+  pool.configure({/*enabled=*/false, /*max_cached_per_class=*/0});
+  for (int i = 0; i < 4; ++i) {
+    PayloadBuffer buffer = pool.acquire(256);
+    ASSERT_NE(buffer.data(), nullptr);
+  }
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.recycled_buffers, 0u);
+  EXPECT_GE(stats.peak_payload_bytes, 256u);  // peak tracked even when off
+}
+
+TEST(PayloadPoolTest, PeakTracksSimultaneouslyLiveBytes) {
+  PayloadPool pool;
+  PayloadBuffer a = pool.acquire(1000);
+  PayloadBuffer b = pool.acquire(1000);
+  EXPECT_GE(pool.stats().peak_payload_bytes, 2000u);
+  a.reset();
+  b.reset();
+  PayloadBuffer c = pool.acquire(100);
+  EXPECT_GE(pool.stats().peak_payload_bytes, 2000u);  // high-water holds
+}
+
+// ---- transport is invisible to simulated results ---------------------------
+
+struct SolverRun {
+  RunResult run;
+  std::vector<double> x;
+};
+
+SolverRun pdgesv_run(const RunConfig& config) {
+  SolverRun out;
+  out.run = Runtime::run(config, [&](Comm& comm) {
+    solvers::PdgesvOptions options;
+    options.n = 64;
+    options.seed = 21;
+    options.nb = 8;
+    const solvers::PdgesvResult result = solvers::solve_pdgesv(comm, options);
+    if (comm.rank() == 0) out.x = result.x;
+  });
+  return out;
+}
+
+TEST(TransportIdentityTest, SolverOutputsBitIdenticalAcrossTransports) {
+  const int ranks = 8;
+  const SolverRun base =
+      pdgesv_run(mini_config(ranks, transport(PoolMode::kOn,
+                                              RendezvousMode::kOn)));
+  ASSERT_EQ(base.x.size(), 64u);
+
+  const RunConfig variants[] = {
+      mini_config(ranks, transport(PoolMode::kOff, RendezvousMode::kOn)),
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOff)),
+      mini_config(ranks, transport(PoolMode::kOff, RendezvousMode::kOff)),
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn),
+                  ExecutorKind::kWorkerPool, /*workers=*/1),
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn),
+                  ExecutorKind::kWorkerPool, /*workers=*/4),
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn),
+                  ExecutorKind::kThreadPerRank),
+  };
+  for (const RunConfig& config : variants) {
+    const SolverRun variant = pdgesv_run(config);
+    EXPECT_EQ(variant.run.duration_s, base.run.duration_s);
+    EXPECT_EQ(variant.run.energy.total_pkg_j(), base.run.energy.total_pkg_j());
+    EXPECT_EQ(variant.run.energy.total_dram_j(),
+              base.run.energy.total_dram_j());
+    expect_bits_equal(variant.run.rank_times, base.run.rank_times);
+    expect_bits_equal(variant.x, base.x);
+  }
+}
+
+TEST(TransportIdentityTest, RecvCountersMirrorSendCounters) {
+  // Every sent message is consumed by a receive in a balanced run, so the
+  // receive-side mirror must equal the sum of the send-side classes.
+  const RunResult run =
+      Runtime::run(mini_config(8), [](Comm& comm) {
+        std::vector<double> data(64, comm.rank() * 1.0);
+        std::vector<double> out(64);
+        comm.allreduce(std::span<const double>(data), std::span<double>(out),
+                       ReduceOp::kSum);
+        comm.barrier();
+        const int next = (comm.rank() + 1) % comm.size();
+        const int prev = (comm.rank() + comm.size() - 1) % comm.size();
+        comm.send_value(comm.rank(), next, /*tag=*/3);
+        (void)comm.recv_value<int>(prev, /*tag=*/3);
+      });
+  EXPECT_EQ(run.traffic.recv_messages,
+            run.traffic.data_messages + run.traffic.control_messages);
+  EXPECT_EQ(run.traffic.recv_bytes,
+            run.traffic.data_bytes + run.traffic.control_bytes);
+  ASSERT_EQ(run.rank_traffic.size(), 8u);
+  EXPECT_GT(run.rank_traffic.front().through_bytes(), 0u);
+}
+
+// ---- rendezvous path -------------------------------------------------------
+
+TEST(RendezvousTest, ParkedExactMatchReceiveTakesZeroCopyPath) {
+  // The receiver posts its recv immediately; the sender stalls on host time
+  // first, so the receive is (all but certainly) registered and parked by
+  // the time the send happens — delivery should write straight into the
+  // destination span.
+  const RunResult run = Runtime::run(
+      mini_config(2, transport(PoolMode::kOn, RendezvousMode::kOn)),
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<double> data(512);
+          comm.recv(std::span<double>(data), /*src=*/1, /*tag=*/7);
+          EXPECT_EQ(data[0], 41.5);
+          EXPECT_EQ(data[511], 41.5);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          std::vector<double> data(512, 41.5);
+          comm.send(std::span<const double>(data), /*dst=*/0, /*tag=*/7);
+        }
+      });
+  EXPECT_TRUE(run.transport.rendezvous_enabled);
+  EXPECT_GE(run.transport.rendezvous_messages, 1u);
+  EXPECT_GE(run.transport.rendezvous_bytes, 512u * sizeof(double));
+}
+
+TEST(RendezvousTest, DisabledRendezvousDeliversEverythingEager) {
+  const RunResult run = Runtime::run(
+      mini_config(4, transport(PoolMode::kOn, RendezvousMode::kOff)),
+      [](Comm& comm) {
+        double value = comm.rank() + 1.0;
+        for (int round = 0; round < 4; ++round) {
+          value = comm.allreduce_value(value, ReduceOp::kSum);
+          comm.barrier();
+        }
+      });
+  EXPECT_FALSE(run.transport.rendezvous_enabled);
+  EXPECT_EQ(run.transport.rendezvous_messages, 0u);
+  EXPECT_GT(run.transport.eager_messages, 0u);
+}
+
+TEST(RendezvousTest, WildcardReceivesNeverRendezvousAndPoolRecyclesSafely) {
+  // Concurrent senders funnel into wildcard receives at rank 0 while also
+  // exchanging among themselves: payload buffers are acquired and recycled
+  // from many host threads at once (the TSan-relevant stress), and no
+  // wildcard delivery may take the in-place path (a wildcard pick must stay
+  // re-evaluable until the receiver wakes).
+  // The per-batch ack (itself received by wildcard) provides backpressure:
+  // without it the non-blocking senders would run arbitrarily far ahead and
+  // every acquire could legitimately miss (all buffers live at once).
+  constexpr int kRanks = 8;
+  constexpr int kRounds = 48;
+  constexpr int kBatch = 16;
+  const RunResult run = Runtime::run(
+      mini_config(kRanks, transport(PoolMode::kOn, RendezvousMode::kOn),
+                  ExecutorKind::kWorkerPool, /*workers=*/4),
+      [](Comm& comm) {
+        if (comm.rank() == 0) {
+          long long sum = 0;
+          for (int batch = 0; batch < kRounds / kBatch; ++batch) {
+            for (int i = 0; i < (comm.size() - 1) * kBatch; ++i) {
+              sum += comm.recv_value<int>(kAnySource, kAnyTag);
+            }
+            for (int peer = 1; peer < comm.size(); ++peer) {
+              comm.send_value(batch, peer, /*tag=*/99);
+            }
+          }
+          // Each peer r sends r in every round.
+          const long long peers = comm.size() - 1;
+          EXPECT_EQ(sum, kRounds * peers * (peers + 1) / 2);
+        } else {
+          for (int round = 0; round < kRounds; ++round) {
+            comm.send_value(comm.rank(), 0, /*tag=*/round % 5);
+            if (round % kBatch == kBatch - 1) {
+              (void)comm.recv_value<int>(kAnySource, kAnyTag);  // batch ack
+            }
+          }
+        }
+      });
+  EXPECT_EQ(run.transport.rendezvous_messages, 0u);
+  EXPECT_EQ(run.transport.eager_messages,
+            static_cast<std::uint64_t>((kRanks - 1) *
+                                       (kRounds + kRounds / kBatch)));
+  // Same-size messages recycle through one size class: once the first
+  // batch has drained, later batches are served from the free list.
+  EXPECT_GT(run.transport.pool.hits, run.transport.pool.misses);
+}
+
+TEST(RendezvousTest, PoolStatsSurfacedThroughRunResult) {
+  // The barrier after each bcast is backpressure: a rank only enters it
+  // after consuming (and thus recycling) its incoming payload, so round
+  // k+1's seven 2 KiB acquires always find round k's buffers on the free
+  // list. Barrier messages are empty and never touch the pool.
+  const auto workload = [](Comm& comm) {
+    std::vector<double> data(256, comm.rank() * 1.0);
+    for (int round = 0; round < 16; ++round) {
+      comm.bcast(std::span<double>(data), /*root=*/0);
+      comm.barrier();
+    }
+  };
+  const RunResult pooled = Runtime::run(
+      mini_config(8, transport(PoolMode::kOn, RendezvousMode::kOff)),
+      workload);
+  EXPECT_TRUE(pooled.transport.pool_enabled);
+  EXPECT_GT(pooled.transport.pool.hits, 0u);
+  EXPECT_GT(pooled.transport.pool.peak_payload_bytes, 0u);
+  // Satellite audit: broadcast intermediates and consumed envelopes are
+  // recycled, so heap allocations are a small fraction of the 16*7
+  // deliveries (the eager path would otherwise allocate every time).
+  EXPECT_LT(pooled.transport.pool.misses * 4, pooled.transport.pool.hits);
+
+  const RunResult unpooled = Runtime::run(
+      mini_config(8, transport(PoolMode::kOff, RendezvousMode::kOff)),
+      workload);
+  EXPECT_FALSE(unpooled.transport.pool_enabled);
+  EXPECT_EQ(unpooled.transport.pool.hits, 0u);
+  EXPECT_GT(unpooled.transport.pool.misses, pooled.transport.pool.misses);
+}
+
+// ---- collective schedules --------------------------------------------------
+
+std::vector<double> run_allreduce(int ranks, CollectiveMode mode,
+                                  std::vector<double> contribution_rank0,
+                                  ReduceOp op,
+                                  ExecutorKind executor =
+                                      ExecutorKind::kWorkerPool) {
+  // Rank r contributes contribution_rank0 rotated by r (so every rank's
+  // vector is distinct but derived from the same pool of values, including
+  // any NaNs placed in it).
+  const std::size_t count = contribution_rank0.size();
+  std::vector<double> result;
+  Runtime::run(
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn, mode),
+                  executor),
+      [&](Comm& comm) {
+        std::vector<double> mine(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          mine[i] =
+              contribution_rank0[(i + static_cast<std::size_t>(comm.rank())) %
+                                 count] +
+              comm.rank() * 1e-6;
+        }
+        std::vector<double> out(count);
+        comm.allreduce(std::span<const double>(mine), std::span<double>(out),
+                       op);
+        if (comm.rank() == 0) result = out;
+        // Allreduce contract: every rank holds the same bytes.
+        std::vector<double> again(count);
+        comm.allreduce(std::span<const double>(mine), std::span<double>(again),
+                       op);
+        EXPECT_EQ(std::memcmp(out.data(), again.data(),
+                              count * sizeof(double)),
+                  0);
+      });
+  return result;
+}
+
+TEST(ScalableCollectivesTest, AllreducePof2BitIdenticalToTree) {
+  // P=8 exercises both scalable paths: count >= P takes reduce-scatter +
+  // allgather, count < P takes recursive doubling. The rank-order-
+  // preserving combine makes both bit-identical to the seed tree at
+  // power-of-two rank counts — including NaN propagation.
+  std::vector<double> base(64);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::sin(static_cast<double>(i) * 0.7) * 1e3;
+  }
+  base[13] = kNaN;
+  for (const ReduceOp op : {ReduceOp::kSum, ReduceOp::kMax, ReduceOp::kMin}) {
+    const std::vector<double> tree =
+        run_allreduce(8, CollectiveMode::kTree, base, op);
+    const std::vector<double> scalable =
+        run_allreduce(8, CollectiveMode::kScalable, base, op);
+    expect_bits_equal(tree, scalable);
+
+    const std::vector<double> short_base(base.begin(), base.begin() + 3);
+    const std::vector<double> tree_rd =
+        run_allreduce(8, CollectiveMode::kTree, short_base, op);
+    const std::vector<double> scalable_rd =
+        run_allreduce(8, CollectiveMode::kScalable, short_base, op);
+    expect_bits_equal(tree_rd, scalable_rd);
+  }
+}
+
+TEST(ScalableCollectivesTest, AllreduceNonPof2DeterministicAndExactForMinMax) {
+  std::vector<double> base(32);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    base[i] = std::cos(static_cast<double>(i)) * 17.0;
+  }
+  // kMax/kMin pick an input value — reassociation cannot change the bytes,
+  // so even the folded non-power-of-two schedule must match the tree.
+  for (const ReduceOp op : {ReduceOp::kMax, ReduceOp::kMin}) {
+    expect_bits_equal(run_allreduce(6, CollectiveMode::kTree, base, op),
+                      run_allreduce(6, CollectiveMode::kScalable, base, op));
+  }
+  // kSum reassociates across the fold, so the contract weakens to:
+  // numerically close to the tree, and bit-repeatable across executors.
+  const std::vector<double> tree =
+      run_allreduce(6, CollectiveMode::kTree, base, ReduceOp::kSum);
+  const std::vector<double> scalable =
+      run_allreduce(6, CollectiveMode::kScalable, base, ReduceOp::kSum);
+  ASSERT_EQ(tree.size(), scalable.size());
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    EXPECT_NEAR(tree[i], scalable[i], 1e-9 * (std::fabs(tree[i]) + 1.0));
+  }
+  const std::vector<double> scalable_threads =
+      run_allreduce(6, CollectiveMode::kScalable, base, ReduceOp::kSum,
+                    ExecutorKind::kThreadPerRank);
+  expect_bits_equal(scalable, scalable_threads);
+}
+
+TEST(ScalableCollectivesTest, RingAllgatherMatchesTreeSchedule) {
+  // Allgather is pure concatenation — any correct schedule produces the
+  // same bytes, so ring vs gather+bcast must agree exactly.
+  for (const int ranks : {1, 2, 6, 8}) {
+    constexpr std::size_t kChunk = 5;
+    std::vector<double> tree_out;
+    std::vector<double> ring_out;
+    for (const CollectiveMode mode :
+         {CollectiveMode::kTree, CollectiveMode::kScalable}) {
+      Runtime::run(
+          mini_config(ranks,
+                      transport(PoolMode::kOn, RendezvousMode::kOn, mode)),
+          [&](Comm& comm) {
+            std::vector<double> mine(kChunk);
+            for (std::size_t i = 0; i < kChunk; ++i) {
+              mine[i] = comm.rank() * 100.0 + static_cast<double>(i);
+            }
+            std::vector<double> all(kChunk *
+                                    static_cast<std::size_t>(comm.size()));
+            comm.allgather(std::span<const double>(mine),
+                           std::span<double>(all));
+            if (comm.rank() == comm.size() - 1) {
+              (mode == CollectiveMode::kTree ? tree_out : ring_out) = all;
+            }
+          });
+    }
+    ASSERT_EQ(tree_out.size(), kChunk * static_cast<std::size_t>(ranks));
+    expect_bits_equal(tree_out, ring_out);
+  }
+}
+
+// ---- NaN / tie-break contracts ---------------------------------------------
+
+TEST(ReduceContractTest, CombineOneNaNAsymmetryPinned) {
+  // kMax/kMin keep the accumulator (lower-rank side) on any NaN
+  // comparison: combine(acc=NaN, x) == NaN but combine(acc=x, NaN) == x.
+  // Both schedule families are built on this primitive, which is why NaN
+  // propagation is still deterministic (it depends only on rank order).
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kMax, kNaN, 1.0)));
+  EXPECT_EQ(detail::combine_one(ReduceOp::kMax, 1.0, kNaN), 1.0);
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kMin, kNaN, 1.0)));
+  EXPECT_EQ(detail::combine_one(ReduceOp::kMin, 1.0, kNaN), 1.0);
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kSum, kNaN, 1.0)));
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kSum, 1.0, kNaN)));
+}
+
+TEST(ReduceContractTest, ReduceKeepsAccumulatorSideNaN) {
+  // Root (= rank 0, the lowest-rank side of every combine) holding NaN
+  // poisons kMax; a NaN on any other rank is absorbed by the accumulator.
+  for (const int nan_rank : {0, 1}) {
+    double root_value = 0.0;
+    Runtime::run(mini_config(2), [&](Comm& comm) {
+      const double mine = comm.rank() == nan_rank ? kNaN : 1.0;
+      double out = 0.0;
+      comm.reduce(std::span<const double>(&mine, 1), std::span<double>(&out, 1),
+                  ReduceOp::kMax, /*root=*/0);
+      if (comm.rank() == 0) root_value = out;
+    });
+    if (nan_rank == 0) {
+      EXPECT_TRUE(std::isnan(root_value));
+    } else {
+      EXPECT_EQ(root_value, 1.0);
+    }
+  }
+}
+
+Comm::MaxLoc run_maxloc(int ranks, CollectiveMode mode,
+                        const std::vector<double>& values) {
+  Comm::MaxLoc result;
+  Runtime::run(
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn, mode)),
+      [&](Comm& comm) {
+        const Comm::MaxLoc mine = comm.allreduce_maxloc(
+            values[static_cast<std::size_t>(comm.rank())], comm.rank());
+        if (comm.rank() == 0) result = mine;
+        // Every rank must agree bit-for-bit.
+        const Comm::MaxLoc again = comm.allreduce_maxloc(
+            values[static_cast<std::size_t>(comm.rank())], comm.rank());
+        EXPECT_EQ(std::memcmp(&mine.value, &again.value, sizeof(double)), 0);
+        EXPECT_EQ(mine.index, again.index);
+      });
+  return result;
+}
+
+TEST(MaxlocContractTest, NaNLosesToNumericAndTiesTakeLowestIndex) {
+  // Total order (documented in docs/xmpi.md): any numeric beats NaN;
+  // equal values and NaN-vs-NaN tie-break to the lowest index. Both
+  // schedule families implement the same comparator, so they must agree
+  // at power-of-two and non-power-of-two rank counts alike.
+  for (const CollectiveMode mode :
+       {CollectiveMode::kTree, CollectiveMode::kScalable}) {
+    for (const int ranks : {5, 8}) {
+      std::vector<double> values(static_cast<std::size_t>(ranks), 1.0);
+      values[2] = kNaN;
+      values[3] = 7.0;
+      const Comm::MaxLoc numeric = run_maxloc(ranks, mode, values);
+      EXPECT_EQ(numeric.value, 7.0);
+      EXPECT_EQ(numeric.index, 3);
+
+      const std::vector<double> ties(static_cast<std::size_t>(ranks), 4.25);
+      const Comm::MaxLoc tie = run_maxloc(ranks, mode, ties);
+      EXPECT_EQ(tie.value, 4.25);
+      EXPECT_EQ(tie.index, 0);
+
+      const std::vector<double> all_nan(static_cast<std::size_t>(ranks),
+                                        kNaN);
+      const Comm::MaxLoc nan = run_maxloc(ranks, mode, all_nan);
+      EXPECT_TRUE(std::isnan(nan.value));
+      EXPECT_EQ(nan.index, 0);
+    }
+  }
+}
+
+TEST(MaxlocContractTest, TreeAndScalableAgreeOnMixedInputs) {
+  for (const int ranks : {3, 6, 8}) {
+    std::vector<double> values(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      values[static_cast<std::size_t>(r)] =
+          static_cast<double>((r * 5 + 2) % ranks);
+    }
+    const Comm::MaxLoc tree = run_maxloc(ranks, CollectiveMode::kTree, values);
+    const Comm::MaxLoc scalable =
+        run_maxloc(ranks, CollectiveMode::kScalable, values);
+    EXPECT_EQ(std::memcmp(&tree.value, &scalable.value, sizeof(double)), 0);
+    EXPECT_EQ(tree.index, scalable.index);
+  }
+}
+
+// ---- scalable schedules under the solver -----------------------------------
+
+TEST(ScalableCollectivesTest, SolverResidualHoldsUnderScalableSchedules) {
+  // The solvers only require a deterministic allreduce, not the tree's
+  // exact bracketing: the scalable schedule must still produce a valid,
+  // repeatable solve.
+  const SolverRun first = pdgesv_run(mini_config(
+      8, transport(PoolMode::kOn, RendezvousMode::kOn,
+                   CollectiveMode::kScalable)));
+  const SolverRun second = pdgesv_run(mini_config(
+      8, transport(PoolMode::kOn, RendezvousMode::kOn,
+                   CollectiveMode::kScalable)));
+  ASSERT_EQ(first.x.size(), 64u);
+  expect_bits_equal(first.x, second.x);
+  EXPECT_EQ(first.run.duration_s, second.run.duration_s);
+}
+
+}  // namespace
+}  // namespace plin::xmpi

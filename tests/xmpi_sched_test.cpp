@@ -336,15 +336,21 @@ TEST(XmpiMailbox, WildcardPicksEarliestArrivalThenLowestSource) {
 
 TEST(XmpiMailbox, WildcardTieOnSameSourceTakesEarliestPost) {
   Mailbox mailbox;
+  PayloadPool pool;
   std::atomic<bool> abort{false};
-  Envelope first = make_envelope(4, 10, 1, 1.5);
-  first.payload.assign(1, std::byte{1});
-  Envelope second = make_envelope(4, 11, 1, 1.5);  // equal arrival stamp
-  second.payload.assign(1, std::byte{2});
-  mailbox.post(std::move(first));
-  mailbox.post(std::move(second));
-  EXPECT_EQ(mailbox.match(4, kAnyTag, 1, abort).payload[0], std::byte{1});
-  EXPECT_EQ(mailbox.match(4, kAnyTag, 1, abort).payload[0], std::byte{2});
+  const auto with_payload = [&pool](Envelope envelope, std::byte marker) {
+    envelope.bytes = 1;
+    envelope.payload = pool.acquire(1);
+    envelope.payload.data()[0] = marker;
+    return envelope;
+  };
+  mailbox.post(with_payload(make_envelope(4, 10, 1, 1.5), std::byte{1}));
+  // Equal arrival stamp: the post order must break the tie.
+  mailbox.post(with_payload(make_envelope(4, 11, 1, 1.5), std::byte{2}));
+  EXPECT_EQ(mailbox.match(4, kAnyTag, 1, abort).payload.data()[0],
+            std::byte{1});
+  EXPECT_EQ(mailbox.match(4, kAnyTag, 1, abort).payload.data()[0],
+            std::byte{2});
 }
 
 TEST(XmpiMailbox, WildcardSeesNegativeInternalTags) {
