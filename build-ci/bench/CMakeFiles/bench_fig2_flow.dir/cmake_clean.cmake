@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_flow.dir/bench_fig2_flow.cpp.o"
+  "CMakeFiles/bench_fig2_flow.dir/bench_fig2_flow.cpp.o.d"
+  "bench_fig2_flow"
+  "bench_fig2_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

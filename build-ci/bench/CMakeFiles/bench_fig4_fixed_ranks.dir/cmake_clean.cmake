@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fixed_ranks.dir/bench_fig4_fixed_ranks.cpp.o"
+  "CMakeFiles/bench_fig4_fixed_ranks.dir/bench_fig4_fixed_ranks.cpp.o.d"
+  "bench_fig4_fixed_ranks"
+  "bench_fig4_fixed_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fixed_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_power_fixed_matrix.dir/bench_fig7_power_fixed_matrix.cpp.o"
+  "CMakeFiles/bench_fig7_power_fixed_matrix.dir/bench_fig7_power_fixed_matrix.cpp.o.d"
+  "bench_fig7_power_fixed_matrix"
+  "bench_fig7_power_fixed_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_power_fixed_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ft_comparison.dir/bench_ft_comparison.cpp.o"
+  "CMakeFiles/bench_ft_comparison.dir/bench_ft_comparison.cpp.o.d"
+  "bench_ft_comparison"
+  "bench_ft_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ft_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

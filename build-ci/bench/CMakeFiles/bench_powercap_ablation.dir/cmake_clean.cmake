@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_powercap_ablation.dir/bench_powercap_ablation.cpp.o"
+  "CMakeFiles/bench_powercap_ablation.dir/bench_powercap_ablation.cpp.o.d"
+  "bench_powercap_ablation"
+  "bench_powercap_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_powercap_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

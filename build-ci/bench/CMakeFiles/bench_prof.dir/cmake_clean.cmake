@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prof.dir/bench_prof.cpp.o"
+  "CMakeFiles/bench_prof.dir/bench_prof.cpp.o.d"
+  "bench_prof"
+  "bench_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

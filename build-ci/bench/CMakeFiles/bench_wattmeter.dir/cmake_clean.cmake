@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wattmeter.dir/bench_wattmeter.cpp.o"
+  "CMakeFiles/bench_wattmeter.dir/bench_wattmeter.cpp.o.d"
+  "bench_wattmeter"
+  "bench_wattmeter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wattmeter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

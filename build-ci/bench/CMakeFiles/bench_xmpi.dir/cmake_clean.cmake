@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xmpi.dir/bench_xmpi.cpp.o"
+  "CMakeFiles/bench_xmpi.dir/bench_xmpi.cpp.o.d"
+  "bench_xmpi"
+  "bench_xmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_solver_energy.dir/custom_solver_energy.cpp.o"
+  "CMakeFiles/custom_solver_energy.dir/custom_solver_energy.cpp.o.d"
+  "custom_solver_energy"
+  "custom_solver_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_solver_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

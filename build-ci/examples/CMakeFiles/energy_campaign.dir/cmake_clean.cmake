@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_campaign.dir/energy_campaign.cpp.o"
+  "CMakeFiles/energy_campaign.dir/energy_campaign.cpp.o.d"
+  "energy_campaign"
+  "energy_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

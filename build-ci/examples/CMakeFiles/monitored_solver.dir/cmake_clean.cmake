@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitored_solver.dir/monitored_solver.cpp.o"
+  "CMakeFiles/monitored_solver.dir/monitored_solver.cpp.o.d"
+  "monitored_solver"
+  "monitored_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitored_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

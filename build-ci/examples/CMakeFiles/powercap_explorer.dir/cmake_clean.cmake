@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powercap_explorer.dir/powercap_explorer.cpp.o"
+  "CMakeFiles/powercap_explorer.dir/powercap_explorer.cpp.o.d"
+  "powercap_explorer"
+  "powercap_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powercap_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

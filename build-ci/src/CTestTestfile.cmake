@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-ci/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("hwmodel")
+subdirs("trace")
+subdirs("prof")
+subdirs("msr")
+subdirs("papisim")
+subdirs("xmpi")
+subdirs("linalg")
+subdirs("solvers")
+subdirs("perfsim")
+subdirs("monitor")
+subdirs("batch")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_batch.dir/campaign.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/campaign.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/manifest.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/manifest.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/queue.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/queue.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/record.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/record.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/report.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/report.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/runner.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/runner.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/spec.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/spec.cpp.o.d"
+  "CMakeFiles/powerlin_batch.dir/store.cpp.o"
+  "CMakeFiles/powerlin_batch.dir/store.cpp.o.d"
+  "libpowerlin_batch.a"
+  "libpowerlin_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

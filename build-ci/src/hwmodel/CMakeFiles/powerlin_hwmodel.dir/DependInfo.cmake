@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwmodel/layout.cpp" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/layout.cpp.o" "gcc" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/layout.cpp.o.d"
+  "/root/repo/src/hwmodel/machine.cpp" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/machine.cpp.o" "gcc" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/machine.cpp.o.d"
+  "/root/repo/src/hwmodel/network.cpp" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/network.cpp.o" "gcc" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/network.cpp.o.d"
+  "/root/repo/src/hwmodel/placement.cpp" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/placement.cpp.o" "gcc" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/placement.cpp.o.d"
+  "/root/repo/src/hwmodel/power.cpp" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/power.cpp.o" "gcc" "src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_hwmodel.dir/layout.cpp.o"
+  "CMakeFiles/powerlin_hwmodel.dir/layout.cpp.o.d"
+  "CMakeFiles/powerlin_hwmodel.dir/machine.cpp.o"
+  "CMakeFiles/powerlin_hwmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/powerlin_hwmodel.dir/network.cpp.o"
+  "CMakeFiles/powerlin_hwmodel.dir/network.cpp.o.d"
+  "CMakeFiles/powerlin_hwmodel.dir/placement.cpp.o"
+  "CMakeFiles/powerlin_hwmodel.dir/placement.cpp.o.d"
+  "CMakeFiles/powerlin_hwmodel.dir/power.cpp.o"
+  "CMakeFiles/powerlin_hwmodel.dir/power.cpp.o.d"
+  "libpowerlin_hwmodel.a"
+  "libpowerlin_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

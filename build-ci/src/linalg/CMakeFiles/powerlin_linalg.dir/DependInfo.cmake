@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blockcyclic.cpp" "src/linalg/CMakeFiles/powerlin_linalg.dir/blockcyclic.cpp.o" "gcc" "src/linalg/CMakeFiles/powerlin_linalg.dir/blockcyclic.cpp.o.d"
+  "/root/repo/src/linalg/generate.cpp" "src/linalg/CMakeFiles/powerlin_linalg.dir/generate.cpp.o" "gcc" "src/linalg/CMakeFiles/powerlin_linalg.dir/generate.cpp.o.d"
+  "/root/repo/src/linalg/io.cpp" "src/linalg/CMakeFiles/powerlin_linalg.dir/io.cpp.o" "gcc" "src/linalg/CMakeFiles/powerlin_linalg.dir/io.cpp.o.d"
+  "/root/repo/src/linalg/kernel_config.cpp" "src/linalg/CMakeFiles/powerlin_linalg.dir/kernel_config.cpp.o" "gcc" "src/linalg/CMakeFiles/powerlin_linalg.dir/kernel_config.cpp.o.d"
+  "/root/repo/src/linalg/kernels.cpp" "src/linalg/CMakeFiles/powerlin_linalg.dir/kernels.cpp.o" "gcc" "src/linalg/CMakeFiles/powerlin_linalg.dir/kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_linalg.dir/blockcyclic.cpp.o"
+  "CMakeFiles/powerlin_linalg.dir/blockcyclic.cpp.o.d"
+  "CMakeFiles/powerlin_linalg.dir/generate.cpp.o"
+  "CMakeFiles/powerlin_linalg.dir/generate.cpp.o.d"
+  "CMakeFiles/powerlin_linalg.dir/io.cpp.o"
+  "CMakeFiles/powerlin_linalg.dir/io.cpp.o.d"
+  "CMakeFiles/powerlin_linalg.dir/kernel_config.cpp.o"
+  "CMakeFiles/powerlin_linalg.dir/kernel_config.cpp.o.d"
+  "CMakeFiles/powerlin_linalg.dir/kernels.cpp.o"
+  "CMakeFiles/powerlin_linalg.dir/kernels.cpp.o.d"
+  "libpowerlin_linalg.a"
+  "libpowerlin_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

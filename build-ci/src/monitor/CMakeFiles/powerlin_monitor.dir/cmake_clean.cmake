@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_monitor.dir/campaign.cpp.o"
+  "CMakeFiles/powerlin_monitor.dir/campaign.cpp.o.d"
+  "CMakeFiles/powerlin_monitor.dir/monitoring.cpp.o"
+  "CMakeFiles/powerlin_monitor.dir/monitoring.cpp.o.d"
+  "CMakeFiles/powerlin_monitor.dir/white_box.cpp.o"
+  "CMakeFiles/powerlin_monitor.dir/white_box.cpp.o.d"
+  "libpowerlin_monitor.a"
+  "libpowerlin_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

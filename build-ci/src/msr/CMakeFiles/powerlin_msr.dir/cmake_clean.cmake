@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_msr.dir/device.cpp.o"
+  "CMakeFiles/powerlin_msr.dir/device.cpp.o.d"
+  "libpowerlin_msr.a"
+  "libpowerlin_msr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_msr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_papisim.dir/papi.cpp.o"
+  "CMakeFiles/powerlin_papisim.dir/papi.cpp.o.d"
+  "libpowerlin_papisim.a"
+  "libpowerlin_papisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_papisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

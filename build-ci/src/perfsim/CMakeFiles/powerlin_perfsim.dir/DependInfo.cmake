@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfsim/activity.cpp" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/activity.cpp.o" "gcc" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/activity.cpp.o.d"
+  "/root/repo/src/perfsim/ime_model.cpp" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/ime_model.cpp.o" "gcc" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/ime_model.cpp.o.d"
+  "/root/repo/src/perfsim/jacobi_model.cpp" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/jacobi_model.cpp.o" "gcc" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/jacobi_model.cpp.o.d"
+  "/root/repo/src/perfsim/scalapack_model.cpp" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/scalapack_model.cpp.o" "gcc" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/scalapack_model.cpp.o.d"
+  "/root/repo/src/perfsim/simulator.cpp" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/simulator.cpp.o" "gcc" "src/perfsim/CMakeFiles/powerlin_perfsim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/solvers/CMakeFiles/powerlin_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/linalg/CMakeFiles/powerlin_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/xmpi/CMakeFiles/powerlin_xmpi.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/trace/CMakeFiles/powerlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/prof/CMakeFiles/powerlin_prof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

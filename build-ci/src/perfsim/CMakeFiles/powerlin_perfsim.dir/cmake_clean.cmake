@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_perfsim.dir/activity.cpp.o"
+  "CMakeFiles/powerlin_perfsim.dir/activity.cpp.o.d"
+  "CMakeFiles/powerlin_perfsim.dir/ime_model.cpp.o"
+  "CMakeFiles/powerlin_perfsim.dir/ime_model.cpp.o.d"
+  "CMakeFiles/powerlin_perfsim.dir/jacobi_model.cpp.o"
+  "CMakeFiles/powerlin_perfsim.dir/jacobi_model.cpp.o.d"
+  "CMakeFiles/powerlin_perfsim.dir/scalapack_model.cpp.o"
+  "CMakeFiles/powerlin_perfsim.dir/scalapack_model.cpp.o.d"
+  "CMakeFiles/powerlin_perfsim.dir/simulator.cpp.o"
+  "CMakeFiles/powerlin_perfsim.dir/simulator.cpp.o.d"
+  "libpowerlin_perfsim.a"
+  "libpowerlin_perfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_perfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prof/analysis.cpp" "src/prof/CMakeFiles/powerlin_prof.dir/analysis.cpp.o" "gcc" "src/prof/CMakeFiles/powerlin_prof.dir/analysis.cpp.o.d"
+  "/root/repo/src/prof/export.cpp" "src/prof/CMakeFiles/powerlin_prof.dir/export.cpp.o" "gcc" "src/prof/CMakeFiles/powerlin_prof.dir/export.cpp.o.d"
+  "/root/repo/src/prof/recorder.cpp" "src/prof/CMakeFiles/powerlin_prof.dir/recorder.cpp.o" "gcc" "src/prof/CMakeFiles/powerlin_prof.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_prof.dir/analysis.cpp.o"
+  "CMakeFiles/powerlin_prof.dir/analysis.cpp.o.d"
+  "CMakeFiles/powerlin_prof.dir/export.cpp.o"
+  "CMakeFiles/powerlin_prof.dir/export.cpp.o.d"
+  "CMakeFiles/powerlin_prof.dir/recorder.cpp.o"
+  "CMakeFiles/powerlin_prof.dir/recorder.cpp.o.d"
+  "libpowerlin_prof.a"
+  "libpowerlin_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solvers/gepp/pdgesv.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/gepp/pdgesv.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/gepp/pdgesv.cpp.o.d"
+  "/root/repo/src/solvers/gepp/sequential.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/gepp/sequential.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/gepp/sequential.cpp.o.d"
+  "/root/repo/src/solvers/ime/imep.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/imep.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/imep.cpp.o.d"
+  "/root/repo/src/solvers/ime/sequential.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/sequential.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/sequential.cpp.o.d"
+  "/root/repo/src/solvers/ime/traffic.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/traffic.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/ime/traffic.cpp.o.d"
+  "/root/repo/src/solvers/jacobi/jacobi.cpp" "src/solvers/CMakeFiles/powerlin_solvers.dir/jacobi/jacobi.cpp.o" "gcc" "src/solvers/CMakeFiles/powerlin_solvers.dir/jacobi/jacobi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/linalg/CMakeFiles/powerlin_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/xmpi/CMakeFiles/powerlin_xmpi.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/trace/CMakeFiles/powerlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/prof/CMakeFiles/powerlin_prof.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_solvers.dir/gepp/pdgesv.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/gepp/pdgesv.cpp.o.d"
+  "CMakeFiles/powerlin_solvers.dir/gepp/sequential.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/gepp/sequential.cpp.o.d"
+  "CMakeFiles/powerlin_solvers.dir/ime/imep.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/ime/imep.cpp.o.d"
+  "CMakeFiles/powerlin_solvers.dir/ime/sequential.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/ime/sequential.cpp.o.d"
+  "CMakeFiles/powerlin_solvers.dir/ime/traffic.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/ime/traffic.cpp.o.d"
+  "CMakeFiles/powerlin_solvers.dir/jacobi/jacobi.cpp.o"
+  "CMakeFiles/powerlin_solvers.dir/jacobi/jacobi.cpp.o.d"
+  "libpowerlin_solvers.a"
+  "libpowerlin_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

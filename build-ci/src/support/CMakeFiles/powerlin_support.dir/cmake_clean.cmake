@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_support.dir/cli.cpp.o"
+  "CMakeFiles/powerlin_support.dir/cli.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/csv.cpp.o"
+  "CMakeFiles/powerlin_support.dir/csv.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/error.cpp.o"
+  "CMakeFiles/powerlin_support.dir/error.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/json.cpp.o"
+  "CMakeFiles/powerlin_support.dir/json.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/kvfile.cpp.o"
+  "CMakeFiles/powerlin_support.dir/kvfile.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/logging.cpp.o"
+  "CMakeFiles/powerlin_support.dir/logging.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/stats.cpp.o"
+  "CMakeFiles/powerlin_support.dir/stats.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/table.cpp.o"
+  "CMakeFiles/powerlin_support.dir/table.cpp.o.d"
+  "CMakeFiles/powerlin_support.dir/units.cpp.o"
+  "CMakeFiles/powerlin_support.dir/units.cpp.o.d"
+  "libpowerlin_support.a"
+  "libpowerlin_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

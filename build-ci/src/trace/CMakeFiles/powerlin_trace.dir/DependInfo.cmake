@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/hardware_context.cpp" "src/trace/CMakeFiles/powerlin_trace.dir/hardware_context.cpp.o" "gcc" "src/trace/CMakeFiles/powerlin_trace.dir/hardware_context.cpp.o.d"
+  "/root/repo/src/trace/ledger.cpp" "src/trace/CMakeFiles/powerlin_trace.dir/ledger.cpp.o" "gcc" "src/trace/CMakeFiles/powerlin_trace.dir/ledger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

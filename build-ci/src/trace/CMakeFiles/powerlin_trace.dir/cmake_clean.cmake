@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_trace.dir/hardware_context.cpp.o"
+  "CMakeFiles/powerlin_trace.dir/hardware_context.cpp.o.d"
+  "CMakeFiles/powerlin_trace.dir/ledger.cpp.o"
+  "CMakeFiles/powerlin_trace.dir/ledger.cpp.o.d"
+  "libpowerlin_trace.a"
+  "libpowerlin_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmpi/comm.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/comm.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/comm.cpp.o.d"
+  "/root/repo/src/xmpi/mailbox.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/mailbox.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/mailbox.cpp.o.d"
+  "/root/repo/src/xmpi/pool.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/pool.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/pool.cpp.o.d"
+  "/root/repo/src/xmpi/runtime.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/runtime.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/runtime.cpp.o.d"
+  "/root/repo/src/xmpi/scheduler.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/scheduler.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/scheduler.cpp.o.d"
+  "/root/repo/src/xmpi/world.cpp" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/world.cpp.o" "gcc" "src/xmpi/CMakeFiles/powerlin_xmpi.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/trace/CMakeFiles/powerlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/prof/CMakeFiles/powerlin_prof.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

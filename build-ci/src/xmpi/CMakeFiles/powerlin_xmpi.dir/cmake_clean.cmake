@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_xmpi.dir/comm.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/comm.cpp.o.d"
+  "CMakeFiles/powerlin_xmpi.dir/mailbox.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/mailbox.cpp.o.d"
+  "CMakeFiles/powerlin_xmpi.dir/pool.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/pool.cpp.o.d"
+  "CMakeFiles/powerlin_xmpi.dir/runtime.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/runtime.cpp.o.d"
+  "CMakeFiles/powerlin_xmpi.dir/scheduler.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/scheduler.cpp.o.d"
+  "CMakeFiles/powerlin_xmpi.dir/world.cpp.o"
+  "CMakeFiles/powerlin_xmpi.dir/world.cpp.o.d"
+  "libpowerlin_xmpi.a"
+  "libpowerlin_xmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_xmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

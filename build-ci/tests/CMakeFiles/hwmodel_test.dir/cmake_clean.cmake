@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwmodel_test.dir/hwmodel_test.cpp.o"
+  "CMakeFiles/hwmodel_test.dir/hwmodel_test.cpp.o.d"
+  "hwmodel_test"
+  "hwmodel_test.pdb"
+  "hwmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_test.dir/jacobi_test.cpp.o"
+  "CMakeFiles/jacobi_test.dir/jacobi_test.cpp.o.d"
+  "jacobi_test"
+  "jacobi_test.pdb"
+  "jacobi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

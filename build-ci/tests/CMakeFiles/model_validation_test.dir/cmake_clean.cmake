@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_validation_test.dir/model_validation_test.cpp.o"
+  "CMakeFiles/model_validation_test.dir/model_validation_test.cpp.o.d"
+  "model_validation_test"
+  "model_validation_test.pdb"
+  "model_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msr_test.dir/msr_test.cpp.o"
+  "CMakeFiles/msr_test.dir/msr_test.cpp.o.d"
+  "msr_test"
+  "msr_test.pdb"
+  "msr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

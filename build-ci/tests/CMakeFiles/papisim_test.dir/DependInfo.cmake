@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/papisim_test.cpp" "tests/CMakeFiles/papisim_test.dir/papisim_test.cpp.o" "gcc" "tests/CMakeFiles/papisim_test.dir/papisim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-ci/src/batch/CMakeFiles/powerlin_batch.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/monitor/CMakeFiles/powerlin_monitor.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/papisim/CMakeFiles/powerlin_papisim.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/msr/CMakeFiles/powerlin_msr.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/perfsim/CMakeFiles/powerlin_perfsim.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/solvers/CMakeFiles/powerlin_solvers.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/xmpi/CMakeFiles/powerlin_xmpi.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/trace/CMakeFiles/powerlin_trace.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/prof/CMakeFiles/powerlin_prof.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/hwmodel/CMakeFiles/powerlin_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/linalg/CMakeFiles/powerlin_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-ci/src/support/CMakeFiles/powerlin_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papisim_test.dir/papisim_test.cpp.o"
+  "CMakeFiles/papisim_test.dir/papisim_test.cpp.o.d"
+  "papisim_test"
+  "papisim_test.pdb"
+  "papisim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papisim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfsim_trends_test.dir/perfsim_trends_test.cpp.o"
+  "CMakeFiles/perfsim_trends_test.dir/perfsim_trends_test.cpp.o.d"
+  "perfsim_trends_test"
+  "perfsim_trends_test.pdb"
+  "perfsim_trends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfsim_trends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_sequential_test.dir/solvers_sequential_test.cpp.o"
+  "CMakeFiles/solvers_sequential_test.dir/solvers_sequential_test.cpp.o.d"
+  "solvers_sequential_test"
+  "solvers_sequential_test.pdb"
+  "solvers_sequential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_sequential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpi_collectives_test.dir/xmpi_collectives_test.cpp.o"
+  "CMakeFiles/xmpi_collectives_test.dir/xmpi_collectives_test.cpp.o.d"
+  "xmpi_collectives_test"
+  "xmpi_collectives_test.pdb"
+  "xmpi_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpi_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpi_sched_test.dir/xmpi_sched_test.cpp.o"
+  "CMakeFiles/xmpi_sched_test.dir/xmpi_sched_test.cpp.o.d"
+  "xmpi_sched_test"
+  "xmpi_sched_test.pdb"
+  "xmpi_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpi_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmpi_stress_test.dir/xmpi_stress_test.cpp.o"
+  "CMakeFiles/xmpi_stress_test.dir/xmpi_stress_test.cpp.o.d"
+  "xmpi_stress_test"
+  "xmpi_stress_test.pdb"
+  "xmpi_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmpi_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-ci/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-ci/tests/xmpi_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/solvers_sequential_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/solvers_parallel_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/model_validation_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/papisim_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/msr_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/trace_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/hwmodel_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/linalg_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/kernels_blocked_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/support_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/batch_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/jacobi_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/perfsim_trends_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/property_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/xmpi_stress_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/xmpi_sched_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/xmpi_collectives_test[1]_include.cmake")
+include("/root/repo/build-ci/tests/prof_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_report.dir/powerlin_report.cpp.o"
+  "CMakeFiles/powerlin_report.dir/powerlin_report.cpp.o.d"
+  "powerlin_report"
+  "powerlin_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlin_run.dir/powerlin_run.cpp.o"
+  "CMakeFiles/powerlin_run.dir/powerlin_run.cpp.o.d"
+  "powerlin_run"
+  "powerlin_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlin_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

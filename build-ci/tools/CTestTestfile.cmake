@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-ci/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[cli.powerlin_run.version]=] "/root/repo/build-ci/tools/powerlin_run" "--version")
+set_tests_properties([=[cli.powerlin_run.version]=] PROPERTIES  PASS_REGULAR_EXPRESSION "^powerlin_run [0-9]+\\.[0-9]+\\.[0-9]+" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli.powerlin_run.help]=] "/root/repo/build-ci/tools/powerlin_run" "--help")
+set_tests_properties([=[cli.powerlin_run.help]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli.powerlin_run.unknown_flag]=] "/root/repo/build-ci/tools/powerlin_run" "--definitely-not-a-flag")
+set_tests_properties([=[cli.powerlin_run.unknown_flag]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli.powerlin_report.version]=] "/root/repo/build-ci/tools/powerlin_report" "--version")
+set_tests_properties([=[cli.powerlin_report.version]=] PROPERTIES  PASS_REGULAR_EXPRESSION "^powerlin_report [0-9]+\\.[0-9]+\\.[0-9]+" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli.powerlin_report.help]=] "/root/repo/build-ci/tools/powerlin_report" "--help")
+set_tests_properties([=[cli.powerlin_report.help]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[cli.powerlin_report.unknown_flag]=] "/root/repo/build-ci/tools/powerlin_report" "--definitely-not-a-flag")
+set_tests_properties([=[cli.powerlin_report.unknown_flag]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
