@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "rss.hpp"
+
 #include "hwmodel/placement.hpp"
 #include "xmpi/runtime.hpp"
 
@@ -131,6 +133,10 @@ struct HarnessResult {
   std::uint64_t alloc_count = 0;
   std::uint64_t pool_hits = 0;
   std::uint64_t peak_payload_bytes = 0;
+  // Max RSS sampled *during* the pool runs (bench/rss.hpp). VmHWM would be
+  // monotonic across the whole sweep and so attribute the largest earlier
+  // case to every later row.
+  std::uint64_t peak_rss_bytes = 0;
 
   bool has_baseline() const { return threads_s > 0.0; }
   double speedup() const {
@@ -147,14 +153,19 @@ HarnessResult measure(const WorkloadSpec& spec, int ranks,
   const xmpi::RunConfig pool_config =
       harness_config(ranks, xmpi::ExecutorKind::kWorkerPool);
   std::size_t workers = 0;
-  result.pool_s = best_seconds([&] {
-    const xmpi::RunResult run = xmpi::Runtime::run(pool_config, spec.body);
-    workers = run.host_workers;
-    result.alloc_count = run.transport.pool.misses;
-    result.pool_hits = run.transport.pool.hits;
-    result.peak_payload_bytes = run.transport.pool.peak_payload_bytes;
-    benchmark::DoNotOptimize(run.duration_s);
-  });
+  {
+    plin::bench::RssSampler rss;
+    result.pool_s = best_seconds([&] {
+      const xmpi::RunResult run = xmpi::Runtime::run(pool_config, spec.body);
+      workers = run.host_workers;
+      result.alloc_count = run.transport.pool.misses;
+      result.pool_hits = run.transport.pool.hits;
+      result.peak_payload_bytes = run.transport.pool.peak_payload_bytes;
+      benchmark::DoNotOptimize(run.duration_s);
+    });
+    rss.stop();
+    result.peak_rss_bytes = rss.peak_bytes();
+  }
   result.pool_workers = workers;
 
   if (run_thread_baseline) {
@@ -191,6 +202,7 @@ bool write_json(const std::string& path, bool smoke,
         << ", \"alloc_count\": " << r.alloc_count
         << ", \"pool_hits\": " << r.pool_hits
         << ", \"peak_payload_bytes\": " << r.peak_payload_bytes
+        << ", \"peak_rss_bytes\": " << r.peak_rss_bytes
         << ", \"pool_s\": " << fmt(r.pool_s) << ", \"threads_s\": ";
     if (r.has_baseline()) {
       out << fmt(r.threads_s) << ", \"speedup\": " << fmt(r.speedup());

@@ -1,0 +1,89 @@
+// Resident-set-size helpers shared by the bench harnesses.
+//
+// VmHWM (the kernel's high-water mark) is monotonic over the process
+// lifetime, so reading it after a run reports the peak of *everything that
+// ever ran*, not of the run under measurement. The harnesses instead
+// sample current RSS from /proc/self/statm on a background thread and
+// keep the max seen inside the measured window.
+#pragma once
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+
+namespace plin::bench {
+
+/// Current resident set in bytes (0 if /proc is unavailable).
+inline std::uint64_t current_rss_bytes() {
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return 0;
+  unsigned long long pages_total = 0;
+  unsigned long long pages_resident = 0;
+  const int fields = std::fscanf(statm, "%llu %llu", &pages_total,
+                                 &pages_resident);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return pages_resident * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+}
+
+/// Samples current RSS every ~1 ms for the object's lifetime and exposes
+/// the maximum. Wrap the measured region:
+///
+///   RssSampler sampler;
+///   run_workload();
+///   const std::uint64_t peak = sampler.peak_bytes();
+class RssSampler {
+ public:
+  RssSampler() {
+    peak_.store(current_rss_bytes(), std::memory_order_relaxed);
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        sample();
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  ~RssSampler() {
+    stop();
+  }
+
+  RssSampler(const RssSampler&) = delete;
+  RssSampler& operator=(const RssSampler&) = delete;
+
+  /// Stops sampling (idempotent) and takes one final sample so short
+  /// windows are never missed entirely.
+  void stop() {
+    if (thread_.joinable()) {
+      stop_.store(true, std::memory_order_relaxed);
+      thread_.join();
+      sample();
+    }
+  }
+
+  std::uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sample() {
+    const std::uint64_t now = current_rss_bytes();
+    std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+    while (now > seen &&
+           !peak_.compare_exchange_weak(seen, now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> peak_{0};
+  std::thread thread_;
+};
+
+}  // namespace plin::bench

@@ -58,12 +58,25 @@ class NetworkModel {
     return 2.0 * tree_bcast_time(bytes, participants, worst);
   }
 
-  /// Largest power of two <= participants (participants >= 1): the core
-  /// width of the pre-folded scalable allreduce schedules.
+  /// Largest power of two <= participants (participants >= 1): the width
+  /// of the leading block in the binary-blocks decomposition the scalable
+  /// allreduce schedules run on.
   static int floor_pof2(int participants) {
     int pof2 = 1;
     while (pof2 * 2 <= participants) pof2 *= 2;
     return pof2;
+  }
+
+  /// Number of blocks in the binary-blocks decomposition of
+  /// `participants` (its popcount): the extra fold depth the non-pof2
+  /// scalable schedules pay.
+  static int block_count(int participants) {
+    int blocks = 0;
+    while (participants > 0) {
+      blocks += participants & 1;
+      participants >>= 1;
+    }
+    return blocks;
   }
 
   // -- scalable collective schedules (CollectiveMode::kScalable) ------------
@@ -82,8 +95,12 @@ class NetworkModel {
            (transfer_time(worst, chunk_bytes) + 2.0 * per_message_overhead());
   }
 
-  /// Recursive-doubling allreduce: log2(pof2) pairwise full-vector
-  /// exchanges (plus a pre/post fold round when P is not a power of two).
+  /// Binary-blocks recursive-doubling allreduce: log2(pof2) pairwise
+  /// full-vector exchanges inside the leading block (the smaller blocks'
+  /// rounds overlap them), then — when P is not a power of two — the
+  /// leader chain folds the L blocks right-to-left (L-1 sequential
+  /// full-vector hops) and a binomial tree broadcasts the result over all
+  /// P ranks.
   double rd_allreduce_time(double bytes, int participants,
                            LinkClass worst) const {
     if (participants <= 1) return 0.0;
@@ -91,13 +108,21 @@ class NetworkModel {
     const double round =
         transfer_time(worst, bytes) + 2.0 * per_message_overhead();
     double total = tree_depth(pof2) * round;
-    if (pof2 != participants) total += 2.0 * round;  // pre + post fold
+    const int blocks = block_count(participants);
+    if (blocks > 1) {
+      total += (blocks - 1) * round;  // leader fold chain
+      total += tree_bcast_time(bytes, participants, worst);
+    }
     return total;
   }
 
-  /// Reduce-scatter + allgather allreduce (vector halving): each of the
-  /// two phases moves bytes * (pof2-1)/pof2 through every rank across
-  /// log2(pof2) halving rounds.
+  /// Binary-blocks reduce-scatter + allgather allreduce (vector halving):
+  /// each of the two leading-block phases moves bytes * (pof2-1)/pof2
+  /// through every rank across log2(pof2) halving rounds. When P is not a
+  /// power of two, the cross-block fold adds L-1 sequential scattered-
+  /// range hops (each at most bytes/m_b, bounded here by one full-vector
+  /// beta term split across the chain) and the distribution phase one
+  /// full-vector hop from block 0 to the remainder ranks.
   double rsag_allreduce_time(double bytes, int participants,
                              LinkClass worst) const {
     if (participants <= 1) return 0.0;
@@ -108,9 +133,33 @@ class NetworkModel {
     double total = 2.0 * (depth * (latency(worst) +
                                    2.0 * per_message_overhead()) +
                           bytes * fraction / bandwidth(worst));
-    if (pof2 != participants) {
-      total += 2.0 * (transfer_time(worst, bytes) +
-                      2.0 * per_message_overhead());
+    const int blocks = block_count(participants);
+    if (blocks > 1) {
+      // Fold chain: L-1 hops of shrinking scattered ranges (~bytes/pof2
+      // each after the leading block's reduce-scatter).
+      total += (blocks - 1) * (latency(worst) +
+                               2.0 * per_message_overhead() +
+                               bytes / (pof2 * bandwidth(worst)));
+      // Distribution: one full-vector hop to the ranks past block 0.
+      total += transfer_time(worst, bytes) + 2.0 * per_message_overhead();
+    }
+    return total;
+  }
+
+  /// Bruck allgather: ceil(log2 P) doubling rounds; round k ships
+  /// min(2^k, P - 2^k) chunks, so the beta term telescopes to the same
+  /// ~(P-1) * chunk_bytes per rank the ring moves, with log-depth latency.
+  double bruck_allgather_time(double chunk_bytes, int participants,
+                              LinkClass worst) const {
+    if (participants <= 1) return 0.0;
+    double total = 0.0;
+    int have = 1;
+    while (have < participants) {
+      const int quota =
+          have < participants - have ? have : participants - have;
+      total += transfer_time(worst, quota * chunk_bytes) +
+               2.0 * per_message_overhead();
+      have += quota;
     }
     return total;
   }

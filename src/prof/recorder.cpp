@@ -1,19 +1,72 @@
 #include "prof/recorder.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "support/error.hpp"
 
 namespace plin::prof {
 
+namespace {
+
+/// Process-wide recycler for span-ring storage. One ring per rank adds up:
+/// at 100k ranks an eager 4096-span reserve per recorder would cost
+/// gigabytes before a single span is recorded. Rings are leased here on
+/// first use, handed back (capacity intact) by take()/destruction, and
+/// only kMaxPooledRings vectors are cached so the pool itself stays
+/// bounded. With the worker-pool executor only ~workers ranks record
+/// concurrently, so the same few rings serve the whole run.
+class RingPool {
+ public:
+  static RingPool& instance() {
+    static RingPool* pool = new RingPool();  // leaked: outlive all workers
+    return *pool;
+  }
+
+  std::vector<Span> acquire(std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!rings_.empty()) {
+        std::vector<Span> ring = std::move(rings_.back());
+        rings_.pop_back();
+        ring.clear();
+        return ring;
+      }
+    }
+    std::vector<Span> ring;
+    ring.reserve(std::min<std::size_t>(capacity, 4096));
+    return ring;
+  }
+
+  void release(std::vector<Span>&& ring) {
+    if (ring.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rings_.size() < kMaxPooledRings) rings_.push_back(std::move(ring));
+  }
+
+ private:
+  static constexpr std::size_t kMaxPooledRings = 256;
+  std::mutex mutex_;
+  std::vector<std::vector<Span>> rings_;
+};
+
+}  // namespace
+
 SpanRecorder::SpanRecorder(std::size_t ring_capacity)
-    : capacity_(std::max<std::size_t>(ring_capacity, 16)) {
-  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+    : capacity_(std::max<std::size_t>(ring_capacity, 16)) {}
+
+SpanRecorder::~SpanRecorder() {
+  RingPool::instance().release(std::move(ring_));
 }
 
 void SpanRecorder::push(const Span& span) {
   ++total_;
   if (ring_.size() < capacity_) {
+    // First span: lease ring storage from the pool (constructing the
+    // recorder allocates nothing, so idle ranks stay free).
+    if (ring_.capacity() == 0) {
+      ring_ = RingPool::instance().acquire(capacity_);
+    }
     ring_.push_back(span);
     return;
   }
@@ -144,7 +197,8 @@ RankTrace SpanRecorder::take(int world_rank, int node, int socket, int core,
   out.peers.reserve(peers_.size());
   for (const auto& [peer, stat] : peers_) out.peers.push_back(stat);
 
-  ring_.clear();
+  RingPool::instance().release(std::move(ring_));
+  ring_ = std::vector<Span>();
   head_ = 0;
   total_ = 0;
   names_.clear();

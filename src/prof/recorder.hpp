@@ -40,6 +40,14 @@ inline constexpr std::size_t kDefaultRingSpans = std::size_t{1} << 16;
 class SpanRecorder {
  public:
   explicit SpanRecorder(std::size_t ring_capacity);
+  /// Returns the ring storage to the shared process-wide pool (see
+  /// recorder.cpp): with one recorder per rank, eagerly reserving each
+  /// ring would multiply to gigabytes at 100k ranks, so rings are leased
+  /// and recycled instead.
+  ~SpanRecorder();
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
 
   // -- hooks (owning rank only; virtual-time stamps) ----------------------
 

@@ -8,10 +8,9 @@ Comm::Comm(World* world, int world_rank)
     : world_(world), rank_(world_rank), context_(World::kWorldContext) {
   PLIN_CHECK(world != nullptr);
   PLIN_CHECK(world_rank >= 0 && world_rank < world->size());
-  group_.resize(static_cast<std::size_t>(world->size()));
-  for (int r = 0; r < world->size(); ++r) {
-    group_[static_cast<std::size_t>(r)] = r;
-  }
+  // group_ stays empty: the world communicator uses the implicit identity
+  // mapping. An explicit table here would be 4·P bytes per rank — 40 GB of
+  // pure rank metadata at the 100k-rank campaign point.
 }
 
 Comm::Comm(World* world, std::vector<int> group, int rank,
@@ -22,7 +21,7 @@ Comm::Comm(World* world, std::vector<int> group, int rank,
 int Comm::world_rank_of(int comm_rank) const {
   PLIN_CHECK_MSG(comm_rank >= 0 && comm_rank < size(),
                  "comm rank out of range");
-  return group_[static_cast<std::size_t>(comm_rank)];
+  return group_.empty() ? comm_rank : group_[static_cast<std::size_t>(comm_rank)];
 }
 
 const hw::RankLocation& Comm::my_location() const {
@@ -193,7 +192,8 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
   // pooled eager buffer (docs/xmpi.md).
   world_->deliver(dst_world, std::move(envelope), data);
 
-  TrafficCounters& traffic = me().traffic;
+  RankState& state = me();
+  TrafficCounters& traffic = state.traffic;
   if (control) {
     traffic.control_messages += 1;
     traffic.control_bytes += data.size();
@@ -201,6 +201,7 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
     traffic.data_messages += 1;
     traffic.data_bytes += data.size();
   }
+  state.peers.record_send(dst_world, data.size());
 }
 
 RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
@@ -231,9 +232,10 @@ RecvInfo Comm::recv_impl(std::span<std::byte> data, int src, int tag) {
   if (!envelope.inplace && !envelope.payload.empty()) {
     std::memcpy(data.data(), envelope.payload.data(), envelope.bytes);
   }
-  TrafficCounters& traffic = me().traffic;
-  traffic.recv_messages += 1;
-  traffic.recv_bytes += envelope.bytes;
+  RankState& state = me();
+  state.traffic.recv_messages += 1;
+  state.traffic.recv_bytes += envelope.bytes;
+  state.peers.record_recv(envelope.src_world, envelope.bytes);
   return RecvInfo{envelope.src, envelope.tag, envelope.bytes};
 }
 

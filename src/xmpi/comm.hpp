@@ -43,6 +43,11 @@ inline T combine_one(ReduceOp op, const T& lower, const T& upper) {
   return lower;
 }
 
+/// Largest member count for which the scalable allgather uses the ring
+/// schedule; above it the P-1 latency terms dominate and Bruck's
+/// log-round schedule takes over (same per-rank volume).
+inline constexpr int kRingAllgatherMaxRanks = 128;
+
 /// Largest power of two <= size (size >= 1).
 inline int floor_pof2(int size) {
   int pof2 = 1;
@@ -50,10 +55,53 @@ inline int floor_pof2(int size) {
   return pof2;
 }
 
-/// Comm rank of a core rank after the non-power-of-two pre-fold: the first
-/// 2*rem ranks fold pairwise onto their even member, the rest map 1:1.
-inline int core_to_comm_rank(int core_rank, int rem) {
-  return core_rank < rem ? 2 * core_rank : core_rank + rem;
+/// One block of the binary-blocks decomposition: comm ranks
+/// [base, base + size) with `size` a power of two.
+struct Block {
+  int base = 0;
+  int size = 0;
+};
+
+/// Decomposes P into blocks of strictly decreasing power-of-two sizes (the
+/// binary digits of P), assigned in rank order. The seed binomial tree
+/// clipped to P ranks combines exactly block-by-block: with B_b the full
+/// binomial bracketing over block b's members and F_b = B_b op F_{b+1}
+/// (block b always the lower operand), the tree's root value is F_0. The
+/// scalable schedules reproduce that decomposition distributedly, which is
+/// what makes them bit-identical to the tree at *every* P, not just powers
+/// of two (docs/xmpi.md).
+inline std::vector<Block> binary_blocks(int size) {
+  std::vector<Block> blocks;
+  int base = 0;
+  int remaining = size;
+  while (remaining > 0) {
+    const int m = floor_pof2(remaining);
+    blocks.push_back(Block{base, m});
+    base += m;
+    remaining -= m;
+  }
+  return blocks;
+}
+
+/// Element range [lo, hi) that block-local rank `c` owns after the full
+/// vector-halving recursion over a block of `m` ranks: bit k of c picks the
+/// upper/lower half of split k, with the odd element (if any) going to the
+/// lower half — the same `mid = lo + (hi - lo + 1) / 2` rule the
+/// reduce-scatter rounds apply. Because block sizes divide each other, a
+/// finer block's range refines the coarser owner's range for the local
+/// rank c mod m_coarse — the property the cross-block fold routes by.
+inline void halving_range(int c, int m, std::size_t count, std::size_t& lo,
+                          std::size_t& hi) {
+  lo = 0;
+  hi = count;
+  for (int mask = 1; mask < m; mask <<= 1) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if ((c & mask) == 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
 }
 
 }  // namespace detail
@@ -65,10 +113,14 @@ class Comm {
   Comm(World* world, int world_rank);
 
   int rank() const { return rank_; }
-  int size() const { return static_cast<int>(group_.size()); }
+  int size() const {
+    return group_.empty() ? world_->size() : static_cast<int>(group_.size());
+  }
   World& world() const { return *world_; }
 
-  int world_rank() const { return group_[static_cast<std::size_t>(rank_)]; }
+  int world_rank() const {
+    return group_.empty() ? rank_ : group_[static_cast<std::size_t>(rank_)];
+  }
   int world_rank_of(int comm_rank) const;
   const hw::RankLocation& my_location() const;
   int my_node() const { return my_location().node; }
@@ -189,14 +241,14 @@ class Comm {
   /// contributions. Two schedules (CollectiveMode, docs/xmpi.md):
   ///   - kTree (default): reduce to rank 0 + broadcast — the seed
   ///     schedule; canonical outputs depend on its virtual timing.
-  ///   - kScalable: reduce-scatter + allgather (vector halving) for
-  ///     vectors with at least one element per power-of-two core rank,
-  ///     recursive doubling for shorter ones. No rank moves more than
-  ///     ~2x the vector, instead of the root's 2·(P-1)·n funnel. On
-  ///     power-of-two communicators the combine bracketing equals the
-  ///     tree's, so results are bit-identical; otherwise a pre-fold pass
-  ///     makes the schedule deterministic but (for kSum) not bit-equal to
-  ///     the tree.
+  ///   - kScalable: binary-blocks reduce-scatter + allgather (vector
+  ///     halving) for vectors with at least one element per rank of the
+  ///     largest block, binary-blocks recursive doubling for shorter
+  ///     ones. No rank moves more than ~2x the vector, instead of the
+  ///     root's 2·(P-1)·n funnel. Both schedules reproduce the seed
+  ///     tree's rank-ordered combine bracketing block by block, so the
+  ///     result is bit-identical to kTree at *every* communicator size,
+  ///     power of two or not (docs/xmpi.md, xmpi_scale_test).
   template <typename T>
   void allreduce(std::span<const T> data, std::span<T> out, ReduceOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -232,15 +284,23 @@ class Comm {
 
   /// Concatenation of every rank's equal-length `data` on every rank.
   /// kTree: gather to rank 0 + broadcast (root moves ~(P + log P)·n);
-  /// kScalable: ring — each rank forwards one block per step to its right
-  /// neighbor, moving exactly 2·(P-1)·n/P through every rank. Pure data
-  /// movement, so the two schedules are bit-identical at any size.
+  /// kScalable: ring (each rank forwards one block per step to its right
+  /// neighbor, moving exactly 2·(P-1)·n/P through every rank) up to
+  /// detail::kRingAllgatherMaxRanks members, then Bruck's algorithm
+  /// (ceil(log2 P) rounds of doubling exchanges — the ring's P-1 latency
+  /// terms would dominate at 100k ranks while per-rank volume stays the
+  /// same ~2·(P-1)·n/P). Pure data movement, so all schedules are
+  /// bit-identical at any size.
   template <typename T>
   void allgather(std::span<const T> data, std::span<T> out) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (world_->collective_mode() == CollectiveMode::kScalable &&
         size() > 1) {
-      allgather_ring(data, out);
+      if (size() > detail::kRingAllgatherMaxRanks) {
+        allgather_bruck(data, out);
+      } else {
+        allgather_ring(data, out);
+      }
       return;
     }
     gather(data, out, 0);
@@ -285,9 +345,15 @@ class Comm {
                           ReduceOp op);
   template <typename T>
   void allgather_ring(std::span<const T> data, std::span<T> out);
+  template <typename T>
+  void allgather_bruck(std::span<const T> data, std::span<T> out);
 
   World* world_;
-  std::vector<int> group_;  // comm rank -> world rank
+  /// comm rank -> world rank. Empty means the identity mapping (the world
+  /// communicator): materializing an explicit P-entry table per rank would
+  /// cost O(P^2) memory across the world, which is what capped the old
+  /// implementation near 10k ranks. split() still builds explicit groups.
+  std::vector<int> group_;
   int rank_;
   std::uint64_t context_;
   int split_seq_ = 0;
@@ -426,39 +492,37 @@ void Comm::allreduce_scalable(std::span<const T> data, std::span<T> out,
   }
   if (size() == 1 || count == 0) return;
 
-  const int pof2 = detail::floor_pof2(size());
-  const int rem = size() - pof2;
-  // Vector halving needs at least one element per core rank; shorter
-  // vectors (scalars, norms) use latency-optimal recursive doubling.
-  const bool rsag = pof2 > 1 && count >= static_cast<std::size_t>(pof2);
+  // Binary-blocks decomposition: the seed tree's value is
+  // F_0 = B_0 op (B_1 op (... op B_{L-1})), where B_b is the full binomial
+  // reduction over block b's members (detail::binary_blocks). Both
+  // schedules compute each B_b with the standard power-of-two exchange
+  // inside its block, then fold the blocks together right-to-left with
+  // block b as the lower operand — reproducing the tree's bracketing
+  // exactly, so the result is bit-identical to kTree at every P. On a
+  // power-of-two communicator there is one block and the fold phases
+  // vanish, leaving the classic schedules untouched.
+  const std::vector<detail::Block> blocks = detail::binary_blocks(size());
+  const int nblocks = static_cast<int>(blocks.size());
+  int b = nblocks - 1;
+  while (rank_ < blocks[static_cast<std::size_t>(b)].base) --b;
+  const int base = blocks[static_cast<std::size_t>(b)].base;
+  const int m = blocks[static_cast<std::size_t>(b)].size;
+  const int c = rank_ - base;  // block-local rank
+  const int m0 = blocks[0].size;
+
+  // Vector halving needs at least one element per rank of the largest
+  // block; shorter vectors (scalars, norms) use latency-optimal recursive
+  // doubling.
+  const bool rsag = m0 > 1 && count >= static_cast<std::size_t>(m0);
   prof_collective_begin(rsag ? "allreduce:rsag" : "allreduce:rd");
   std::vector<T> scratch;
 
-  // Pre-fold: the first 2*rem ranks combine pairwise onto their even
-  // member so the main exchange runs on a power-of-two core. Odd members
-  // sit out and receive the finished vector in the post-fold.
-  if (rank_ < 2 * rem) {
-    if ((rank_ & 1) != 0) {
-      send(std::span<const T>(out.data(), count), rank_ - 1,
-           internal_tag::kFold);
-      recv(std::span<T>(out.data(), count), rank_ - 1, internal_tag::kFold);
-      prof_collective_end();
-      return;
-    }
-    scratch.resize(count);
-    recv(std::span<T>(scratch), rank_ + 1, internal_tag::kFold);
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = detail::combine_one(op, out[i], scratch[i]);
-    }
-  }
-  const int cr = rank_ < 2 * rem ? rank_ / 2 : rank_ - rem;
-
   if (rsag) {
-    // Reduce-scatter by distance doubling / vector halving, then the
-    // mirrored allgather. The halving recursion reproduces the binomial
-    // tree's combine bracketing element by element (rank-ordered operands
-    // at every level), which is what makes this bit-identical to kTree on
-    // power-of-two communicators.
+    // Phase 1 — intra-block reduce-scatter by distance doubling / vector
+    // halving: after it, this rank holds B_b restricted to its owned range
+    // halving_range(c, m, count). The halving recursion reproduces the
+    // binomial tree's combine bracketing element by element (rank-ordered
+    // operands at every level).
     struct Range {
       std::size_t lo = 0;
       std::size_t hi = 0;
@@ -466,10 +530,10 @@ void Comm::allreduce_scalable(std::span<const T> data, std::span<T> out,
     std::vector<Range> rounds;
     std::size_t lo = 0;
     std::size_t hi = count;
-    for (int mask = 1; mask < pof2; mask <<= 1) {
-      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+    for (int mask = 1; mask < m; mask <<= 1) {
+      const int peer = base + (c ^ mask);
       const std::size_t mid = lo + (hi - lo + 1) / 2;
-      const bool lower = (cr & mask) == 0;
+      const bool lower = (c & mask) == 0;
       const std::size_t keep_lo = lower ? lo : mid;
       const std::size_t keep_hi = lower ? mid : hi;
       const std::size_t give_lo = lower ? mid : lo;
@@ -488,15 +552,50 @@ void Comm::allreduce_scalable(std::span<const T> data, std::span<T> out,
       lo = keep_lo;
       hi = keep_hi;
     }
-    // Allgather mirror: replay the halving in reverse; at reversed round
-    // r this rank has rebuilt its half of rounds[r] and the same peer has
-    // the other half.
+
+    // Phase 2 — cross-block fold, right to left. Block sizes divide each
+    // other, so halving_range nests: this rank's range is contained in the
+    // range that block b+1's local rank (c mod m_{b+1}) owns. That rank
+    // holds F_{b+1} on its range once its own fold is done, and scatters
+    // the pieces to the finer owners of block b. Combining with the
+    // incoming F_{b+1} as the upper operand turns B_b into F_b on this
+    // rank's range.
+    if (b + 1 < nblocks) {
+      const detail::Block& next = blocks[static_cast<std::size_t>(b + 1)];
+      scratch.resize(hi - lo);
+      recv(std::span<T>(scratch.data(), hi - lo),
+           next.base + c % next.size, internal_tag::kFold);
+      for (std::size_t i = 0; i < hi - lo; ++i) {
+        out[lo + i] = detail::combine_one(op, out[lo + i], scratch[i]);
+      }
+    }
+    if (b > 0) {
+      const int mprev = blocks[static_cast<std::size_t>(b - 1)].size;
+      for (int dst = c; dst < mprev; dst += m) {
+        std::size_t dlo = 0;
+        std::size_t dhi = 0;
+        detail::halving_range(dst, mprev, count, dlo, dhi);
+        send(std::span<const T>(out.data() + dlo, dhi - dlo),
+             blocks[static_cast<std::size_t>(b - 1)].base + dst,
+             internal_tag::kFold);
+      }
+      // Non-leading blocks are done reducing; they receive the finished
+      // vector in phase 4.
+      recv(std::span<T>(out.data(), count), rank_ - m0, internal_tag::kFold);
+      prof_collective_end();
+      return;
+    }
+
+    // Phase 3 — block-0 allgather mirror: replay the halving in reverse;
+    // at reversed round r this rank has rebuilt its half of rounds[r] and
+    // the same peer has the other half. Every block-0 rank ends with the
+    // full F_0 vector.
     for (std::size_t r = rounds.size(); r-- > 0;) {
       const int mask = 1 << r;
-      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+      const int peer = base + (c ^ mask);
       const Range range = rounds[r];
       const std::size_t mid = range.lo + (range.hi - range.lo + 1) / 2;
-      const bool lower = (cr & mask) == 0;
+      const bool lower = (c & mask) == 0;
       const std::size_t other_lo = lower ? mid : range.lo;
       const std::size_t other_hi = lower ? range.hi : mid;
       send(std::span<const T>(out.data() + lo, hi - lo), peer,
@@ -506,26 +605,60 @@ void Comm::allreduce_scalable(std::span<const T> data, std::span<T> out,
       lo = range.lo;
       hi = range.hi;
     }
+
+    // Phase 4 — distribution: block 0 spans at least half the
+    // communicator, so one hop covers every remaining rank.
+    if (rank_ + m0 < size()) {
+      send(std::span<const T>(out.data(), count), rank_ + m0,
+           internal_tag::kFold);
+    }
   } else {
-    // Recursive doubling: log2(pof2) full-vector pairwise exchanges.
+    // Phase 1 — intra-block recursive doubling: log2(m) full-vector
+    // pairwise exchanges; every member of block b ends with B_b.
     scratch.resize(count);
-    for (int mask = 1; mask < pof2; mask <<= 1) {
-      const int peer = detail::core_to_comm_rank(cr ^ mask, rem);
+    for (int mask = 1; mask < m; mask <<= 1) {
+      const int peer = base + (c ^ mask);
       send(std::span<const T>(out.data(), count), peer,
            internal_tag::kAllreduce);
       recv(std::span<T>(scratch), peer, internal_tag::kAllreduce);
-      const bool lower = (cr & mask) == 0;
+      const bool lower = (c & mask) == 0;
       for (std::size_t i = 0; i < count; ++i) {
         out[i] = lower ? detail::combine_one(op, out[i], scratch[i])
                        : detail::combine_one(op, scratch[i], out[i]);
       }
     }
-  }
-
-  // Post-fold: hand the finished vector back to the folded odd partner.
-  if (rank_ < 2 * rem) {
-    send(std::span<const T>(out.data(), count), rank_ + 1,
-         internal_tag::kFold);
+    if (nblocks > 1) {
+      // Phase 2 — leader chain: block leaders fold right to left
+      // (F_b = B_b op F_{b+1}, own block lower), so rank 0 ends with F_0.
+      // Chain messages travel high rank -> low rank while the phase-3
+      // broadcast travels low -> high, so sharing kFold is unambiguous.
+      if (c == 0) {
+        if (b + 1 < nblocks) {
+          recv(std::span<T>(scratch), blocks[static_cast<std::size_t>(b + 1)].base,
+               internal_tag::kFold);
+          for (std::size_t i = 0; i < count; ++i) {
+            out[i] = detail::combine_one(op, out[i], scratch[i]);
+          }
+        }
+        if (b > 0) {
+          send(std::span<const T>(out.data(), count),
+               blocks[static_cast<std::size_t>(b - 1)].base,
+               internal_tag::kFold);
+        }
+      }
+      // Phase 3 — binomial broadcast of F_0 from rank 0 over the whole
+      // communicator (the same tree bcast_impl walks).
+      for (int mask = detail::floor_pof2(size()); mask >= 1; mask >>= 1) {
+        if ((rank_ & (mask - 1)) != 0) continue;
+        if ((rank_ & mask) != 0) {
+          recv(std::span<T>(out.data(), count), rank_ - mask,
+               internal_tag::kFold);
+        } else if (rank_ + mask < size()) {
+          send(std::span<const T>(out.data(), count), rank_ + mask,
+               internal_tag::kFold);
+        }
+      }
+    }
   }
   prof_collective_end();
 }
@@ -556,6 +689,48 @@ void Comm::allgather_ring(std::span<const T> data, std::span<T> out) {
                           static_cast<std::size_t>(recv_block) * chunk,
                       chunk),
          left, internal_tag::kAllgather);
+  }
+  prof_collective_end();
+}
+
+template <typename T>
+void Comm::allgather_bruck(std::span<const T> data, std::span<T> out) {
+  PLIN_CHECK_MSG(out.size() >= data.size() * static_cast<std::size_t>(size()),
+                 "allgather output span too small");
+  const std::size_t chunk = data.size();
+  const int p = size();
+  if (chunk == 0) return;
+  if (p == 1) {
+    std::memcpy(out.data(), data.data(), chunk * sizeof(T));
+    return;
+  }
+  prof_collective_begin("allgather:bruck");
+  // tmp slot i holds the block of rank (rank_ + i) % p; starting from our
+  // own block, each round ships the first `quota` known blocks `have`
+  // ranks to the left and receives the next `quota` from the right,
+  // doubling coverage until all p blocks are known, then a local rotation
+  // puts them in rank order. ceil(log2 p) rounds at any p; total bytes
+  // through a rank match the ring's ~2·(p-1)·chunk.
+  std::vector<T> tmp(static_cast<std::size_t>(p) * chunk);
+  std::memcpy(tmp.data(), data.data(), chunk * sizeof(T));
+  int have = 1;
+  while (have < p) {
+    const int quota = have < p - have ? have : p - have;
+    const int dst = (rank_ - have + p) % p;
+    const int src = (rank_ + have) % p;
+    send(std::span<const T>(tmp.data(),
+                            static_cast<std::size_t>(quota) * chunk),
+         dst, internal_tag::kAllgather);
+    recv(std::span<T>(tmp.data() + static_cast<std::size_t>(have) * chunk,
+                      static_cast<std::size_t>(quota) * chunk),
+         src, internal_tag::kAllgather);
+    have += quota;
+  }
+  for (int i = 0; i < p; ++i) {
+    const int block = (rank_ + i) % p;
+    std::memcpy(out.data() + static_cast<std::size_t>(block) * chunk,
+                tmp.data() + static_cast<std::size_t>(i) * chunk,
+                chunk * sizeof(T));
   }
   prof_collective_end();
 }

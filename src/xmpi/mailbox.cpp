@@ -137,8 +137,7 @@ std::optional<Envelope> Mailbox::try_match_locked(int src, int tag,
   }
   if (best == nullptr) return std::nullopt;
   Envelope envelope = std::move(best_channel->second[best_index].envelope);
-  best_channel->second.erase(best_channel->second.begin() +
-                             static_cast<std::ptrdiff_t>(best_index));
+  best_channel->second.erase_at(best_index);
   if (best_channel->second.empty()) channels_.erase(best_channel);
   return envelope;
 }

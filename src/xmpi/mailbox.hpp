@@ -38,7 +38,6 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -157,6 +156,49 @@ class Mailbox {
     std::uint64_t seq = 0;
   };
 
+  /// Vector-backed FIFO with a head cursor. A std::deque here cost ~0.5
+  /// KiB of chunk map per channel even when holding a single item; with
+  /// one channel per active peer/tag pair across 100k mailboxes that
+  /// overhead dominated rank state. Channels rarely hold more than a
+  /// couple of in-flight messages, so a vector plus lazy head compaction
+  /// is both smaller and faster.
+  class ItemFifo {
+   public:
+    bool empty() const { return head_ == items_.size(); }
+    std::size_t size() const { return items_.size() - head_; }
+    Item& front() { return items_[head_]; }
+    const Item& operator[](std::size_t i) const { return items_[head_ + i]; }
+    Item& operator[](std::size_t i) { return items_[head_ + i]; }
+
+    void push_back(Item&& item) { items_.push_back(std::move(item)); }
+
+    void pop_front() {
+      ++head_;
+      compact();
+    }
+
+    /// Removes the i-th queued item (wildcard pick at arbitrary depth).
+    void erase_at(std::size_t i) {
+      items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(head_ + i));
+      compact();
+    }
+
+   private:
+    void compact() {
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      } else if (head_ >= 16 && head_ * 2 >= items_.size()) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    }
+
+    std::vector<Item> items_;
+    std::size_t head_ = 0;
+  };
+
   /// The receive the owner is currently blocked on (at most one). `dest`
   /// is registered only by the dest-aware match overload; senders may
   /// write through it solely under the mailbox lock while `active` (the
@@ -183,7 +225,7 @@ class Mailbox {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::map<ChannelKey, std::deque<Item>> channels_;  // non-empty FIFOs only
+  std::map<ChannelKey, ItemFifo> channels_;  // non-empty FIFOs only
   std::uint64_t next_seq_ = 0;
   PendingRecv pending_;
   Parker* parker_ = nullptr;

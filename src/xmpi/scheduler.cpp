@@ -1,18 +1,18 @@
 #include "xmpi/scheduler.hpp"
 
-#include <sys/mman.h>
 #include <ucontext.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 
 #include "support/error.hpp"
+#include "xmpi/stackpool.hpp"
 
 // ThreadSanitizer must be told about user-level context switches, or it
 // attributes one fiber's stack reads to another fiber's writes and reports
@@ -70,17 +70,29 @@ void tsan_switch_to_fiber(void* fiber) {
 #endif
 }
 
-std::size_t page_size() {
-  const long page = ::sysconf(_SC_PAGESIZE);
-  return page > 0 ? static_cast<std::size_t>(page) : 4096;
-}
-
 constexpr std::size_t kDefaultStackBytes = 512 * 1024;
 constexpr std::size_t kMinStackBytes = 64 * 1024;
 
+/// Above this many tasks, "auto" guard mode switches to one guard page per
+/// slab: per-stack guards cost ~2 kernel VMAs each, and vm.max_map_count
+/// commonly defaults to 65530.
+constexpr std::size_t kGuardAutoMaxTasks = 8192;
+
+/// PLIN_XMPI_STACK_GUARD: unset/"auto" → guard iff the run is small
+/// enough; "0"/"off" → never; anything else → always.
+bool resolve_stack_guard(std::size_t tasks) {
+  const char* value = std::getenv("PLIN_XMPI_STACK_GUARD");
+  if (value == nullptr || *value == '\0' ||
+      std::string_view(value) == "auto") {
+    return tasks <= kGuardAutoMaxTasks;
+  }
+  const std::string_view text(value);
+  return text != "0" && text != "off";
+}
+
 }  // namespace
 
-/// One simulated rank: its fiber context, stack mapping and park/wake
+/// One simulated rank: its fiber context, leased stack and park/wake
 /// endpoint. `state`/`wake_pending` are guarded by the scheduler queue
 /// mutex; the context/stack fields are touched only by whichever worker
 /// currently owns the fiber (ownership is handed over through that mutex).
@@ -97,8 +109,9 @@ struct FiberScheduler::RankFiber final : Mailbox::Parker {
   ucontext_t* return_context = nullptr;
   void* tsan_fiber = nullptr;
   void* return_tsan_fiber = nullptr;
-  unsigned char* map_base = nullptr;
-  std::size_t map_bytes = 0;
+  /// Stack leased from the StackPool at first dispatch, returned when the
+  /// body finishes — unstarted and finished ranks hold no stack at all.
+  StackPool::Allocation stack;
   bool started = false;
   /// Set by the trampoline just before its final switch-out, so the worker
   /// can tell "finished" from "parked".
@@ -176,46 +189,30 @@ FiberScheduler::FiberScheduler(std::vector<Task> tasks, Options options)
   }
   workers_ = std::min(workers, tasks.size());
 
-  const std::size_t page = page_size();
-  std::size_t stack = options.stack_bytes == 0 ? kDefaultStackBytes
-                                               : options.stack_bytes;
-  stack = std::max(stack, kMinStackBytes);
-  stack = (stack + page - 1) / page * page;
+  stack_bytes_ = std::max(options.stack_bytes == 0 ? kDefaultStackBytes
+                                                   : options.stack_bytes,
+                          kMinStackBytes);
+  guard_stacks_ = resolve_stack_guard(tasks.size());
 
+  // No stacks or contexts yet: construction is O(tasks) pointer setup, and
+  // a fiber leases its stack only when it is first dispatched. 100k ranks
+  // cost ~100k queue entries here, not 100k mmaps.
   queue_ = new QueueState();
   for (std::size_t i = 0; i < fibers_.size(); ++i) {
     RankFiber& fiber = fibers_[i];
     fiber.sched = this;
     fiber.index = i;
     fiber.task = std::move(tasks[i]);
-
-    // Guard page at the low end (stacks grow down); MAP_NORESERVE +
-    // anonymous mapping keeps the cost virtual until a frame touches a
-    // page, so 1296 ranks of 512 KiB are cheap to create.
-    fiber.map_bytes = stack + page;
-    void* base = ::mmap(nullptr, fiber.map_bytes, PROT_READ | PROT_WRITE,
-                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
-    PLIN_CHECK_MSG(base != MAP_FAILED, "fiber stack mmap failed");
-    fiber.map_base = static_cast<unsigned char*>(base);
-    PLIN_CHECK_MSG(::mprotect(fiber.map_base, page, PROT_NONE) == 0,
-                   "fiber guard page mprotect failed");
-
-    PLIN_CHECK_MSG(::getcontext(&fiber.context) == 0, "getcontext failed");
-    fiber.context.uc_stack.ss_sp = fiber.map_base + page;
-    fiber.context.uc_stack.ss_size = stack;
-    fiber.context.uc_link = nullptr;  // fibers exit via switch_to_worker
-    ::makecontext(&fiber.context, plin_fiber_trampoline, 0);
-
-    fiber.tsan_fiber = tsan_create_fiber();
-
     queue_->ready.push_back(i);
   }
 }
 
 FiberScheduler::~FiberScheduler() {
+  // Normal completion released everything in worker_loop; this sweep
+  // covers runs that never finished (exceptions, never-run schedulers).
   for (RankFiber& fiber : fibers_) {
     tsan_destroy_fiber(fiber.tsan_fiber);
-    if (fiber.map_base != nullptr) ::munmap(fiber.map_base, fiber.map_bytes);
+    StackPool::instance().release(fiber.stack);
   }
   delete queue_;
 }
@@ -236,6 +233,18 @@ std::uint64_t FiberScheduler::wake_count() const {
 }
 
 void FiberScheduler::dispatch(RankFiber& fiber, void* worker_tsan) {
+  if (!fiber.started) {
+    // First dispatch: lease a stack and build the context now. Ranks that
+    // never run (abort before first dispatch) never pay for one.
+    fiber.stack = StackPool::instance().acquire(stack_bytes_, guard_stacks_);
+    PLIN_CHECK_MSG(::getcontext(&fiber.context) == 0, "getcontext failed");
+    fiber.context.uc_stack.ss_sp = fiber.stack.sp;
+    fiber.context.uc_stack.ss_size = fiber.stack.bytes;
+    fiber.context.uc_link = nullptr;  // fibers exit via switch_to_worker
+    ::makecontext(&fiber.context, plin_fiber_trampoline, 0);
+    fiber.tsan_fiber = tsan_create_fiber();
+    fiber.started = true;
+  }
   ucontext_t worker_context;
   fiber.return_context = &worker_context;
   fiber.return_tsan_fiber = worker_tsan;
@@ -267,6 +276,14 @@ void FiberScheduler::worker_loop() {
     lock.unlock();
 
     dispatch(fiber, worker_tsan);
+    if (fiber.body_done) {
+      // Recycle the stack immediately (outside the queue lock): the next
+      // wave of ranks leases it back from the pool's free list instead of
+      // mapping fresh memory.
+      tsan_destroy_fiber(fiber.tsan_fiber);
+      fiber.tsan_fiber = nullptr;
+      StackPool::instance().release(fiber.stack);
+    }
 
     lock.lock();
     --queue.running;

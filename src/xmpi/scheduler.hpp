@@ -1,9 +1,15 @@
 // FiberScheduler — bounded worker pool multiplexing simulated ranks over
 // user-level stacks.
 //
-// Each rank runs on its own ucontext fiber (a few hundred KiB of lazily
-// committed, guard-paged stack), and N host workers (N ≈ cores, not ranks)
-// pull runnable fibers from a FIFO ready queue. When a rank blocks in
+// Each rank runs on its own ucontext fiber, and N host workers (N ≈ cores,
+// not ranks) pull runnable fibers from a FIFO ready queue. Fiber stacks
+// are leased from the process-wide StackPool *lazily at first dispatch*
+// and returned the moment the rank's body finishes, so a 100k-rank run
+// whose ranks mostly wait holds stacks only for the ranks actually
+// in flight, and successive rank waves recycle the same few mappings
+// (see stackpool.hpp; PLIN_XMPI_STACK_GUARD picks the guard-page
+// geometry — per-stack guards by default up to 8192 ranks, one guard per
+// slab above that to stay under vm.max_map_count). When a rank blocks in
 // Mailbox::match / a collective, its fiber *parks*: it switches back to
 // the worker's scheduler context, freeing the worker to run another rank.
 // A matching post (or World::abort) *wakes* it — re-queues the fiber so
@@ -52,8 +58,9 @@ class FiberScheduler {
     /// Always clamped to the task count.
     std::size_t workers = 0;
     /// Usable fiber stack bytes; 0 → 512 KiB. Clamped to ≥ 64 KiB and
-    /// rounded up to the page size. Stacks are mmap-backed with a
-    /// PROT_NONE guard page below, so memory is committed only as used.
+    /// rounded up to the page size. Stacks come from the slab-backed
+    /// StackPool (lazily committed, leased at first dispatch, recycled
+    /// when the rank finishes).
     std::size_t stack_bytes = 0;
     /// Invoked (without scheduler locks) when every unfinished rank is
     /// parked — a simulated-communication deadlock. Expected to unwedge
@@ -96,6 +103,9 @@ class FiberScheduler {
 
   std::vector<RankFiber> fibers_;
   std::size_t workers_ = 1;
+  /// Resolved stack geometry every fiber leases from the StackPool.
+  std::size_t stack_bytes_ = 0;
+  bool guard_stacks_ = true;
   std::function<void()> on_deadlock_;
 
   // Ready-queue state; every field below is guarded by the queue mutex in

@@ -1,0 +1,127 @@
+#include "xmpi/stackpool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace plin::xmpi {
+
+namespace {
+
+std::size_t page_size() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<std::size_t>(page) : 4096;
+}
+
+/// Stacks carved per mmap. Large enough that slab count (and thus VMA
+/// count in unguarded mode) stays trivial at 100k ranks, small enough
+/// that the virtual reservation of a mostly-idle bucket stays modest.
+constexpr std::size_t kSlotsPerSlab = 64;
+
+}  // namespace
+
+struct StackPool::Impl {
+  /// Free-listed stacks of one (usable size, guardedness) geometry.
+  struct Bucket {
+    std::vector<unsigned char*> free;  // sp of released stacks
+    /// Carving cursor into the newest slab: sp of the next fresh slot,
+    /// and how many slots remain after it.
+    unsigned char* next_sp = nullptr;
+    std::size_t slots_left = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::map<std::pair<std::size_t, bool>, Bucket> buckets;
+  Stats stats;
+  std::size_t page = page_size();
+
+  void map_slab(Bucket& bucket, std::size_t stack, bool guarded) {
+    // Guarded slab: [guard | stack] per slot. Unguarded: one guard page
+    // below the slab, then kSlotsPerSlab contiguous stacks.
+    const std::size_t slot = guarded ? stack + page : stack;
+    const std::size_t bytes = (guarded ? 0 : page) + kSlotsPerSlab * slot;
+    void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    PLIN_CHECK_MSG(base != MAP_FAILED, "fiber stack slab mmap failed");
+    unsigned char* slab = static_cast<unsigned char*>(base);
+    if (guarded) {
+      for (std::size_t i = 0; i < kSlotsPerSlab; ++i) {
+        PLIN_CHECK_MSG(::mprotect(slab + i * slot, page, PROT_NONE) == 0,
+                       "fiber guard page mprotect failed");
+      }
+      bucket.next_sp = slab + page;
+    } else {
+      PLIN_CHECK_MSG(::mprotect(slab, page, PROT_NONE) == 0,
+                     "fiber slab guard page mprotect failed");
+      bucket.next_sp = slab + page;
+    }
+    bucket.slots_left = kSlotsPerSlab;
+    stats.slabs += 1;
+    stats.mapped_bytes += bytes;
+  }
+};
+
+StackPool::StackPool() : impl_(new Impl()) {}
+StackPool::~StackPool() { delete impl_; }
+
+StackPool& StackPool::instance() {
+  // Leaked on purpose: worker threads of a scheduler destroyed during
+  // process teardown must never race a dying pool.
+  static StackPool* pool = new StackPool();
+  return *pool;
+}
+
+StackPool::Allocation StackPool::acquire(std::size_t stack_bytes,
+                                         bool guarded) {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const std::size_t stack =
+      (stack_bytes + impl.page - 1) / impl.page * impl.page;
+  Impl::Bucket& bucket = impl.buckets[{stack, guarded}];
+
+  Allocation alloc;
+  alloc.bytes = stack;
+  alloc.guarded = guarded;
+  if (!bucket.free.empty()) {
+    alloc.sp = bucket.free.back();
+    bucket.free.pop_back();
+    impl.stats.reuse_hits += 1;
+  } else {
+    if (bucket.slots_left == 0) impl.map_slab(bucket, stack, guarded);
+    alloc.sp = bucket.next_sp;
+    const std::size_t slot = guarded ? stack + impl.page : stack;
+    bucket.next_sp += slot;
+    bucket.slots_left -= 1;
+  }
+  impl.stats.served += 1;
+  impl.stats.live += 1;
+  if (impl.stats.live > impl.stats.peak_live) {
+    impl.stats.peak_live = impl.stats.live;
+  }
+  return alloc;
+}
+
+void StackPool::release(Allocation& alloc) {
+  if (!alloc.valid()) return;
+  Impl& impl = *impl_;
+  // Drop the committed pages before free-listing: a rank that recursed
+  // deep must not pin its peak footprint for the lifetime of the pool.
+  ::madvise(alloc.sp, alloc.bytes, MADV_DONTNEED);
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  impl.buckets[{alloc.bytes, alloc.guarded}].free.push_back(alloc.sp);
+  impl.stats.live -= 1;
+  alloc = Allocation{};
+}
+
+StackPool::Stats StackPool::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace plin::xmpi

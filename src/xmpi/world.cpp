@@ -58,21 +58,21 @@ World::World(hw::MachineSpec machine, hw::Placement placement)
         power_, std::move(cores), std::move(ranked)));
   }
 
-  ranks_.reserve(static_cast<std::size_t>(layout_.ranks()));
-  for (int rank = 0; rank < layout_.ranks(); ++rank) {
-    auto state = std::make_unique<RankState>();
+  rank_count_ = layout_.ranks();
+  ranks_ = std::make_unique<RankState[]>(static_cast<std::size_t>(rank_count_));
+  for (int rank = 0; rank < rank_count_; ++rank) {
+    RankState& state = ranks_[static_cast<std::size_t>(rank)];
     const int node = layout_.node_of(rank);
-    state->hw_context.ledger = ledgers_[static_cast<std::size_t>(node)].get();
-    state->hw_context.clock = &state->clock;
-    state->hw_context.node = node;
-    ranks_.push_back(std::move(state));
+    state.hw_context.ledger = ledgers_[static_cast<std::size_t>(node)].get();
+    state.hw_context.clock = &state.clock;
+    state.hw_context.node = node;
   }
 }
 
 RankState& World::rank_state(int world_rank) {
   PLIN_CHECK_MSG(world_rank >= 0 && world_rank < size(),
                  "world rank out of range");
-  return *ranks_[static_cast<std::size_t>(world_rank)];
+  return ranks_[static_cast<std::size_t>(world_rank)];
 }
 
 trace::EnergyLedger& World::node_ledger(int node) {
@@ -138,13 +138,14 @@ TransportStats World::transport_stats() const {
 
 TrafficCounters World::total_traffic() const {
   TrafficCounters total;
-  for (const auto& rank : ranks_) {
-    total.data_messages += rank->traffic.data_messages;
-    total.data_bytes += rank->traffic.data_bytes;
-    total.control_messages += rank->traffic.control_messages;
-    total.control_bytes += rank->traffic.control_bytes;
-    total.recv_messages += rank->traffic.recv_messages;
-    total.recv_bytes += rank->traffic.recv_bytes;
+  for (int r = 0; r < rank_count_; ++r) {
+    const RankState& rank = ranks_[static_cast<std::size_t>(r)];
+    total.data_messages += rank.traffic.data_messages;
+    total.data_bytes += rank.traffic.data_bytes;
+    total.control_messages += rank.traffic.control_messages;
+    total.control_bytes += rank.traffic.control_bytes;
+    total.recv_messages += rank.traffic.recv_messages;
+    total.recv_bytes += rank.traffic.recv_bytes;
   }
   return total;
 }
@@ -153,15 +154,17 @@ void World::set_tracing(bool enabled, std::size_t ring_spans) {
   tracing_ = enabled && prof::kCompiledIn;
   const std::size_t capacity =
       ring_spans != 0 ? ring_spans : prof::kDefaultRingSpans;
-  for (const auto& rank : ranks_) {
-    rank->prof = tracing_ ? std::make_unique<prof::SpanRecorder>(capacity)
-                          : nullptr;
+  for (int r = 0; r < rank_count_; ++r) {
+    ranks_[static_cast<std::size_t>(r)].prof =
+        tracing_ ? std::make_unique<prof::SpanRecorder>(capacity) : nullptr;
   }
 }
 
 void World::abort() noexcept {
   abort_flag_.store(true);
-  for (const auto& rank : ranks_) rank->mailbox.interrupt();
+  for (int r = 0; r < rank_count_; ++r) {
+    ranks_[static_cast<std::size_t>(r)].mailbox.interrupt();
+  }
 }
 
 }  // namespace plin::xmpi

@@ -35,13 +35,17 @@ struct TransportStats {
   std::uint64_t rendezvous_bytes = 0;
 };
 
-/// Per-rank mutable state. Owned by World, touched only by the rank's
-/// thread (mailbox is internally synchronized for senders).
+/// Per-rank mutable state. Owned by World in one contiguous slab (see
+/// World::ranks_), touched only by the rank's thread (mailbox is
+/// internally synchronized for senders).
 struct RankState {
   trace::VirtualClock clock;
   Mailbox mailbox;
   trace::HardwareContext hw_context;
   TrafficCounters traffic;  // this rank's share of send-side counters
+  /// Sparse per-peer traffic map, grown on first contact — O(log P)
+  /// entries per rank under the scalable schedules.
+  PeerCounters peers;
   /// Span recorder (src/prof); allocated by World::set_tracing, null when
   /// tracing is off.
   std::unique_ptr<prof::SpanRecorder> prof;
@@ -115,7 +119,14 @@ class World {
   std::atomic<std::uint64_t> rendezvous_messages_{0};
   std::atomic<std::uint64_t> rendezvous_bytes_{0};
   std::vector<std::unique_ptr<trace::EnergyLedger>> ledgers_;
-  std::vector<std::unique_ptr<RankState>> ranks_;
+  /// One contiguous slab of rank state instead of P scattered heap nodes:
+  /// a RankState is a few cache lines, and at 100k ranks allocator
+  /// headers, pointer indirection and fragmentation were a measurable
+  /// share of the footprint (bench_scale tracks bytes/rank). A plain
+  /// vector cannot hold RankState because Mailbox is neither movable nor
+  /// copyable.
+  std::unique_ptr<RankState[]> ranks_;
+  int rank_count_ = 0;
 
   std::mutex context_mutex_;
   std::map<std::pair<std::uint64_t, int>, std::uint64_t> contexts_;

@@ -404,27 +404,23 @@ TEST(ScalableCollectivesTest, AllreducePof2BitIdenticalToTree) {
   }
 }
 
-TEST(ScalableCollectivesTest, AllreduceNonPof2DeterministicAndExactForMinMax) {
+TEST(ScalableCollectivesTest, AllreduceNonPof2BitIdenticalToTree) {
   std::vector<double> base(32);
   for (std::size_t i = 0; i < base.size(); ++i) {
     base[i] = std::cos(static_cast<double>(i)) * 17.0;
   }
-  // kMax/kMin pick an input value — reassociation cannot change the bytes,
-  // so even the folded non-power-of-two schedule must match the tree.
-  for (const ReduceOp op : {ReduceOp::kMax, ReduceOp::kMin}) {
+  // kMax/kMin pick an input value — reassociation cannot change the bytes
+  // — and kSum now holds bitwise too: the binary-blocks schedules
+  // reproduce the seed tree's combine bracketing at every P
+  // (xmpi_scale_test covers more sizes and the NaN contract).
+  for (const ReduceOp op :
+       {ReduceOp::kMax, ReduceOp::kMin, ReduceOp::kSum}) {
     expect_bits_equal(run_allreduce(6, CollectiveMode::kTree, base, op),
                       run_allreduce(6, CollectiveMode::kScalable, base, op));
   }
-  // kSum reassociates across the fold, so the contract weakens to:
-  // numerically close to the tree, and bit-repeatable across executors.
-  const std::vector<double> tree =
-      run_allreduce(6, CollectiveMode::kTree, base, ReduceOp::kSum);
+  // And the bytes are executor-independent.
   const std::vector<double> scalable =
       run_allreduce(6, CollectiveMode::kScalable, base, ReduceOp::kSum);
-  ASSERT_EQ(tree.size(), scalable.size());
-  for (std::size_t i = 0; i < tree.size(); ++i) {
-    EXPECT_NEAR(tree[i], scalable[i], 1e-9 * (std::fabs(tree[i]) + 1.0));
-  }
   const std::vector<double> scalable_threads =
       run_allreduce(6, CollectiveMode::kScalable, base, ReduceOp::kSum,
                     ExecutorKind::kThreadPerRank);
