@@ -3,9 +3,10 @@
 // Default mode runs the regression harness: it sweeps GEMM shapes (square,
 // panel-shaped, KC-thin trailing-update) and the triangular solves over
 // BOTH kernel paths — the retained naive reference and the cache-blocked
-// packed engine — cross-checks their results, prints a GFLOP/s table and
-// writes machine-readable `BENCH_kernels.json` so subsequent PRs have a
-// perf trajectory to compare against.
+// packed engine — at BOTH precisions (fp64 and the fp32 tier the mixed
+// GEPP factorization runs on), cross-checks their results, prints a
+// GFLOP/s table and writes machine-readable `BENCH_kernels.json` so
+// subsequent PRs have a perf trajectory to compare against.
 //
 // Flags:
 //   --smoke         tiny sizes (CI smoke mode)
@@ -39,12 +40,27 @@ using namespace plin;
 
 // ---- regression harness ----------------------------------------------------
 
-linalg::Matrix random_matrix(std::size_t rows, std::size_t cols,
-                             std::uint64_t seed) {
-  linalg::Matrix m(rows, cols);
+template <typename T>
+linalg::BasicMatrix<T> random_matrix(std::size_t rows, std::size_t cols,
+                                     std::uint64_t seed) {
+  linalg::BasicMatrix<T> m(rows, cols);
   Rng rng(seed);
-  for (double& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+  for (T& v : m.flat()) v = static_cast<T>(rng.uniform(-1.0, 1.0));
   return m;
+}
+
+template <typename T>
+constexpr const char* precision_name() {
+  return sizeof(T) == sizeof(double) ? "fp64" : "fp32";
+}
+
+/// Naive-vs-blocked divergence envelope: the paths may round partial sums
+/// differently, so the bound scales with the reduction length and the
+/// scalar's epsilon; anything beyond it is a real bug.
+template <typename T>
+double diff_budget(std::size_t k) {
+  const double unit = sizeof(T) == sizeof(double) ? 1e-12 : 1e-3;
+  return unit * static_cast<double>(k) * 16.0;
 }
 
 template <typename F>
@@ -70,59 +86,65 @@ double best_seconds(F&& body) {
 
 struct GemmResult {
   std::string shape;
+  const char* precision = "fp64";
   std::size_t m = 0;
   std::size_t n = 0;
   std::size_t k = 0;
   double gflops_naive = 0.0;
   double gflops_blocked = 0.0;
   double max_abs_diff = 0.0;
+  double diff_limit = 0.0;
 
   double speedup() const {
     return gflops_naive > 0.0 ? gflops_blocked / gflops_naive : 0.0;
   }
 };
 
+template <typename T>
 GemmResult measure_gemm(const std::string& shape, std::size_t m, std::size_t n,
                         std::size_t k) {
-  const linalg::Matrix a = random_matrix(m, k, 101 + m + n + k);
-  const linalg::Matrix b = random_matrix(k, n, 202 + m + n + k);
-  const linalg::Matrix c0 = random_matrix(m, n, 303 + m + n + k);
+  const linalg::BasicMatrix<T> a = random_matrix<T>(m, k, 101 + m + n + k);
+  const linalg::BasicMatrix<T> b = random_matrix<T>(k, n, 202 + m + n + k);
+  const linalg::BasicMatrix<T> c0 = random_matrix<T>(m, n, 303 + m + n + k);
   const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
                        static_cast<double>(k);
 
-  linalg::Matrix c_naive = c0;
-  linalg::Matrix c_blocked = c0;
-  linalg::dgemm_naive(1.0, a.view(), b.view(), 0.5, c_naive.view());
-  linalg::dgemm_blocked(1.0, a.view(), b.view(), 0.5, c_blocked.view());
+  linalg::BasicMatrix<T> c_naive = c0;
+  linalg::BasicMatrix<T> c_blocked = c0;
+  linalg::gemm_naive<T>(T(1), a.view(), b.view(), T(0.5), c_naive.view());
+  linalg::gemm_blocked<T>(T(1), a.view(), b.view(), T(0.5), c_blocked.view());
   double diff = 0.0;
   for (std::size_t i = 0; i < m * n; ++i) {
-    diff = std::max(diff,
-                    std::fabs(c_naive.flat()[i] - c_blocked.flat()[i]));
+    diff = std::max(diff, std::fabs(static_cast<double>(c_naive.flat()[i]) -
+                                    static_cast<double>(c_blocked.flat()[i])));
   }
 
-  linalg::Matrix c = c0;
+  linalg::BasicMatrix<T> c = c0;
   const double t_naive = best_seconds([&] {
-    linalg::dgemm_naive(1.0, a.view(), b.view(), 0.5, c.view());
+    linalg::gemm_naive<T>(T(1), a.view(), b.view(), T(0.5), c.view());
     benchmark::DoNotOptimize(c.flat().data());
   });
   const double t_blocked = best_seconds([&] {
-    linalg::dgemm_blocked(1.0, a.view(), b.view(), 0.5, c.view());
+    linalg::gemm_blocked<T>(T(1), a.view(), b.view(), T(0.5), c.view());
     benchmark::DoNotOptimize(c.flat().data());
   });
 
   GemmResult result;
   result.shape = shape;
+  result.precision = precision_name<T>();
   result.m = m;
   result.n = n;
   result.k = k;
   result.gflops_naive = flops / t_naive * 1e-9;
   result.gflops_blocked = flops / t_blocked * 1e-9;
   result.max_abs_diff = diff;
+  result.diff_limit = diff_budget<T>(k);
   return result;
 }
 
 struct TrsmResult {
   std::string kernel;
+  const char* precision = "fp64";
   std::size_t n = 0;
   std::size_t m = 0;
   double gflops_naive = 0.0;
@@ -130,45 +152,48 @@ struct TrsmResult {
   double max_abs_diff = 0.0;
 };
 
+template <typename T>
 TrsmResult measure_trsm_lower(std::size_t n, std::size_t m) {
-  linalg::Matrix l = random_matrix(n, n, 404 + n);
+  linalg::BasicMatrix<T> l = random_matrix<T>(n, n, 404 + n);
   // Scale the strict lower triangle down so the solve is well conditioned
   // (unit-lower with O(1) entries grows the solution exponentially in n,
   // which would make the naive/blocked cross-check meaningless).
-  const double scale = 1.0 / static_cast<double>(n);
+  const T scale = T(1) / static_cast<T>(n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < i; ++j) l(i, j) *= scale;
-    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
-    l(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = T(0);
+    l(i, i) = T(1);
   }
-  const linalg::Matrix b0 = random_matrix(n, m, 505 + n);
+  const linalg::BasicMatrix<T> b0 = random_matrix<T>(n, m, 505 + n);
   const double flops = static_cast<double>(n) * static_cast<double>(n) *
                        static_cast<double>(m);
 
-  linalg::Matrix x_naive = b0;
-  linalg::Matrix x_blocked = b0;
-  linalg::dtrsm_lower_unit_naive(l.view(), x_naive.view());
-  linalg::dtrsm_lower_unit_blocked(l.view(), x_blocked.view());
+  linalg::BasicMatrix<T> x_naive = b0;
+  linalg::BasicMatrix<T> x_blocked = b0;
+  linalg::trsm_lower_unit_naive<T>(l.view(), x_naive.view());
+  linalg::trsm_lower_unit_blocked<T>(l.view(), x_blocked.view());
   double diff = 0.0;
   for (std::size_t i = 0; i < n * m; ++i) {
-    diff = std::max(diff,
-                    std::fabs(x_naive.flat()[i] - x_blocked.flat()[i]));
+    diff = std::max(diff, std::fabs(static_cast<double>(x_naive.flat()[i]) -
+                                    static_cast<double>(x_blocked.flat()[i])));
   }
 
-  linalg::Matrix x(n, m);
+  linalg::BasicMatrix<T> x(n, m);
   const double t_naive = best_seconds([&] {
     x = b0;
-    linalg::dtrsm_lower_unit_naive(l.view(), x.view());
+    linalg::trsm_lower_unit_naive<T>(l.view(), x.view());
     benchmark::DoNotOptimize(x.flat().data());
   });
   const double t_blocked = best_seconds([&] {
     x = b0;
-    linalg::dtrsm_lower_unit_blocked(l.view(), x.view());
+    linalg::trsm_lower_unit_blocked<T>(l.view(), x.view());
     benchmark::DoNotOptimize(x.flat().data());
   });
 
   TrsmResult result;
-  result.kernel = "dtrsm_lower_unit";
+  result.kernel = sizeof(T) == sizeof(double) ? "dtrsm_lower_unit"
+                                              : "strsm_lower_unit";
+  result.precision = precision_name<T>();
   result.n = n;
   result.m = m;
   result.gflops_naive = flops / t_naive * 1e-9;
@@ -189,7 +214,7 @@ bool write_json(const std::string& path, bool smoke,
   const linalg::KernelConfig& cfg = linalg::active_kernel_config();
   std::ofstream out(path);
   out << "{\n"
-      << "  \"schema\": \"powerlin-bench-kernels/v1\",\n"
+      << "  \"schema\": \"powerlin-bench-kernels/v2\",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"kernel_config\": {\"mc\": " << cfg.mc << ", \"kc\": " << cfg.kc
       << ", \"nc\": " << cfg.nc << ", \"mr\": " << cfg.mr << ", \"nr\": "
@@ -199,8 +224,11 @@ bool write_json(const std::string& path, bool smoke,
   for (const GemmResult& r : gemm) {
     if (!first) out << ",\n";
     first = false;
-    out << "    {\"kernel\": \"dgemm\", \"shape\": \"" << r.shape
-        << "\", \"m\": " << r.m << ", \"n\": " << r.n << ", \"k\": " << r.k
+    out << "    {\"kernel\": \""
+        << (std::strcmp(r.precision, "fp64") == 0 ? "dgemm" : "sgemm")
+        << "\", \"precision\": \"" << r.precision << "\", \"shape\": \""
+        << r.shape << "\", \"m\": " << r.m << ", \"n\": " << r.n
+        << ", \"k\": " << r.k
         << ", \"gflops_naive\": " << fmt(r.gflops_naive)
         << ", \"gflops_blocked\": " << fmt(r.gflops_blocked)
         << ", \"speedup\": " << fmt(r.speedup())
@@ -211,7 +239,8 @@ bool write_json(const std::string& path, bool smoke,
     first = false;
     const double speedup =
         r.gflops_naive > 0.0 ? r.gflops_blocked / r.gflops_naive : 0.0;
-    out << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \"square\""
+    out << "    {\"kernel\": \"" << r.kernel << "\", \"precision\": \""
+        << r.precision << "\", \"shape\": \"square\""
         << ", \"m\": " << r.n << ", \"n\": " << r.m << ", \"k\": " << r.n
         << ", \"gflops_naive\": " << fmt(r.gflops_naive)
         << ", \"gflops_blocked\": " << fmt(r.gflops_blocked)
@@ -232,39 +261,44 @@ int run_harness(bool smoke, bool check, const std::string& out_path) {
   const std::size_t nb = 64;
 
   std::vector<GemmResult> gemm;
-  for (std::size_t s : sizes) gemm.push_back(measure_gemm("square", s, s, s));
+  for (std::size_t s : sizes) {
+    gemm.push_back(measure_gemm<double>("square", s, s, s));
+    gemm.push_back(measure_gemm<float>("square", s, s, s));
+  }
   for (std::size_t s : sizes) {
     if (s <= nb) continue;
-    gemm.push_back(measure_gemm("panel", s, nb, nb));
-    gemm.push_back(measure_gemm("trailing", s, s, nb));
+    gemm.push_back(measure_gemm<double>("panel", s, nb, nb));
+    gemm.push_back(measure_gemm<float>("panel", s, nb, nb));
+    gemm.push_back(measure_gemm<double>("trailing", s, s, nb));
+    gemm.push_back(measure_gemm<float>("trailing", s, s, nb));
   }
 
   std::vector<TrsmResult> trsm;
   const std::size_t trsm_n = sizes.back();
-  trsm.push_back(measure_trsm_lower(trsm_n, trsm_n));
+  trsm.push_back(measure_trsm_lower<double>(trsm_n, trsm_n));
+  trsm.push_back(measure_trsm_lower<float>(trsm_n, trsm_n));
 
-  std::printf("%-18s %6s %6s %6s | %12s %12s %8s %12s\n", "kernel/shape", "m",
+  std::printf("%-23s %6s %6s %6s | %12s %12s %8s %12s\n", "kernel/shape", "m",
               "n", "k", "naive GF/s", "blocked GF/s", "speedup",
               "max|diff|");
   const GemmResult* largest_square = nullptr;
   bool numerics_ok = true;
   for (const GemmResult& r : gemm) {
-    std::printf("dgemm/%-12s %6zu %6zu %6zu | %12.3f %12.3f %7.2fx %12.3g\n",
-                r.shape.c_str(), r.m, r.n, r.k, r.gflops_naive,
-                r.gflops_blocked, r.speedup(), r.max_abs_diff);
-    // Paths may round partial sums differently; anything beyond an
-    // eps * k envelope is a real bug.
-    if (r.max_abs_diff > 1e-12 * static_cast<double>(r.k) * 16.0) {
-      numerics_ok = false;
-    }
-    if (r.shape == "square" &&
+    const bool fp64 = std::strcmp(r.precision, "fp64") == 0;
+    std::printf("%s/%-12s %4s %6zu %6zu %6zu | %12.3f %12.3f %7.2fx "
+                "%12.3g\n",
+                fp64 ? "dgemm" : "sgemm", r.shape.c_str(), r.precision, r.m,
+                r.n, r.k, r.gflops_naive, r.gflops_blocked, r.speedup(),
+                r.max_abs_diff);
+    if (r.max_abs_diff > r.diff_limit) numerics_ok = false;
+    if (fp64 && r.shape == "square" &&
         (largest_square == nullptr || r.m > largest_square->m)) {
       largest_square = &r;
     }
   }
   for (const TrsmResult& r : trsm) {
-    std::printf("%-18s %6zu %6zu %6s | %12.3f %12.3f %7.2fx %12.3g\n",
-                r.kernel.c_str(), r.n, r.m, "-", r.gflops_naive,
+    std::printf("%-18s %4s %6zu %6zu %6s | %12.3f %12.3f %7.2fx %12.3g\n",
+                r.kernel.c_str(), r.precision, r.n, r.m, "-", r.gflops_naive,
                 r.gflops_blocked, r.gflops_blocked / r.gflops_naive,
                 r.max_abs_diff);
   }
@@ -322,6 +356,40 @@ void BM_DgemmNaive(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_DgemmNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Sgemm(benchmark::State& state) {
+  // The fp32 engine the mixed-precision GEPP factorization runs on: same
+  // blocked path as dgemm with twice the SIMD lanes per vector register.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::BasicMatrix<float> a = random_matrix<float>(n, n, 11);
+  const linalg::BasicMatrix<float> b = random_matrix<float>(n, n, 12);
+  linalg::BasicMatrix<float> c(n, n);
+  for (auto _ : state) {
+    linalg::gemm<float>(1.0f, a.view(), b.view(), 0.0f, c.view());
+    benchmark::DoNotOptimize(c.flat().data());
+  }
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Sgemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_StrsmLowerUnit(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  linalg::BasicMatrix<float> l = random_matrix<float>(n, n, 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) l(i, j) /= static_cast<float>(n);
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0f;
+    l(i, i) = 1.0f;
+  }
+  const linalg::BasicMatrix<float> b = random_matrix<float>(n, n, 14);
+  for (auto _ : state) {
+    linalg::BasicMatrix<float> x = b;
+    linalg::trsm_lower_unit<float>(l.view(), x.view());
+    benchmark::DoNotOptimize(x.flat().data());
+  }
+}
+BENCHMARK(BM_StrsmLowerUnit)->Arg(128)->Arg(256);
 
 void BM_TrsmLowerUnit(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -1,0 +1,279 @@
+// Mixed-precision GEPP harness: gates the fp32-factorize + fp64-refine
+// work against the full-fp64 baseline.
+//
+// For each configured matrix size it runs the same campaign point (GEPP on
+// the numeric tier, white-box monitor, mini cluster) twice — once at fp64,
+// once mixed — and reports per size:
+//
+//   1. time-to-solution   — simulated duration of either run, and the
+//      mixed-over-fp64 speedup (fp32 factorization runs against the doubled
+//      fp32 peak with halved DRAM traffic; refinement adds fp64 sweeps).
+//   2. energy-to-solution — modeled PKG+DRAM joules from the white-box
+//      monitor, and the fp64-over-mixed energy ratio.
+//   3. accuracy           — scaled residuals of both solutions; mixed must
+//      land within 10x of the fp64 baseline (it normally matches, since
+//      refinement iterates to the same n*eps64-scaled tolerance).
+//   4. refine_iters / fell_back — the SLATE-style iteration count.
+//
+// Everything lands in BENCH_mixed.json (schema powerlin-bench-mixed/v1).
+//
+// The campaign point is 4 ranks on a 2-node mini cluster with nb=64: a
+// compute-bound shape where the precision of the trailing update matters.
+// At high rank-to-size ratios the per-column pivot collectives (latency,
+// precision-independent) dominate the critical path and the fp32 advantage
+// washes out — that regime is measured, not hidden: bench_breakdown and
+// the campaign grid cover it.
+//
+// Flags:
+//   --smoke           CI sizes (n=512, 768) instead of the full n >= 1024
+//   --check           exit nonzero unless every size holds the residual
+//                     10x bound and the speedup floor (1.2x smoke, 1.5x
+//                     time + 1.4x energy full), and — when --baseline is
+//                     given — the worst residual ratio does not regress
+//                     >50% over the checked-in smoke baseline
+//   --out=PATH        JSON output path (default BENCH_mixed.json)
+//   --baseline=PATH   checked-in BENCH_mixed_smoke.json to regress against
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hwmodel/machine.hpp"
+#include "monitor/campaign.hpp"
+#include "perfsim/prediction.hpp"
+
+namespace {
+
+using namespace plin;
+
+struct SizeResult {
+  std::size_t n = 0;
+  int ranks = 0;
+  double fp64_s = 0.0;
+  double mixed_s = 0.0;
+  double speedup = 0.0;       // fp64_s / mixed_s
+  double fp64_j = 0.0;
+  double mixed_j = 0.0;
+  double energy_ratio = 0.0;  // fp64_j / mixed_j
+  double fp64_residual = 0.0;
+  double mixed_residual = 0.0;
+  double residual_ratio = 0.0;  // mixed_residual / fp64_residual
+  int refine_iters = 0;
+  bool fell_back = false;
+};
+
+SizeResult run_size(std::size_t n, int ranks) {
+  const hw::MachineSpec machine = hw::mini_cluster(/*nodes=*/2,
+                                                   /*cores_per_socket=*/4);
+  monitor::JobSpec spec;
+  spec.algorithm = perfsim::Algorithm::kScalapack;
+  spec.n = n;
+  spec.ranks = ranks;
+  spec.seed = 1;
+  spec.nb = 64;
+  spec.repetitions = 1;
+
+  SizeResult r;
+  r.n = n;
+  r.ranks = ranks;
+
+  spec.precision = perfsim::Precision::kFp64;
+  const monitor::JobResult fp64 = monitor::run_job(machine, spec);
+  r.fp64_s = fp64.mean_duration_s();
+  r.fp64_j = fp64.mean_total_j();
+  r.fp64_residual = fp64.worst_residual();
+
+  spec.precision = perfsim::Precision::kMixed;
+  const monitor::JobResult mixed = monitor::run_job(machine, spec);
+  r.mixed_s = mixed.mean_duration_s();
+  r.mixed_j = mixed.mean_total_j();
+  r.mixed_residual = mixed.worst_residual();
+  r.refine_iters = mixed.repetitions.at(0).refine_iters;
+  r.fell_back = mixed.repetitions.at(0).fell_back;
+
+  r.speedup = r.mixed_s > 0.0 ? r.fp64_s / r.mixed_s : 0.0;
+  r.energy_ratio = r.mixed_j > 0.0 ? r.fp64_j / r.mixed_j : 0.0;
+  r.residual_ratio =
+      r.fp64_residual > 0.0 ? r.mixed_residual / r.fp64_residual : 0.0;
+  return r;
+}
+
+std::string fmt(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+bool write_json(const std::string& path, bool smoke,
+                const std::vector<SizeResult>& results) {
+  std::ofstream out(path);
+  out << "{\n"
+      << "  \"schema\": \"powerlin-bench-mixed/v1\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SizeResult& r = results[i];
+    out << "    {\"n\": " << r.n << ", \"ranks\": " << r.ranks
+        << ", \"fp64_s\": " << fmt(r.fp64_s)
+        << ", \"mixed_s\": " << fmt(r.mixed_s)
+        << ", \"speedup\": " << fmt(r.speedup)
+        << ", \"fp64_j\": " << fmt(r.fp64_j)
+        << ", \"mixed_j\": " << fmt(r.mixed_j)
+        << ", \"energy_ratio\": " << fmt(r.energy_ratio)
+        << ", \"fp64_residual\": " << fmt(r.fp64_residual)
+        << ", \"mixed_residual\": " << fmt(r.mixed_residual)
+        << ", \"residual_ratio\": " << fmt(r.residual_ratio)
+        << ", \"refine_iters\": " << r.refine_iters
+        << ", \"fell_back\": " << (r.fell_back ? "true" : "false") << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  double worst_ratio = 0.0;
+  double min_speedup = 0.0;
+  double min_energy_ratio = 0.0;
+  for (const SizeResult& r : results) {
+    if (r.residual_ratio > worst_ratio) worst_ratio = r.residual_ratio;
+    if (min_speedup == 0.0 || r.speedup < min_speedup) {
+      min_speedup = r.speedup;
+    }
+    if (min_energy_ratio == 0.0 || r.energy_ratio < min_energy_ratio) {
+      min_energy_ratio = r.energy_ratio;
+    }
+  }
+  out << "  ],\n"
+      << "  \"min_speedup\": " << fmt(min_speedup) << ",\n"
+      << "  \"min_energy_ratio\": " << fmt(min_energy_ratio) << ",\n"
+      << "  \"worst_residual_ratio\": " << fmt(worst_ratio) << "\n"
+      << "}\n";
+  return static_cast<bool>(out.flush());
+}
+
+/// Pulls one flat "key": <number> field out of a previous report (same
+/// no-parser shortcut as bench_scale: we wrote the file ourselves).
+double baseline_field(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return -1.0;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"" + name + "\":";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::string out_path = "BENCH_mixed.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else {
+      std::fprintf(stderr,
+                   "error: unknown argument '%s' (expected --smoke --check "
+                   "--out=PATH --baseline=PATH)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{512, 768}
+            : std::vector<std::size_t>{1024, 1536, 2048};
+  constexpr int kRanks = 4;
+  std::printf("bench_mixed: GEPP fp64 vs mixed, %d ranks (%s)\n", kRanks,
+              smoke ? "smoke" : "full");
+
+  std::vector<SizeResult> results;
+  for (const std::size_t n : sizes) {
+    const SizeResult r = run_size(n, kRanks);
+    std::printf("  n=%-5zu fp64 %8.4f s %8.2f J | mixed %8.4f s %8.2f J | "
+                "%.2fx time %.2fx energy | iters=%d%s residual %.2e vs "
+                "%.2e\n",
+                r.n, r.fp64_s, r.fp64_j, r.mixed_s, r.mixed_j, r.speedup,
+                r.energy_ratio, r.refine_iters,
+                r.fell_back ? " (FELL BACK)" : "", r.mixed_residual,
+                r.fp64_residual);
+    results.push_back(r);
+  }
+
+  if (!write_json(out_path, smoke, results)) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (check) {
+    const double min_speedup = smoke ? 1.2 : 1.5;
+    const double min_energy_ratio = smoke ? 1.0 : 1.4;
+    bool ok = true;
+    for (const SizeResult& r : results) {
+      if (r.fell_back) {
+        std::fprintf(stderr, "FAIL: n=%zu fell back to fp64\n", r.n);
+        ok = false;
+      }
+      if (r.residual_ratio > 10.0) {
+        std::fprintf(stderr,
+                     "FAIL: n=%zu mixed residual %.3g is %.1fx the fp64 "
+                     "baseline (10x bound)\n",
+                     r.n, r.mixed_residual, r.residual_ratio);
+        ok = false;
+      }
+      if (r.speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: n=%zu speedup %.2fx below the %.1fx floor\n",
+                     r.n, r.speedup, min_speedup);
+        ok = false;
+      }
+      if (r.energy_ratio < min_energy_ratio) {
+        std::fprintf(stderr,
+                     "FAIL: n=%zu energy ratio %.2fx below the %.1fx "
+                     "floor\n",
+                     r.n, r.energy_ratio, min_energy_ratio);
+        ok = false;
+      }
+    }
+    if (!baseline_path.empty()) {
+      const double base_ratio =
+          baseline_field(baseline_path, "worst_residual_ratio");
+      if (base_ratio < 0.0) {
+        std::fprintf(stderr, "FAIL: no worst_residual_ratio in %s\n",
+                     baseline_path.c_str());
+        ok = false;
+      } else {
+        double worst = 0.0;
+        for (const SizeResult& r : results) {
+          if (r.residual_ratio > worst) worst = r.residual_ratio;
+        }
+        // Allow headroom for host rounding drift; a real accuracy
+        // regression (refinement converging to a worse defect) blows
+        // straight through 1.5x.
+        if (worst > 1.5 * base_ratio) {
+          std::fprintf(stderr,
+                       "FAIL: worst residual ratio %.3g regresses >50%% "
+                       "over the baseline %.3g\n",
+                       worst, base_ratio);
+          ok = false;
+        } else {
+          std::printf("check ok: worst residual ratio %.3g (baseline "
+                      "%.3g)\n",
+                      worst, base_ratio);
+        }
+      }
+    }
+    if (!ok) return 1;
+  }
+  return 0;
+}

@@ -95,10 +95,15 @@ void parse_grid(CampaignManifest& manifest, const KvLine& line) {
         if (v < 0.0) fail(line, "power_cap_w must be >= 0: " + t);
         manifest.power_caps_w.push_back(v);
       }
+    } else if (axis == "precision") {
+      manifest.precisions.clear();
+      for (const auto& t : tokens) {
+        manifest.precisions.push_back(parse_precision_token(t));
+      }
     } else {
       fail(line, "unknown grid axis '" + axis +
                      "' (algorithm | n | ranks | layout | nb | seed | "
-                     "power_cap_w)");
+                     "power_cap_w | precision)");
     }
   } catch (const InvalidArgument&) {
     throw;  // already carries line context or a precise token message
@@ -117,19 +122,30 @@ std::vector<JobSpec> CampaignManifest::expand() const {
           for (const std::size_t nb : blocks) {
             for (const std::uint64_t seed : seeds) {
               for (const double cap_w : power_caps_w) {
-                JobSpec spec;
-                spec.tier = tier;
-                spec.machine = machine;
-                spec.algorithm = algorithm;
-                spec.n = n;
-                spec.ranks = ranks;
-                spec.layout = layout;
-                spec.nb = nb;
-                spec.seed = seed;
-                spec.repetitions = repetitions;
-                spec.iterations = iterations;
-                spec.power_cap_w = cap_w;
-                specs.push_back(std::move(spec));
+                for (const perfsim::Precision precision : precisions) {
+                  // Mixed precision is a GEPP variant; on a grid that also
+                  // spans other algorithms, the mixed point only exists for
+                  // scalapack (the cross product would otherwise demand an
+                  // fp32 IMe/Jacobi that has no implementation or meaning).
+                  if (precision != perfsim::Precision::kFp64 &&
+                      algorithm != perfsim::Algorithm::kScalapack) {
+                    continue;
+                  }
+                  JobSpec spec;
+                  spec.tier = tier;
+                  spec.machine = machine;
+                  spec.algorithm = algorithm;
+                  spec.n = n;
+                  spec.ranks = ranks;
+                  spec.layout = layout;
+                  spec.nb = nb;
+                  spec.seed = seed;
+                  spec.repetitions = repetitions;
+                  spec.iterations = iterations;
+                  spec.power_cap_w = cap_w;
+                  spec.precision = precision;
+                  specs.push_back(std::move(spec));
+                }
               }
             }
           }
@@ -141,7 +157,18 @@ std::vector<JobSpec> CampaignManifest::expand() const {
 }
 
 std::size_t CampaignManifest::job_count() const {
-  return algorithms.size() * sizes.size() * rank_counts.size() *
+  // Mirrors the skip in expand(): non-fp64 points exist for scalapack only.
+  std::size_t fp64_points = 0;
+  for (const perfsim::Precision precision : precisions) {
+    if (precision == perfsim::Precision::kFp64) ++fp64_points;
+  }
+  std::size_t algorithm_points = 0;
+  for (const perfsim::Algorithm algorithm : algorithms) {
+    algorithm_points += algorithm == perfsim::Algorithm::kScalapack
+                            ? precisions.size()
+                            : fp64_points;
+  }
+  return algorithm_points * sizes.size() * rank_counts.size() *
          layouts.size() * blocks.size() * seeds.size() * power_caps_w.size();
 }
 
@@ -191,6 +218,13 @@ CampaignManifest parse_manifest(const std::string& text) {
         throw InvalidArgument(
             "manifest: power caps are numeric-tier only (perfsim does not "
             "model capped frequency scaling)");
+      }
+    }
+    for (const perfsim::Precision precision : manifest.precisions) {
+      if (precision != perfsim::Precision::kFp64) {
+        throw InvalidArgument(
+            "manifest: mixed precision is numeric-tier only (perfsim has no "
+            "refinement-iteration model yet)");
       }
     }
   }

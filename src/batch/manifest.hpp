@@ -1,7 +1,8 @@
 // Campaign manifests — the declarative analogue of the paper's SLURM batch
 // scripts. A manifest names the campaign, picks a tier and machine, sets
 // execution policy (workers, retries, timeout) and spans a grid over
-// algorithm / n / ranks / layout / nb / seed / power cap. Syntax is the
+// algorithm / n / ranks / layout / nb / seed / power cap / precision.
+// Syntax is the
 // support/kvfile line format; see docs/campaign.md for the reference.
 //
 //   campaign  ci-smoke
@@ -17,8 +18,9 @@
 //   grid layout    full half1 half2
 //
 // expand() walks the grid in declaration-independent canonical order
-// (algorithm, n, ranks, layout, nb, seed, cap — outermost first), so job
-// order, and therefore every report derived from it, is deterministic.
+// (algorithm, n, ranks, layout, nb, seed, cap, precision — outermost
+// first), so job order, and therefore every report derived from it, is
+// deterministic.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +49,9 @@ struct CampaignManifest {
   std::vector<std::size_t> blocks = {32};
   std::vector<std::uint64_t> seeds = {1};
   std::vector<double> power_caps_w = {0.0};
+  /// Precision axis; "mixed" expands for scalapack points only (numeric
+  /// tier), so fp64-only campaigns are unaffected by its presence.
+  std::vector<perfsim::Precision> precisions = {perfsim::Precision::kFp64};
 
   /// Expands the grid into one JobSpec per point, canonical order.
   std::vector<JobSpec> expand() const;

@@ -17,6 +17,11 @@ json::Value to_json(const JobRecord& record) {
   spec.set("reps", record.spec.repetitions);
   spec.set("iterations", record.spec.iterations);
   spec.set("power_cap_w", record.spec.power_cap_w);
+  // Written only for the non-default so records from fp64-only stores stay
+  // byte-stable across versions (mirrors JobSpec::canonical()).
+  if (record.spec.precision != perfsim::Precision::kFp64) {
+    spec.set("precision", precision_token(record.spec.precision));
+  }
 
   json::Array reps;
   reps.reserve(record.repetitions.size());
@@ -55,6 +60,9 @@ JobRecord record_from_json(const json::Value& value) {
   record.spec.iterations =
       static_cast<int>(spec.at("iterations").as_number());
   record.spec.power_cap_w = spec.at("power_cap_w").as_number();
+  if (const json::Value* precision = spec.find("precision")) {
+    record.spec.precision = parse_precision_token(precision->as_string());
+  }
 
   for (const json::Value& r : value.at("reps").as_array()) {
     RepetitionRecord rep;

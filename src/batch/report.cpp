@@ -57,6 +57,15 @@ std::vector<std::string> spec_cells(const JobSpec& spec) {
           std::to_string(spec.repetitions)};
 }
 
+// The precision column appears only when a mixed job is present, so the
+// long-standing fp64-only report layouts stay byte-identical.
+bool any_mixed(std::span<const JobRecord> records) {
+  for (const JobRecord& record : records) {
+    if (record.spec.precision != perfsim::Precision::kFp64) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
@@ -77,17 +86,24 @@ std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
 }
 
 void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
+  const bool mixed = any_mixed(records);
   CsvWriter csv(os);
-  csv.write_row({"tier", "machine", "algorithm", "n", "ranks", "layout",
-                 "nb", "seed", "power_cap_w", "reps",
-                 "duration_mean_s", "duration_stddev_s", "duration_ci95_s",
-                 "duration_min_s", "duration_max_s",
-                 "total_mean_j", "total_stddev_j", "total_ci95_j",
-                 "pkg_mean_j", "dram_mean_j", "power_mean_w",
-                 "residual_worst"});
+  std::vector<std::string> header = {
+      "tier", "machine", "algorithm", "n", "ranks", "layout",
+      "nb", "seed", "power_cap_w", "reps",
+      "duration_mean_s", "duration_stddev_s", "duration_ci95_s",
+      "duration_min_s", "duration_max_s",
+      "total_mean_j", "total_stddev_j", "total_ci95_j",
+      "pkg_mean_j", "dram_mean_j", "power_mean_w",
+      "residual_worst"};
+  if (mixed) header.insert(header.begin() + 3, "precision");
+  csv.write_row(header);
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
     std::vector<std::string> row = spec_cells(record.spec);
+    if (mixed) {
+      row.insert(row.begin() + 3, precision_token(record.spec.precision));
+    }
     row.push_back(format_fixed(agg.duration.mean, 9));
     row.push_back(format_fixed(agg.duration.stddev, 9));
     row.push_back(format_fixed(agg.duration.ci95_half, 9));
@@ -106,13 +122,17 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
 
 void write_report_markdown(std::ostream& os,
                            std::span<const JobRecord> records) {
-  os << "| tier | algorithm | n | ranks | layout | reps | duration | "
+  const bool mixed = any_mixed(records);
+  os << "| tier | algorithm |" << (mixed ? " precision |" : "")
+     << " n | ranks | layout | reps | duration | "
         "energy | power | worst residual |\n";
-  os << "|---|---|---|---|---|---|---|---|---|---|\n";
+  os << "|---|---|" << (mixed ? "---|" : "") << "---|---|---|---|---|---|---|---|\n";
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
     os << "| " << to_string(record.spec.tier) << " | "
-       << algorithm_token(record.spec.algorithm) << " | " << record.spec.n
+       << algorithm_token(record.spec.algorithm) << " | ";
+    if (mixed) os << precision_token(record.spec.precision) << " | ";
+    os << record.spec.n
        << " | " << record.spec.ranks << " | "
        << layout_token(record.spec.layout) << " | "
        << record.spec.repetitions << " | "
@@ -131,26 +151,35 @@ void write_report_markdown(std::ostream& os,
 
 void print_report_table(std::ostream& os,
                         std::span<const JobRecord> records) {
-  TextTable table({"tier", "algorithm", "n", "ranks", "layout", "reps",
-                   "duration", "ci95", "PKG energy", "DRAM energy", "total",
-                   "power", "residual"});
+  const bool mixed = any_mixed(records);
+  std::vector<std::string> header = {
+      "tier", "algorithm", "n", "ranks", "layout", "reps",
+      "duration", "ci95", "PKG energy", "DRAM energy", "total",
+      "power", "residual"};
+  if (mixed) header.insert(header.begin() + 2, "precision");
+  TextTable table(header);
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
-    table.add_row({to_string(record.spec.tier),
-                   algorithm_token(record.spec.algorithm),
-                   std::to_string(record.spec.n),
-                   std::to_string(record.spec.ranks),
-                   layout_token(record.spec.layout),
-                   std::to_string(record.spec.repetitions),
-                   format_duration(agg.duration.mean),
-                   agg.duration.ci95_half > 0.0
-                       ? format_duration(agg.duration.ci95_half)
-                       : std::string("-"),
-                   format_energy(agg.pkg_j.mean),
-                   format_energy(agg.dram_j.mean),
-                   format_energy(agg.total_j.mean),
-                   format_power(agg.power_w),
-                   format_fixed(agg.worst_residual * 1e15, 2) + "e-15"});
+    std::vector<std::string> row = {
+        to_string(record.spec.tier),
+        algorithm_token(record.spec.algorithm),
+        std::to_string(record.spec.n),
+        std::to_string(record.spec.ranks),
+        layout_token(record.spec.layout),
+        std::to_string(record.spec.repetitions),
+        format_duration(agg.duration.mean),
+        agg.duration.ci95_half > 0.0
+            ? format_duration(agg.duration.ci95_half)
+            : std::string("-"),
+        format_energy(agg.pkg_j.mean),
+        format_energy(agg.dram_j.mean),
+        format_energy(agg.total_j.mean),
+        format_power(agg.power_w),
+        format_fixed(agg.worst_residual * 1e15, 2) + "e-15"};
+    if (mixed) {
+      row.insert(row.begin() + 2, precision_token(record.spec.precision));
+    }
+    table.add_row(row);
   }
   table.print(os);
 }

@@ -22,6 +22,7 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
   mspec.nb = spec.nb;
   mspec.repetitions = spec.repetitions;
   mspec.power_cap_w = spec.power_cap_w;
+  mspec.precision = spec.precision;
 
   monitor::MonitorOptions moptions;
   if (!trace_dir.empty()) {
@@ -48,6 +49,9 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
 }
 
 JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
+  PLIN_CHECK_MSG(spec.precision == perfsim::Precision::kFp64,
+                 "batch: mixed precision is numeric-tier only (perfsim has "
+                 "no refinement-iteration model yet)");
   Stopwatch wall;
   const perfsim::Simulator simulator(machine);
   const hw::Placement placement =

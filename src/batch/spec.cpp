@@ -51,6 +51,16 @@ perfsim::Algorithm parse_algorithm_token(const std::string& token) {
       "unknown algorithm (use ime | scalapack | jacobi): " + token);
 }
 
+const char* precision_token(perfsim::Precision precision) {
+  return precision == perfsim::Precision::kMixed ? "mixed" : "fp64";
+}
+
+perfsim::Precision parse_precision_token(const std::string& token) {
+  if (token == "fp64") return perfsim::Precision::kFp64;
+  if (token == "mixed") return perfsim::Precision::kMixed;
+  throw InvalidArgument("unknown precision (use fp64 | mixed): " + token);
+}
+
 std::string JobSpec::canonical() const {
   // Version tag first: bump it whenever the meaning of any field changes,
   // so stale store entries turn into cache misses instead of wrong reuse.
@@ -69,6 +79,12 @@ std::string JobSpec::canonical() const {
   out += "|reps=" + std::to_string(repetitions);
   out += "|iterations=" + std::to_string(iterations);
   out += "|cap_w=" + json::format_number(power_cap_w);
+  // Appended only for the non-default so every pre-existing fp64 store key
+  // (and its journaled results) stays valid.
+  if (precision != perfsim::Precision::kFp64) {
+    out += "|precision=";
+    out += precision_token(precision);
+  }
   return out;
 }
 
@@ -95,6 +111,10 @@ std::string JobSpec::describe() const {
                     ", " + machine + "]";
   if (power_cap_w > 0.0) {
     out += " cap=" + json::format_number(power_cap_w) + "W";
+  }
+  if (precision != perfsim::Precision::kFp64) {
+    out += " ";
+    out += precision_token(precision);
   }
   return out;
 }

@@ -37,6 +37,10 @@ hw::LoadLayout parse_layout_token(const std::string& token);
 const char* algorithm_token(perfsim::Algorithm algorithm);
 perfsim::Algorithm parse_algorithm_token(const std::string& token);
 
+/// Manifest tokens for precisions ("fp64" | "mixed").
+const char* precision_token(perfsim::Precision precision);
+perfsim::Precision parse_precision_token(const std::string& token);
+
 /// One fully-specified job. Defaults describe a small numeric-tier run.
 struct JobSpec {
   Tier tier = Tier::kNumeric;
@@ -51,6 +55,9 @@ struct JobSpec {
   int repetitions = 1;
   int iterations = 100;         // Jacobi sweep count (replay tier)
   double power_cap_w = 0.0;     // per-package RAPL cap; 0 = uncapped
+  /// fp64 (default) or mixed (fp32 factorization + fp64 refinement);
+  /// numeric tier + scalapack only.
+  perfsim::Precision precision = perfsim::Precision::kFp64;
 
   /// Canonical serialization: the hash pre-image, also usable as a fully
   /// qualified human-readable job id.

@@ -1,5 +1,7 @@
 #include "hwmodel/layout.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace plin::hw {
@@ -7,52 +9,57 @@ namespace plin::hw {
 ClusterLayout::ClusterLayout(MachineSpec machine, Placement placement)
     : machine_(std::move(machine)), placement_(placement) {
   PLIN_CHECK(placement_.ranks > 0);
-  locations_.reserve(placement_.ranks);
-  node_ranks_.resize(placement_.nodes);
+  socket0_ = std::max(0, placement_.ranks_socket0);
+  socket1_ =
+      machine_.node.sockets >= 2 ? std::max(0, placement_.ranks_socket1) : 0;
+  per_node_ = socket0_ + socket1_;
 
+  // Validation walks nodes, not ranks, but fails exactly where the old
+  // per-rank fill loop did: a socket oversubscribes iff the ranks actually
+  // placed on it (which the trailing partial node may cut short) exceed its
+  // core count, and coverage fails iff the nodes run out first.
+  const int cores = machine_.node.socket.cores;
   int rank = 0;
   for (int node = 0; node < placement_.nodes && rank < placement_.ranks;
        ++node) {
-    const int per_socket[2] = {placement_.ranks_socket0,
-                               placement_.ranks_socket1};
-    for (int socket = 0; socket < machine_.node.sockets; ++socket) {
-      const int count = socket < 2 ? per_socket[socket] : 0;
-      for (int core = 0; core < count && rank < placement_.ranks; ++core) {
-        PLIN_CHECK_MSG(core < machine_.node.socket.cores,
-                       "placement oversubscribes a socket");
-        locations_.push_back(RankLocation{node, socket, core});
-        node_ranks_[node].push_back(rank);
-        ++rank;
-      }
-    }
+    const int placed0 = std::min(socket0_, placement_.ranks - rank);
+    PLIN_CHECK_MSG(placed0 <= cores, "placement oversubscribes a socket");
+    rank += placed0;
+    if (rank >= placement_.ranks) break;
+    const int placed1 = std::min(socket1_, placement_.ranks - rank);
+    PLIN_CHECK_MSG(placed1 <= cores, "placement oversubscribes a socket");
+    rank += placed1;
   }
   PLIN_CHECK_MSG(rank == placement_.ranks,
                  "placement does not cover all ranks");
 }
 
-const RankLocation& ClusterLayout::location_of(int rank) const {
-  PLIN_CHECK_MSG(rank >= 0 && rank < static_cast<int>(locations_.size()),
-                 "rank out of range");
-  return locations_[static_cast<std::size_t>(rank)];
+RankLocation ClusterLayout::location_of(int rank) const {
+  PLIN_CHECK_MSG(rank >= 0 && rank < placement_.ranks, "rank out of range");
+  const int node = rank / per_node_;
+  const int idx = rank - node * per_node_;
+  if (idx < socket0_) return RankLocation{node, 0, idx};
+  return RankLocation{node, 1, idx - socket0_};
 }
 
-const std::vector<int>& ClusterLayout::ranks_on_node(int node) const {
-  PLIN_CHECK_MSG(node >= 0 && node < static_cast<int>(node_ranks_.size()),
-                 "node out of range");
-  return node_ranks_[static_cast<std::size_t>(node)];
+RankRange ClusterLayout::ranks_on_node(int node) const {
+  PLIN_CHECK_MSG(node >= 0 && node < placement_.nodes, "node out of range");
+  const int first = node * per_node_;
+  const int count = std::clamp(placement_.ranks - first, 0, per_node_);
+  return RankRange(first, count);
 }
 
 int ClusterLayout::ranks_on_socket(int node, int socket) const {
-  int count = 0;
-  for (int rank : ranks_on_node(node)) {
-    if (location_of(rank).socket == socket) ++count;
-  }
-  return count;
+  const int on_node = static_cast<int>(ranks_on_node(node).size());
+  const int placed0 = std::min(socket0_, on_node);
+  if (socket == 0) return placed0;
+  if (socket == 1) return on_node - placed0;
+  return 0;
 }
 
 LinkClass ClusterLayout::link_between(int rank_a, int rank_b) const {
-  const RankLocation& a = location_of(rank_a);
-  const RankLocation& b = location_of(rank_b);
+  const RankLocation a = location_of(rank_a);
+  const RankLocation b = location_of(rank_b);
   if (a.node != b.node) return LinkClass::kCrossNode;
   if (a.socket != b.socket) return LinkClass::kCrossSocket;
   return LinkClass::kSameSocket;

@@ -2,9 +2,15 @@
 // Placement, plus link classification between ranks. Both the executing
 // runtime (xmpi) and the analytic replay (perfsim) consume this, so the two
 // tiers see identical topology.
+//
+// The block placement is fully deterministic (a node's socket-0 slots, then
+// its socket-1 slots, node after node), so the map is pure arithmetic: no
+// per-rank location vector and no per-node rank lists are stored. That
+// removes the last O(ranks) term this layer contributed to per-rank memory
+// (the PR 6 follow-on from ROADMAP item 1 — bench_scale gates bytes/rank).
 #pragma once
 
-#include <vector>
+#include <cstddef>
 
 #include "hwmodel/machine.hpp"
 #include "hwmodel/placement.hpp"
@@ -19,6 +25,40 @@ struct RankLocation {
 
 enum class LinkClass { kSameSocket, kCrossSocket, kCrossNode };
 
+/// Contiguous world-rank interval [first, first + count). Block placement
+/// puts every node's ranks in one such interval, so node → ranks is a pair
+/// of ints instead of a stored vector; iterable like the vector it
+/// replaced.
+class RankRange {
+ public:
+  class iterator {
+   public:
+    using value_type = int;
+    explicit iterator(int rank) : rank_(rank) {}
+    int operator*() const { return rank_; }
+    iterator& operator++() {
+      ++rank_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const = default;
+
+   private:
+    int rank_ = 0;
+  };
+
+  RankRange(int first, int count) : first_(first), count_(count) {}
+
+  iterator begin() const { return iterator(first_); }
+  iterator end() const { return iterator(first_ + count_); }
+  std::size_t size() const { return static_cast<std::size_t>(count_); }
+  bool empty() const { return count_ == 0; }
+  int front() const { return first_; }
+
+ private:
+  int first_ = 0;
+  int count_ = 0;
+};
+
 class ClusterLayout {
  public:
   /// Fills nodes sequentially with ranks in order: a node's socket-0 slots
@@ -30,11 +70,11 @@ class ClusterLayout {
   const MachineSpec& machine() const { return machine_; }
   const Placement& placement() const { return placement_; }
 
-  const RankLocation& location_of(int rank) const;
+  RankLocation location_of(int rank) const;
   int node_of(int rank) const { return location_of(rank).node; }
 
   /// All ranks placed on `node`, in rank order.
-  const std::vector<int>& ranks_on_node(int node) const;
+  RankRange ranks_on_node(int node) const;
 
   /// Ranks on a given (node, socket).
   int ranks_on_socket(int node, int socket) const;
@@ -47,8 +87,11 @@ class ClusterLayout {
  private:
   MachineSpec machine_;
   Placement placement_;
-  std::vector<RankLocation> locations_;
-  std::vector<std::vector<int>> node_ranks_;
+  /// Effective ranks filled into socket 0 / socket 1 of a full node, and
+  /// their sum — the whole layout state (everything else is arithmetic).
+  int socket0_ = 0;
+  int socket1_ = 0;
+  int per_node_ = 0;
 };
 
 }  // namespace plin::hw

@@ -20,6 +20,7 @@ MachineSpec epyc_cluster() {
   spec.node.socket.cores = 64;
   spec.node.socket.core.clock_ghz = 2.4;
   spec.node.socket.core.flops_per_cycle = 16.0;  // 2x AVX-512-as-2x256 FMA
+  spec.node.socket.core.fp32_flops_per_cycle = 32.0;
   spec.node.socket.dram_bandwidth_bs = 300e9;    // 8-channel DDR
   spec.node.socket.per_core_bandwidth_bs = 22e9;
   spec.node.dram_gib = 512.0;

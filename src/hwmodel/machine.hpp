@@ -17,8 +17,16 @@ struct CoreSpec {
   double clock_ghz = 2.10;
   /// Peak double-precision flops per cycle (2 × AVX-512 FMA units).
   double flops_per_cycle = 32.0;
+  /// Peak single-precision flops per cycle: the same FMA units drive twice
+  /// the lanes per register, so fp32 peak is 2x the fp64 peak on every
+  /// machine modeled here (the throughput side of the mixed-precision
+  /// solver's energy story — docs/mixed_precision.md).
+  double fp32_flops_per_cycle = 64.0;
 
   double peak_flops() const { return clock_ghz * 1e9 * flops_per_cycle; }
+  double peak_fp32_flops() const {
+    return clock_ghz * 1e9 * fp32_flops_per_cycle;
+  }
 };
 
 /// One socket (= one RAPL package, with one attached DRAM domain).

@@ -20,6 +20,15 @@
 // never skipped). The only BLAS-style quick returns are on the *scalars*:
 // alpha == 0 means A/B are not referenced and beta == 0 overwrites C even
 // if it held NaNs — both documented BLAS behavior.
+//
+// Scalar templating: every kernel is a template over the scalar type,
+// explicitly instantiated for float and double in kernels.cpp (docs/
+// kernels.md). The historical d* names below are thin double wrappers so
+// existing call sites (and their bit-exact fp64 results) are untouched;
+// fp32 callers use the generic names with an explicit type, e.g.
+// `gemm<float>(...)`. The fp32 engine gets twice the SIMD lanes per
+// register and prefers the NR-doubled variant of the configured register
+// tile — the 2x-lane speedup bench_kernels tracks.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +38,74 @@
 #include "linalg/matrix.hpp"
 
 namespace plin::linalg {
+
+// ---- scalar-templated engine -----------------------------------------------
+// Declarations only; definitions live in kernels.cpp with explicit
+// instantiations for float and double. Contracts (flop counts, IEEE
+// semantics, NaN pivoting) are identical to the double wrappers below.
+
+template <typename T>
+void axpy(T alpha, std::span<const T> x, std::span<T> y);
+
+template <typename T>
+void scal(T alpha, std::span<T> x);
+
+template <typename T>
+T dot(std::span<const T> x, std::span<const T> y);
+
+template <typename T>
+std::size_t iamax(std::span<const T> x);
+
+template <typename T>
+void swap_rows(std::span<T> x, std::span<T> y);
+
+template <typename T>
+void ger(T alpha, std::span<const T> x, std::span<const T> y, BasicView<T> a);
+
+template <typename T>
+void ger_naive(T alpha, std::span<const T> x, std::span<const T> y,
+               BasicView<T> a);
+
+template <typename T>
+void gemm(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+          BasicView<T> c);
+
+template <typename T>
+void gemm_naive(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                BasicView<T> c);
+
+template <typename T>
+void gemm_blocked(T alpha, BasicView<const T> a, BasicView<const T> b, T beta,
+                  BasicView<T> c);
+
+template <typename T>
+void trsm_lower_unit(BasicView<const T> l, BasicView<T> b);
+
+template <typename T>
+void trsm_lower_unit_naive(BasicView<const T> l, BasicView<T> b);
+
+template <typename T>
+void trsm_lower_unit_blocked(BasicView<const T> l, BasicView<T> b);
+
+template <typename T>
+void trsm_upper(BasicView<const T> u, BasicView<T> b);
+
+template <typename T>
+void trsm_upper_naive(BasicView<const T> u, BasicView<T> b);
+
+template <typename T>
+void trsm_upper_blocked(BasicView<const T> u, BasicView<T> b);
+
+template <typename T>
+void laswp(BasicView<T> a, std::span<const std::size_t> pivots);
+
+template <typename T>
+T matrix_inf_norm_of(BasicView<const T> a);
+
+template <typename T>
+T vector_inf_norm_of(std::span<const T> x);
+
+// ---- historical double-precision API ---------------------------------------
 
 /// y += alpha * x.
 void daxpy(double alpha, std::span<const double> x, std::span<double> y);

@@ -1,8 +1,12 @@
 // Dense row-major matrix and lightweight views.
 //
-// Matrix owns storage; MatrixView / ConstMatrixView are non-owning windows
-// with an explicit row stride, so kernels operate on submatrices without
-// copying (LAPACK's leading-dimension idiom, adapted to row-major).
+// BasicMatrix<T> owns storage; BasicView<T> / BasicView<const T> are
+// non-owning windows with an explicit row stride, so kernels operate on
+// submatrices without copying (LAPACK's leading-dimension idiom, adapted to
+// row-major). Everything is templated on the scalar type so the kernel
+// engine compiles for both float and double (docs/kernels.md, "Scalar
+// templating"); the Matrix / MatrixView / ConstMatrixView aliases keep the
+// historical double-precision spelling used across the solvers.
 #pragma once
 
 #include <cstddef>
@@ -60,51 +64,54 @@ class BasicView {
 using MatrixView = BasicView<double>;
 using ConstMatrixView = BasicView<const double>;
 
-class Matrix {
+template <typename T>
+class BasicMatrix {
  public:
-  Matrix() = default;
-  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+  BasicMatrix() = default;
+  BasicMatrix(std::size_t rows, std::size_t cols, T fill = T(0))
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
-  std::size_t size_bytes() const { return data_.size() * sizeof(double); }
+  std::size_t size_bytes() const { return data_.size() * sizeof(T); }
 
-  double& operator()(std::size_t i, std::size_t j) {
+  T& operator()(std::size_t i, std::size_t j) {
     PLIN_ASSERT(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
   }
-  double operator()(std::size_t i, std::size_t j) const {
+  T operator()(std::size_t i, std::size_t j) const {
     PLIN_ASSERT(i < rows_ && j < cols_);
     return data_[i * cols_ + j];
   }
 
-  MatrixView view() {
-    return MatrixView(data_.data(), rows_, cols_, cols_);
+  BasicView<T> view() {
+    return BasicView<T>(data_.data(), rows_, cols_, cols_);
   }
-  ConstMatrixView view() const {
-    return ConstMatrixView(data_.data(), rows_, cols_, cols_);
+  BasicView<const T> view() const {
+    return BasicView<const T>(data_.data(), rows_, cols_, cols_);
   }
 
-  std::span<double> row(std::size_t i) {
+  std::span<T> row(std::size_t i) {
     PLIN_ASSERT(i < rows_);
     return {data_.data() + i * cols_, cols_};
   }
-  std::span<const double> row(std::size_t i) const {
+  std::span<const T> row(std::size_t i) const {
     PLIN_ASSERT(i < rows_);
     return {data_.data() + i * cols_, cols_};
   }
 
-  std::span<double> flat() { return data_; }
-  std::span<const double> flat() const { return data_; }
+  std::span<T> flat() { return data_; }
+  std::span<const T> flat() const { return data_; }
 
-  bool operator==(const Matrix& other) const = default;
+  bool operator==(const BasicMatrix& other) const = default;
 
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  std::vector<T> data_;
 };
+
+using Matrix = BasicMatrix<double>;
 
 }  // namespace plin::linalg

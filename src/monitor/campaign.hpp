@@ -34,6 +34,9 @@ struct JobSpec {
   /// — the paper's §6 "application of power caps" extension, reachable
   /// from batch campaign manifests.
   double power_cap_w = 0.0;
+  /// kMixed runs the fp32-factorize + fp64-refine GEPP variant instead of
+  /// full fp64 (scalapack only; IMe and Jacobi have no mixed path).
+  perfsim::Precision precision = perfsim::Precision::kFp64;
 
   std::string describe() const;
 };
@@ -42,6 +45,8 @@ struct RepetitionResult {
   RunMeasurement measurement;
   double residual = 0.0;     // scaled residual of the computed solution
   double host_seconds = 0.0; // wall time of this repetition (diagnostics)
+  int refine_iters = 0;      // mixed precision: fp64 refinement sweeps
+  bool fell_back = false;    // mixed precision: fp32 abandoned for fp64
 };
 
 struct JobResult {

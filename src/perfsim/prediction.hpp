@@ -11,6 +11,13 @@ enum class Algorithm { kIme, kScalapack, kJacobi };
 
 const char* to_string(Algorithm algorithm);
 
+/// Job-level arithmetic policy, shared by the campaign layers. kFp64 is the
+/// paper's baseline; kMixed is the fp32-factorize + fp64-refine GEPP
+/// variant (docs/mixed_precision.md) — numeric tier, scalapack only.
+enum class Precision { kFp64, kMixed };
+
+const char* to_string(Precision precision);
+
 struct Workload {
   Algorithm algorithm = Algorithm::kScalapack;
   std::size_t n = 0;

@@ -13,6 +13,10 @@ const char* to_string(Algorithm algorithm) {
   return "?";
 }
 
+const char* to_string(Precision precision) {
+  return precision == Precision::kMixed ? "mixed" : "fp64";
+}
+
 Prediction Simulator::predict(const Workload& workload,
                               const hw::Placement& placement) const {
   switch (workload.algorithm) {

@@ -45,6 +45,10 @@ inline constexpr KernelProfile kSwap{0.10, 16.0};
 inline constexpr KernelProfile kImeUpdate{0.50, 0.08};
 /// Back/forward substitution in the solve phase.
 inline constexpr KernelProfile kSubstitution{0.30, 1.0};
+/// Dense matrix-vector product (the iterative-refinement residual sweep):
+/// streams the whole matrix once per call, so bandwidth-bound like the
+/// substitution kernels.
+inline constexpr KernelProfile kGemv{0.30, 1.0};
 
 /// Flop-count coefficient applied to the Inhibition Method's charged work.
 /// The paper states the latest IMe costs 3/2 n^3 + O(n^2); our streamlined

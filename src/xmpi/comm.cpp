@@ -24,7 +24,7 @@ int Comm::world_rank_of(int comm_rank) const {
   return group_.empty() ? comm_rank : group_[static_cast<std::size_t>(comm_rank)];
 }
 
-const hw::RankLocation& Comm::my_location() const {
+hw::RankLocation Comm::my_location() const {
   return world_->layout().location_of(world_rank());
 }
 
@@ -95,8 +95,12 @@ void Comm::compute(const ComputeCost& cost) {
     speed = world_->power().cap_effect(cap, active).speed_factor;
   }
 
-  const double peak =
-      machine.node.socket.core.peak_flops() * cost.efficiency * speed;
+  // Precision picks the core peak the flops are rated against; the fp64
+  // expression is untouched so every existing charge stays bit-identical.
+  const double core_peak = cost.precision == Precision::kFp32
+                               ? machine.node.socket.core.peak_fp32_flops()
+                               : machine.node.socket.core.peak_flops();
+  const double peak = core_peak * cost.efficiency * speed;
   const double t_flop = cost.flops > 0.0 ? cost.flops / peak : 0.0;
 
   const int sharers =
@@ -284,78 +288,11 @@ void Comm::bcast_impl(std::span<std::byte> data, int root, int stream) {
 }
 
 Comm::MaxLoc Comm::allreduce_maxloc(double value, long long index) {
-  struct Entry {
-    double value;
-    long long index;
-  };
-  Entry acc{value, index};
-  // Strict total order, so the winner is the same under every combine
-  // order (tree and scalable schedules agree bitwise). NaN contract,
-  // documented like the PR-1 idamax contract: a NaN candidate never beats
-  // a numeric one, and among NaNs the lowest index wins. Canonical runs
-  // never feed NaN here (pdgesv pivots on |a_ij| of finite matrices).
-  const auto better = [](const Entry& a, const Entry& b) {
-    const bool a_nan = a.value != a.value;
-    const bool b_nan = b.value != b.value;
-    if (a_nan != b_nan) return b_nan;
-    if (!a_nan && a.value != b.value) return a.value > b.value;
-    return a.index < b.index;
-  };
+  return maxloc_impl<double>(value, index);
+}
 
-  if (world_->collective_mode() == CollectiveMode::kScalable && size() > 1) {
-    // Recursive doubling with a non-power-of-two pre/post fold: every rank
-    // holds the winner after log2 rounds — no root funnel, no broadcast.
-    prof_collective_begin("maxloc:rd");
-    const int pof2 = detail::floor_pof2(size());
-    const int rem = size() - pof2;
-    bool core = true;
-    if (rank_ < 2 * rem) {
-      if ((rank_ & 1) != 0) {
-        send_value(acc, rank_ - 1, internal_tag::kFold);
-        acc = recv_value<Entry>(rank_ - 1, internal_tag::kFold);
-        core = false;
-      } else {
-        const Entry incoming =
-            recv_value<Entry>(rank_ + 1, internal_tag::kFold);
-        if (better(incoming, acc)) acc = incoming;
-      }
-    }
-    if (core) {
-      const int cr = rank_ < 2 * rem ? rank_ / 2 : rank_ - rem;
-      for (int mask = 1; mask < pof2; mask <<= 1) {
-        const int peer_cr = cr ^ mask;
-        const int peer = peer_cr < rem ? 2 * peer_cr : peer_cr + rem;
-        send_value(acc, peer, internal_tag::kAllreduce);
-        const Entry incoming =
-            recv_value<Entry>(peer, internal_tag::kAllreduce);
-        if (better(incoming, acc)) acc = incoming;
-      }
-      if (rank_ < 2 * rem) {
-        send_value(acc, rank_ + 1, internal_tag::kFold);
-      }
-    }
-    prof_collective_end();
-    return MaxLoc{acc.value, acc.index};
-  }
-
-  prof_collective_begin("maxloc");
-  int mask = 1;
-  while (mask < size()) {
-    if ((rank_ & mask) == 0) {
-      const int peer = rank_ | mask;
-      if (peer < size()) {
-        const Entry incoming = recv_value<Entry>(peer, internal_tag::kReduce);
-        if (better(incoming, acc)) acc = incoming;
-      }
-    } else {
-      send_value(acc, rank_ & ~mask, internal_tag::kReduce);
-      break;
-    }
-    mask <<= 1;
-  }
-  bcast_value(acc, 0);
-  prof_collective_end();
-  return MaxLoc{acc.value, acc.index};
+Comm::MaxLocT<float> Comm::allreduce_maxloc(float value, long long index) {
+  return maxloc_impl<float>(value, index);
 }
 
 Comm Comm::split(int color, int key) {

@@ -122,7 +122,7 @@ class Comm {
     return group_.empty() ? rank_ : group_[static_cast<std::size_t>(rank_)];
   }
   int world_rank_of(int comm_rank) const;
-  const hw::RankLocation& my_location() const;
+  hw::RankLocation my_location() const;
   int my_node() const { return my_location().node; }
 
   /// This rank's virtual clock value.
@@ -271,11 +271,18 @@ class Comm {
 
   /// MPI_MAXLOC equivalent for distributed pivot search: returns the
   /// globally largest |value| with the owning index (ties: lowest index).
-  struct MaxLoc {
-    double value = 0.0;
+  /// Templated over the scalar so the fp32 pivot search of the mixed
+  /// solver shares the strict-total-order and NaN contracts with fp64
+  /// (xmpi_collectives_test pins both payload widths); MaxLoc keeps the
+  /// historical double spelling.
+  template <typename T>
+  struct MaxLocT {
+    T value = T(0);
     long long index = 0;
   };
+  using MaxLoc = MaxLocT<double>;
   MaxLoc allreduce_maxloc(double value, long long index);
+  MaxLocT<float> allreduce_maxloc(float value, long long index);
 
   /// Gathers `data` (same length on every rank) to `root`; `out` must hold
   /// size()*data.size() elements on the root.
@@ -340,6 +347,8 @@ class Comm {
   RecvInfo recv_impl(std::span<std::byte> data, int src, int tag);
   void bcast_impl(std::span<std::byte> data, int root, int stream);
 
+  template <typename T>
+  MaxLocT<T> maxloc_impl(T value, long long index);
   template <typename T>
   void allreduce_scalable(std::span<const T> data, std::span<T> out,
                           ReduceOp op);
@@ -419,6 +428,82 @@ Request Comm::irecv(std::span<T> data, int src, int tag) {
 }
 
 // -- template implementations ---------------------------------------------
+
+template <typename T>
+Comm::MaxLocT<T> Comm::maxloc_impl(T value, long long index) {
+  struct Entry {
+    T value;
+    long long index;
+  };
+  Entry acc{value, index};
+  // Strict total order, so the winner is the same under every combine
+  // order (tree and scalable schedules agree bitwise). NaN contract,
+  // documented like the PR-1 idamax contract: a NaN candidate never beats
+  // a numeric one, and among NaNs the lowest index wins. Canonical runs
+  // never feed NaN here (pdgesv pivots on |a_ij| of finite matrices).
+  const auto better = [](const Entry& a, const Entry& b) {
+    const bool a_nan = a.value != a.value;
+    const bool b_nan = b.value != b.value;
+    if (a_nan != b_nan) return b_nan;
+    if (!a_nan && a.value != b.value) return a.value > b.value;
+    return a.index < b.index;
+  };
+
+  if (world_->collective_mode() == CollectiveMode::kScalable && size() > 1) {
+    // Recursive doubling with a non-power-of-two pre/post fold: every rank
+    // holds the winner after log2 rounds — no root funnel, no broadcast.
+    prof_collective_begin("maxloc:rd");
+    const int pof2 = detail::floor_pof2(size());
+    const int rem = size() - pof2;
+    bool core = true;
+    if (rank_ < 2 * rem) {
+      if ((rank_ & 1) != 0) {
+        send_value(acc, rank_ - 1, internal_tag::kFold);
+        acc = recv_value<Entry>(rank_ - 1, internal_tag::kFold);
+        core = false;
+      } else {
+        const Entry incoming =
+            recv_value<Entry>(rank_ + 1, internal_tag::kFold);
+        if (better(incoming, acc)) acc = incoming;
+      }
+    }
+    if (core) {
+      const int cr = rank_ < 2 * rem ? rank_ / 2 : rank_ - rem;
+      for (int mask = 1; mask < pof2; mask <<= 1) {
+        const int peer_cr = cr ^ mask;
+        const int peer = peer_cr < rem ? 2 * peer_cr : peer_cr + rem;
+        send_value(acc, peer, internal_tag::kAllreduce);
+        const Entry incoming =
+            recv_value<Entry>(peer, internal_tag::kAllreduce);
+        if (better(incoming, acc)) acc = incoming;
+      }
+      if (rank_ < 2 * rem) {
+        send_value(acc, rank_ + 1, internal_tag::kFold);
+      }
+    }
+    prof_collective_end();
+    return MaxLocT<T>{acc.value, acc.index};
+  }
+
+  prof_collective_begin("maxloc");
+  int mask = 1;
+  while (mask < size()) {
+    if ((rank_ & mask) == 0) {
+      const int peer = rank_ | mask;
+      if (peer < size()) {
+        const Entry incoming = recv_value<Entry>(peer, internal_tag::kReduce);
+        if (better(incoming, acc)) acc = incoming;
+      }
+    } else {
+      send_value(acc, rank_ & ~mask, internal_tag::kReduce);
+      break;
+    }
+    mask <<= 1;
+  }
+  bcast_value(acc, 0);
+  prof_collective_end();
+  return MaxLocT<T>{acc.value, acc.index};
+}
 
 template <typename T>
 void Comm::reduce(std::span<const T> data, std::span<T> out, ReduceOp op,

@@ -70,14 +70,23 @@ struct TransportConfig {
   std::size_t pool_max_cached_per_class = 0;
 };
 
+/// Scalar width of the arithmetic behind a ComputeCost. fp32 runs against
+/// the core's single-precision peak (twice the SIMD lanes through the same
+/// FMA units — hw::CoreSpec::peak_fp32_flops); callers charging fp32 work
+/// also halve their DRAM/link byte terms themselves (the payloads are
+/// 4-byte floats). The default keeps every existing fp64 charge formula
+/// bit-identical.
+enum class Precision { kFp64, kFp32 };
+
 /// Cost descriptor for Comm::compute. `efficiency` is the fraction of the
-/// core's peak double-precision throughput this kernel sustains; the rank's
+/// core's peak throughput at `precision` this kernel sustains; the rank's
 /// virtual time advances by max(flop time, memory time) and `dram_bytes`
 /// is charged to the socket's DRAM domain.
 struct ComputeCost {
   double flops = 0.0;
   double dram_bytes = 0.0;
   double efficiency = 1.0;
+  Precision precision = Precision::kFp64;
 };
 
 /// Global message/volume counters, split into the application data traffic

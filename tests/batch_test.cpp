@@ -125,6 +125,39 @@ TEST(ManifestTest, RejectsPowerCapsOnReplayTier) {
       InvalidArgument);
 }
 
+TEST(ManifestTest, PrecisionAxisExpandsForScalapackOnly) {
+  const CampaignManifest m = parse_manifest(R"(
+machine   mini:8x4
+grid algorithm ime scalapack
+grid n         96 128
+grid precision fp64 mixed
+)");
+  const std::vector<JobSpec> jobs = m.expand();
+  // 2 ime fp64 points + 2 scalapack points x 2 precisions.
+  EXPECT_EQ(m.job_count(), 6u);
+  ASSERT_EQ(jobs.size(), 6u);
+  std::size_t mixed = 0;
+  for (const JobSpec& job : jobs) {
+    if (job.precision == perfsim::Precision::kMixed) {
+      ++mixed;
+      EXPECT_EQ(job.algorithm, perfsim::Algorithm::kScalapack);
+    }
+  }
+  EXPECT_EQ(mixed, 2u);
+  // Precision is the innermost axis: fp64 immediately precedes its mixed twin.
+  EXPECT_EQ(jobs[2].precision, perfsim::Precision::kFp64);
+  EXPECT_EQ(jobs[3].precision, perfsim::Precision::kMixed);
+  EXPECT_EQ(jobs[3].n, jobs[2].n);
+}
+
+TEST(ManifestTest, RejectsMixedPrecisionOnReplayTier) {
+  EXPECT_THROW(parse_manifest("tier replay\nmachine marconi\n"
+                              "grid algorithm scalapack\n"
+                              "grid precision mixed\n"),
+               InvalidArgument);
+  EXPECT_THROW(parse_manifest("grid precision fp16\n"), InvalidArgument);
+}
+
 // --- spec keys --------------------------------------------------------------
 
 TEST(SpecTest, KeyIsStableAcrossProcesses) {
@@ -173,6 +206,24 @@ TEST(SpecTest, EveryResultFieldChangesTheKey) {
   s = base;
   s.power_cap_w = 150.0;
   EXPECT_NE(s.key(), base_key);
+  s = base;
+  s.algorithm = perfsim::Algorithm::kScalapack;
+  const std::string fp64_key = s.key();
+  s.precision = perfsim::Precision::kMixed;
+  EXPECT_NE(s.key(), fp64_key);
+}
+
+TEST(SpecTest, DefaultPrecisionKeepsPreExistingStoreKeys) {
+  // fp64 is serialized implicitly: the canonical string must not mention
+  // precision at all, so every key journaled before the axis existed still
+  // hits the cache.
+  const JobSpec spec;
+  EXPECT_EQ(spec.canonical().find("precision"), std::string::npos);
+  JobSpec mixed = spec;
+  mixed.algorithm = perfsim::Algorithm::kScalapack;
+  mixed.precision = perfsim::Precision::kMixed;
+  EXPECT_NE(mixed.canonical().find("|precision=mixed"), std::string::npos);
+  EXPECT_NE(mixed.describe().find("mixed"), std::string::npos);
 }
 
 TEST(SpecTest, MachineNamesResolve) {
@@ -213,6 +264,21 @@ TEST(RecordTest, JsonRoundTripIsExact) {
   EXPECT_EQ(back.repetitions[0].total_j(), record.repetitions[0].total_j());
   // Second round trip is byte-stable.
   EXPECT_EQ(json::serialize(to_json(back)), text);
+}
+
+TEST(RecordTest, MixedPrecisionRoundTripsThroughJson) {
+  JobRecord record = sample_record();
+  record.spec.algorithm = perfsim::Algorithm::kScalapack;
+  record.spec.precision = perfsim::Precision::kMixed;
+  const std::string text = json::serialize(to_json(record));
+  EXPECT_NE(text.find("\"precision\""), std::string::npos);
+  const JobRecord back = record_from_json(json::parse(text));
+  EXPECT_EQ(back.spec.precision, perfsim::Precision::kMixed);
+  EXPECT_EQ(back.key(), record.key());
+  // fp64 records stay byte-stable: no precision field is emitted.
+  const JobRecord fp64 = sample_record();
+  EXPECT_EQ(json::serialize(to_json(fp64)).find("\"precision\""),
+            std::string::npos);
 }
 
 TEST(RecordTest, RejectsKeyMismatch) {
@@ -416,6 +482,43 @@ TEST(RunnerTest, ReplayTierProducesPaperScaleRecord) {
             record.repetitions[2].duration_s);
 }
 
+TEST(RunnerTest, ReplayTierRejectsMixedPrecision) {
+  JobSpec spec;
+  spec.tier = Tier::kReplay;
+  spec.machine = "marconi";
+  spec.algorithm = perfsim::Algorithm::kScalapack;
+  spec.n = 8640;
+  spec.ranks = 144;
+  spec.precision = perfsim::Precision::kMixed;
+  EXPECT_THROW(execute_job(spec), Error);
+}
+
+TEST(RunnerTest, MixedPrecisionJobRunsGeppMixed) {
+  JobSpec spec;
+  spec.machine = "mini:8x4";
+  spec.algorithm = perfsim::Algorithm::kScalapack;
+  spec.n = 96;
+  spec.ranks = 4;
+  spec.precision = perfsim::Precision::kMixed;
+  const JobRecord record = execute_job(spec);
+  ASSERT_EQ(record.repetitions.size(), 1u);
+  EXPECT_GT(record.repetitions[0].duration_s, 0.0);
+  // Refinement drives the defect to fp64-grade accuracy (campaign guard
+  // allows 1e-9; a well-conditioned system lands far below that).
+  EXPECT_LT(record.repetitions[0].residual, 1e-11);
+  EXPECT_GT(record.repetitions[0].residual, 0.0);
+}
+
+TEST(RunnerTest, MixedPrecisionRejectsNonGeppAlgorithms) {
+  JobSpec spec;
+  spec.machine = "mini:8x4";
+  spec.algorithm = perfsim::Algorithm::kIme;
+  spec.n = 96;
+  spec.ranks = 4;
+  spec.precision = perfsim::Precision::kMixed;
+  EXPECT_THROW(execute_job(spec), Error);
+}
+
 TEST(RunnerTest, PowerCapStretchesDurationAndClampsPower) {
   JobSpec spec;
   spec.machine = "mini:8x4";
@@ -480,6 +583,31 @@ TEST(CampaignTest, ReportsAreByteIdenticalAcrossWorkerCounts) {
   const std::string csv = read_file(one.csv_path);
   EXPECT_FALSE(csv.empty());
   EXPECT_EQ(csv, read_file(four.csv_path));
+}
+
+TEST(CampaignTest, PrecisionColumnAppearsOnlyWithMixedJobs) {
+  // fp64-only reports keep the pre-mixed header byte-for-byte; a grid with
+  // mixed points gains the precision column.
+  CampaignManifest manifest = tiny_manifest();
+  CampaignOptions fp64_options;
+  fp64_options.store_dir = scratch_dir("campaign_fp64_only");
+  const CampaignResult fp64 = run_campaign(manifest, fp64_options);
+  const std::string fp64_csv = read_file(fp64.csv_path);
+  EXPECT_EQ(fp64_csv.find("precision"), std::string::npos);
+
+  manifest.algorithms = {perfsim::Algorithm::kScalapack};
+  manifest.precisions = {perfsim::Precision::kFp64,
+                         perfsim::Precision::kMixed};
+  CampaignOptions mixed_options;
+  mixed_options.store_dir = scratch_dir("campaign_mixed");
+  const CampaignResult mixed = run_campaign(manifest, mixed_options);
+  EXPECT_EQ(mixed.outcome.executed, 4u);
+  EXPECT_TRUE(mixed.outcome.failures.empty());
+  const std::string mixed_csv = read_file(mixed.csv_path);
+  EXPECT_NE(mixed_csv.find("precision"), std::string::npos);
+  EXPECT_NE(mixed_csv.find("mixed"), std::string::npos);
+  const std::string mixed_md = read_file(mixed.markdown_path);
+  EXPECT_NE(mixed_md.find("| precision |"), std::string::npos);
 }
 
 }  // namespace

@@ -540,6 +540,111 @@ TEST(MaxlocContractTest, NaNLosesToNumericAndTiesTakeLowestIndex) {
   }
 }
 
+Comm::MaxLocT<float> run_maxloc_f32(int ranks, CollectiveMode mode,
+                                    const std::vector<float>& values) {
+  Comm::MaxLocT<float> result;
+  Runtime::run(
+      mini_config(ranks, transport(PoolMode::kOn, RendezvousMode::kOn, mode)),
+      [&](Comm& comm) {
+        const Comm::MaxLocT<float> mine = comm.allreduce_maxloc(
+            values[static_cast<std::size_t>(comm.rank())],
+            static_cast<long long>(comm.rank()));
+        if (comm.rank() == 0) result = mine;
+        const Comm::MaxLocT<float> again = comm.allreduce_maxloc(
+            values[static_cast<std::size_t>(comm.rank())],
+            static_cast<long long>(comm.rank()));
+        EXPECT_EQ(std::memcmp(&mine.value, &again.value, sizeof(float)), 0);
+        EXPECT_EQ(mine.index, again.index);
+      });
+  return result;
+}
+
+TEST(MaxlocContractTest, Fp32PayloadsPinTheSameTotalOrder) {
+  // The float overload backs the fp32 panel factorization of gepp_mixed:
+  // the same NaN-never-beats-numeric / lowest-index-on-ties order must
+  // hold, in both schedule families, or the mixed solver's pivot choices
+  // would depend on the collective mode.
+  constexpr float kNaN32 = std::numeric_limits<float>::quiet_NaN();
+  for (const CollectiveMode mode :
+       {CollectiveMode::kTree, CollectiveMode::kScalable}) {
+    for (const int ranks : {5, 8}) {
+      std::vector<float> values(static_cast<std::size_t>(ranks), 1.0f);
+      values[2] = kNaN32;
+      values[3] = 7.0f;
+      const Comm::MaxLocT<float> numeric = run_maxloc_f32(ranks, mode, values);
+      EXPECT_EQ(numeric.value, 7.0f);
+      EXPECT_EQ(numeric.index, 3);
+
+      const std::vector<float> ties(static_cast<std::size_t>(ranks), 4.25f);
+      const Comm::MaxLocT<float> tie = run_maxloc_f32(ranks, mode, ties);
+      EXPECT_EQ(tie.value, 4.25f);
+      EXPECT_EQ(tie.index, 0);
+
+      const std::vector<float> all_nan(static_cast<std::size_t>(ranks),
+                                       kNaN32);
+      const Comm::MaxLocT<float> nan = run_maxloc_f32(ranks, mode, all_nan);
+      EXPECT_TRUE(std::isnan(nan.value));
+      EXPECT_EQ(nan.index, 0);
+    }
+  }
+}
+
+TEST(MaxlocContractTest, Fp32TreeAndScalableAgreeOnMixedInputs) {
+  for (const int ranks : {3, 6, 8}) {
+    std::vector<float> values(static_cast<std::size_t>(ranks));
+    for (int r = 0; r < ranks; ++r) {
+      values[static_cast<std::size_t>(r)] =
+          static_cast<float>((r * 5 + 2) % ranks);
+    }
+    const Comm::MaxLocT<float> tree =
+        run_maxloc_f32(ranks, CollectiveMode::kTree, values);
+    const Comm::MaxLocT<float> scalable =
+        run_maxloc_f32(ranks, CollectiveMode::kScalable, values);
+    EXPECT_EQ(std::memcmp(&tree.value, &scalable.value, sizeof(float)), 0);
+    EXPECT_EQ(tree.index, scalable.index);
+  }
+}
+
+TEST(ReduceContractTest, Fp32ReduceNaNAndSchedulesAgree) {
+  // float reduce carries the fp32 pivot rows and partial sums of the mixed
+  // solver; pin the same accumulator-side NaN contract and tree/scalable
+  // agreement the double payloads have.
+  constexpr float kNaN32 = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kMax, kNaN32, 1.0f)));
+  EXPECT_EQ(detail::combine_one(ReduceOp::kMax, 1.0f, kNaN32), 1.0f);
+  EXPECT_TRUE(std::isnan(detail::combine_one(ReduceOp::kSum, kNaN32, 1.0f)));
+
+  for (const CollectiveMode mode :
+       {CollectiveMode::kTree, CollectiveMode::kScalable}) {
+    for (const int ranks : {4, 8}) {
+      std::vector<float> root_sum;
+      Runtime::run(
+          mini_config(ranks,
+                      transport(PoolMode::kOn, RendezvousMode::kOn, mode)),
+          [&](Comm& comm) {
+            std::vector<float> mine(16);
+            for (std::size_t i = 0; i < mine.size(); ++i) {
+              mine[i] = static_cast<float>(comm.rank() + 1) *
+                        static_cast<float>(i + 1);
+            }
+            std::vector<float> out(mine.size(), 0.0f);
+            comm.reduce(std::span<const float>(mine), std::span<float>(out),
+                        ReduceOp::kSum, 0);
+            if (comm.rank() == 0) root_sum = out;
+          });
+      ASSERT_EQ(root_sum.size(), 16u);
+      // Rank-ordered combine: the sum is the exact sequential left fold.
+      for (std::size_t i = 0; i < root_sum.size(); ++i) {
+        float expect = 0.0f;
+        for (int r = 0; r < ranks; ++r) {
+          expect += static_cast<float>(r + 1) * static_cast<float>(i + 1);
+        }
+        EXPECT_EQ(root_sum[i], expect);
+      }
+    }
+  }
+}
+
 TEST(MaxlocContractTest, TreeAndScalableAgreeOnMixedInputs) {
   for (const int ranks : {3, 6, 8}) {
     std::vector<double> values(static_cast<std::size_t>(ranks));

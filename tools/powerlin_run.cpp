@@ -36,6 +36,9 @@ One-off modes:
   --nb         ScaLAPACK block size (default 64 replay; 32 numeric)
   --seed       generator seed (default 1)
   --reps       numeric repetitions (default 1)
+  --precision  fp64 (default) | mixed (fp32 factorization + fp64 iterative
+               refinement; numeric tier, scalapack only —
+               docs/mixed_precision.md)
   --tol        Jacobi tolerance (default 1e-12)
   --dominance  Jacobi diagonal dominance (default 0)
   --iterations Jacobi replay sweep count (default 100)
@@ -63,6 +66,11 @@ hw::LoadLayout parse_layout(const std::string& name) {
 }
 
 int run_replay(const CliArgs& args) {
+  if (args.get("precision", "fp64") != "fp64") {
+    std::cerr << "error: --precision mixed is numeric-tier only (perfsim "
+                 "has no refinement-iteration model yet)\n";
+    return 1;
+  }
   const hw::MachineSpec machine = hw::marconi_a3();
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 17280));
   const int ranks = static_cast<int>(args.get_int("ranks", 576));
@@ -144,6 +152,8 @@ int run_numeric(const CliArgs& args) {
   spec.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   spec.nb = static_cast<std::size_t>(args.get_int("nb", 32));
   spec.repetitions = static_cast<int>(args.get_int("reps", 1));
+  spec.precision =
+      batch::parse_precision_token(args.get("precision", "fp64"));
 
   monitor::MonitorOptions options;
   options.output_dir = args.get("out", "");
@@ -197,9 +207,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
     args.require_known({"tier", "algorithm", "n", "ranks", "layout", "nb",
-                        "seed", "reps", "tol", "dominance", "iterations",
-                        "out", "campaign", "store", "workers", "max-jobs",
-                        "trace-dir", "version", "help"});
+                        "seed", "reps", "precision", "tol", "dominance",
+                        "iterations", "out", "campaign", "store", "workers",
+                        "max-jobs", "trace-dir", "version", "help"});
     if (args.get_bool("help", false)) {
       std::cout << kUsage;
       return 0;
