@@ -38,6 +38,7 @@ CampaignResult run_campaign(const CampaignManifest& manifest,
                 << result.outcome.stopped << " stopped";
 
   result.records = collect_records(specs, store, &result.missing);
+  result.store_stats = store.stats();
 
   if (options.write_reports) {
     result.csv_path = store.dir() + "/report.csv";

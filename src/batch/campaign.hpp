@@ -46,6 +46,9 @@ struct CampaignResult {
   std::size_t missing = 0;
   std::string csv_path;       // empty when write_reports is false
   std::string markdown_path;  // empty when write_reports is false
+  /// Cache counters of this invocation (hits = jobs served from the
+  /// journal, misses = jobs that had to execute, inserts = new records).
+  StoreStats store_stats;
 };
 
 CampaignResult run_campaign(const CampaignManifest& manifest,

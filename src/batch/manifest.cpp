@@ -220,13 +220,6 @@ CampaignManifest parse_manifest(const std::string& text) {
             "model capped frequency scaling)");
       }
     }
-    for (const perfsim::Precision precision : manifest.precisions) {
-      if (precision != perfsim::Precision::kFp64) {
-        throw InvalidArgument(
-            "manifest: mixed precision is numeric-tier only (perfsim has no "
-            "refinement-iteration model yet)");
-      }
-    }
   }
   PLIN_CHECK_MSG(manifest.job_count() > 0, "manifest: empty grid");
   PLIN_CHECK_MSG(manifest.job_count() <= 100000,

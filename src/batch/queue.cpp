@@ -29,7 +29,7 @@ QueueOutcome run_queue(std::span<const JobSpec> specs, ResultStore& store,
       const JobSpec& spec = specs[index];
       const std::string key = spec.key();
 
-      if (store.contains(key)) {
+      if (store.probe(key).has_value()) {
         PLIN_LOG_INFO << "queue: skip (cached " << key << ") "
                       << spec.describe();
         std::lock_guard<std::mutex> lock(outcome_mutex);

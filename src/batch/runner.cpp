@@ -49,9 +49,6 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
 }
 
 JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
-  PLIN_CHECK_MSG(spec.precision == perfsim::Precision::kFp64,
-                 "batch: mixed precision is numeric-tier only (perfsim has "
-                 "no refinement-iteration model yet)");
   Stopwatch wall;
   const perfsim::Simulator simulator(machine);
   const hw::Placement placement =
@@ -61,6 +58,7 @@ JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
   workload.n = spec.n;
   workload.nb = spec.nb;
   workload.iterations = spec.iterations;
+  workload.precision = spec.precision;
   const perfsim::Prediction p = simulator.predict(workload, placement);
   const double host_s = wall.elapsed_s();
 

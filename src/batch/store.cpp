@@ -69,6 +69,8 @@ void ResultStore::replay_journal() {
     try {
       JobRecord record = record_from_json(value);
       const std::string key = record.key();
+      if (records_.count(key) != 0) ++duplicate_keys_;
+      ++replayed_;
       records_.insert_or_assign(key, std::move(record));
     } catch (const Error&) {
       // Semantically stale (format-version bump): a cache miss, not fatal.
@@ -99,6 +101,17 @@ JobRecord ResultStore::lookup(const std::string& key) const {
   return it->second;
 }
 
+std::optional<JobRecord> ResultStore::probe(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = records_.find(key);
+  if (it == records_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
 void ResultStore::put(const JobRecord& record) {
   const std::string key = record.key();
   const std::string line = json::serialize(to_json(record));
@@ -114,11 +127,25 @@ void ResultStore::put(const JobRecord& record) {
   os << line << '\n';
 
   records_.insert_or_assign(key, record);
+  ++inserts_;
 }
 
 std::size_t ResultStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return records_.size();
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.inserts = inserts_;
+  stats.replayed = replayed_;
+  stats.duplicate_keys = duplicate_keys_;
+  stats.skipped_stale = skipped_stale_;
+  stats.torn_tail = torn_tail_;
+  return stats;
 }
 
 }  // namespace plin::batch

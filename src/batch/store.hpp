@@ -19,15 +19,43 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "batch/record.hpp"
 
 namespace plin::batch {
+
+/// Cache-effectiveness counters. The store *is* a cache (identical specs
+/// dedupe against it); these counters are what makes that effectiveness
+/// observable — the campaign summary, `powerlin_report --store` and the
+/// serve daemon's /stats endpoint all render this struct.
+///
+/// hits/misses count probe() calls only (the cache-decision points: the
+/// queue and the serve scheduler). contains()/lookup() stay count-free so
+/// report generation does not pollute the counters.
+struct StoreStats {
+  std::uint64_t hits = 0;      // probe() found a completed record
+  std::uint64_t misses = 0;    // probe() found nothing
+  std::uint64_t inserts = 0;   // put() journaled a record this process
+  std::uint64_t replayed = 0;  // records recovered from the journal on open
+  /// Journal lines whose key overwrote an earlier line on replay. Always 0
+  /// under the dedupe contract (a completed job is journaled exactly once);
+  /// the serve kill-and-restart CI proof asserts exactly that.
+  std::uint64_t duplicate_keys = 0;
+  std::uint64_t skipped_stale = 0;
+  bool torn_tail = false;
+
+  double hit_ratio() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
 
 class ResultStore {
  public:
@@ -40,6 +68,11 @@ class ResultStore {
 
   /// Copy of the record under `key`; throws if absent (check contains()).
   JobRecord lookup(const std::string& key) const;
+
+  /// Cache-decision lookup: like contains()+lookup() in one call, but
+  /// counted into stats().hits / stats().misses. The queue and the serve
+  /// scheduler probe; the report layer uses the count-free accessors.
+  std::optional<JobRecord> probe(const std::string& key);
 
   /// Journals and indexes one completed job. Re-putting a key overwrites
   /// (last write wins on replay, matching the in-memory index).
@@ -55,6 +88,9 @@ class ResultStore {
   /// their spec (stale format version).
   std::size_t skipped_stale() const { return skipped_stale_; }
 
+  /// Snapshot of the cache counters (thread-safe).
+  StoreStats stats() const;
+
  private:
   void replay_journal();
 
@@ -63,6 +99,11 @@ class ResultStore {
   std::map<std::string, JobRecord> records_;
   bool torn_tail_ = false;
   std::size_t skipped_stale_ = 0;
+  std::size_t replayed_ = 0;
+  std::size_t duplicate_keys_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t inserts_ = 0;
   mutable std::mutex mutex_;
 };
 

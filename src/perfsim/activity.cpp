@@ -8,16 +8,20 @@
 namespace plin::perfsim {
 
 KernelTime kernel_time(const hw::MachineSpec& machine, int socket_sharers,
-                       const solvers::KernelProfile& profile, double flops) {
+                       const solvers::KernelProfile& profile, double flops,
+                       bool fp32) {
   PLIN_ASSERT(flops >= 0.0);
   KernelTime result;
   if (flops <= 0.0) return result;
-  const double peak =
-      machine.node.socket.core.peak_flops() * profile.efficiency;
+  const double peak = (fp32 ? machine.node.socket.core.peak_fp32_flops()
+                            : machine.node.socket.core.peak_flops()) *
+                      profile.efficiency;
   const double t_flop = flops / peak;
   const double bw_share = machine.node.socket.dram_bandwidth_bs /
                           std::max(1, socket_sharers);
-  const double t_mem = flops * profile.bytes_per_flop / bw_share;
+  const double bytes_per_flop =
+      fp32 ? profile.bytes_per_flop / 2.0 : profile.bytes_per_flop;
+  const double t_mem = flops * bytes_per_flop / bw_share;
   result.memory_bound = t_mem > t_flop;
   result.seconds = std::max(t_flop, t_mem);
   return result;
@@ -25,14 +29,16 @@ KernelTime kernel_time(const hw::MachineSpec& machine, int socket_sharers,
 
 void charge_kernel(RankActivity& activity, const hw::MachineSpec& machine,
                    int socket_sharers, const solvers::KernelProfile& profile,
-                   double flops) {
-  const KernelTime t = kernel_time(machine, socket_sharers, profile, flops);
+                   double flops, bool fp32) {
+  const KernelTime t =
+      kernel_time(machine, socket_sharers, profile, flops, fp32);
   if (t.memory_bound) {
     activity.membound_s += t.seconds;
   } else {
     activity.compute_s += t.seconds;
   }
-  activity.dram_bytes += flops * profile.bytes_per_flop;
+  activity.dram_bytes +=
+      flops * (fp32 ? profile.bytes_per_flop / 2.0 : profile.bytes_per_flop);
 }
 
 void charge_messages(RankActivity& activity, const hw::NetworkModel& network,

@@ -23,18 +23,22 @@ struct RankActivity {
 };
 
 /// Time a kernel of `flops` takes on one core (same max(flop, memory)
-/// rule as xmpi::Comm::compute) and its classification.
+/// rule as xmpi::Comm::compute) and its classification. With fp32 = true
+/// the kernel is priced at single precision: the fp32 peak (twice the
+/// lanes) and half the DRAM bytes per flop (elements are half the size) —
+/// the same pricing xmpi::Comm::compute applies for fp32 work.
 struct KernelTime {
   double seconds = 0.0;
   bool memory_bound = false;
 };
 KernelTime kernel_time(const hw::MachineSpec& machine, int socket_sharers,
-                       const solvers::KernelProfile& profile, double flops);
+                       const solvers::KernelProfile& profile, double flops,
+                       bool fp32 = false);
 
 /// Adds a kernel execution to a rank's activity.
 void charge_kernel(RankActivity& activity, const hw::MachineSpec& machine,
                    int socket_sharers, const solvers::KernelProfile& profile,
-                   double flops);
+                   double flops, bool fp32 = false);
 
 /// Adds message-handling CPU time and the associated memory traffic.
 void charge_messages(RankActivity& activity, const hw::NetworkModel& network,

@@ -25,6 +25,10 @@ struct Workload {
   int iterations = 100;     // Jacobi sweep count (ignored by the direct
                             // solvers; pick from the tolerance/dominance
                             // pair you plan to run)
+  /// kMixed replays the fp32-factorize + fp64-refine GEPP variant
+  /// (scalapack only — the refinement-iteration model in
+  /// scalapack_model.cpp); every other algorithm requires kFp64.
+  Precision precision = Precision::kFp64;
 };
 
 struct Prediction {

@@ -19,6 +19,13 @@ const char* to_string(Precision precision) {
 
 Prediction Simulator::predict(const Workload& workload,
                               const hw::Placement& placement) const {
+  if (workload.precision != Precision::kFp64) {
+    PLIN_CHECK_MSG(workload.algorithm == Algorithm::kScalapack,
+                   "perfsim: mixed precision is a GEPP (scalapack) variant; "
+                   "IMe/Jacobi have no fp32 path");
+    return predict_scalapack_mixed(machine_, placement, workload.n,
+                                   workload.nb);
+  }
   switch (workload.algorithm) {
     case Algorithm::kIme:
       return predict_ime(machine_, placement, workload.n);

@@ -41,4 +41,18 @@ Prediction predict_jacobi(const hw::MachineSpec& machine,
                           const hw::Placement& placement, std::size_t n,
                           int iterations);
 
+/// Mixed-precision GEPP replay: the full factorization + solve pipeline at
+/// fp32 cost (half the bytes per element, twice the per-core peak), plus
+/// refinement_iters(n) fp64 refinement sweeps (docs/mixed_precision.md).
+Prediction predict_scalapack_mixed(const hw::MachineSpec& machine,
+                                   const hw::Placement& placement,
+                                   std::size_t n, std::size_t nb);
+
+/// The refinement-iteration model: fp64 sweeps until the backward error
+/// reaches the n*eps64 bound, assuming the contraction factor
+/// rho = eps32 * sqrt(n) per sweep that the executed solver exhibits
+/// (solvers/gepp/mixed.cpp converges in 3 sweeps across the numeric-tier
+/// range; this model reproduces that and stays at 3 through Marconi scale).
+int refinement_iters(std::size_t n);
+
 }  // namespace plin::perfsim

@@ -1,0 +1,41 @@
+// Client — a minimal blocking client for the serve daemon: connects to the
+// AF_UNIX socket, writes one JSON line per request, reads one JSON line
+// per response. One Client is one connection; it is not thread-safe (use
+// one per thread — the load generator does exactly that).
+#pragma once
+
+#include <string>
+
+#include "batch/spec.hpp"
+#include "support/json.hpp"
+
+namespace plin::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws IoError when the daemon is not up.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request object and blocks for its response line.
+  json::Value request(const json::Value& body);
+
+  /// Convenience wrappers over request().
+  json::Value ping();
+  json::Value submit(const batch::JobSpec& spec, const std::string& tenant,
+                     bool wait, const std::string& tag = {});
+  json::Value wait_key(const std::string& key);
+  json::Value stats();
+  json::Value drain();
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace plin::serve

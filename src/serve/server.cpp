@@ -1,0 +1,344 @@
+#include "serve/server.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "support/error.hpp"
+
+namespace plin::serve {
+namespace {
+
+// A request line larger than this is a protocol violation, not a job.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  PLIN_CHECK_MSG(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "serve: fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+Server::Server(Engine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  PLIN_CHECK_MSG(!options_.socket_path.empty(),
+                 "serve: socket_path is required");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  PLIN_CHECK_MSG(options_.socket_path.size() < sizeof(addr.sun_path),
+                 "serve: socket path too long for AF_UNIX");
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("serve: socket() failed");
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw IoError("serve: bind(" + options_.socket_path +
+                  ") failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+    ::close(listen_fd_);
+    throw IoError("serve: listen() failed");
+  }
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(listen_fd_);
+    throw IoError("serve: pipe() failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+}
+
+Server::~Server() {
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  const char byte = 's';
+  // Best effort: the loop also re-checks stopping_ on every wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::post_deferred(std::uint64_t id, const json::Value& response) {
+  {
+    std::lock_guard<std::mutex> lock(deferred_mutex_);
+    deferred_.emplace_back(id, json::serialize(response) + "\n");
+  }
+  const char byte = 'd';
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+}
+
+void Server::queue_response(Connection& conn, const json::Value& response) {
+  conn.outbuf += json::serialize(response);
+  conn.outbuf += '\n';
+}
+
+void Server::handle_line(Connection& conn, const std::string& line) {
+  if (line.empty()) return;
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const std::exception& e) {
+    queue_response(conn, error_response(e.what()));
+    return;
+  }
+  switch (request.op) {
+    case Op::kPing: {
+      queue_response(conn, make_response(request, true));
+      return;
+    }
+    case Op::kStats: {
+      json::Value response = make_response(request, true);
+      response.set("stats", engine_.stats_json());
+      queue_response(conn, response);
+      return;
+    }
+    case Op::kDrain: {
+      json::Value response = make_response(request, true);
+      response.set("draining", true);
+      queue_response(conn, response);
+      stop();
+      return;
+    }
+    case Op::kSubmit: {
+      const std::string key = request.spec.key();
+      SubmitStatus status;
+      try {
+        status = engine_.submit(request.tenant, request.spec);
+      } catch (const std::exception& e) {
+        queue_response(conn, error_response(e.what(), request.tag));
+        return;
+      }
+      if (request.wait && (status == SubmitStatus::kQueued ||
+                           status == SubmitStatus::kCoalesced)) {
+        defer_outcome(conn, request, key, to_string(status));
+        return;
+      }
+      json::Value response =
+          make_response(request, status != SubmitStatus::kRejected);
+      response.set("key", key);
+      response.set("status", to_string(status));
+      if (status == SubmitStatus::kCached) {
+        response.set("record", batch::to_json(engine_.store().lookup(key)));
+      }
+      queue_response(conn, response);
+      return;
+    }
+    case Op::kWait: {
+      defer_outcome(conn, request, request.key, "waiting");
+      return;
+    }
+  }
+}
+
+void Server::defer_outcome(Connection& conn, const Request& request,
+                           const std::string& key,
+                           const std::string& status) {
+  ++conn.pending;
+  const std::uint64_t id = conn.id;
+  const std::string op_name = to_string(request.op);
+  const std::string tag = request.tag;
+  // The callback runs on an engine worker thread (or inline, for already-
+  // terminal keys): it only builds JSON and posts to the deferred queue.
+  engine_.subscribe(key, [this, id, op_name, tag, key,
+                          status](const JobOutcome& outcome) {
+    json::Value response = json::make_object();
+    response.set("ok", outcome.ok);
+    response.set("op", op_name);
+    if (!tag.empty()) response.set("tag", tag);
+    response.set("key", key);
+    response.set("status", outcome.ok ? "done" : "failed");
+    response.set("via", status);
+    if (outcome.ok) {
+      response.set("record", batch::to_json(engine_.store().lookup(key)));
+    } else {
+      response.set("error", outcome.error);
+    }
+    post_deferred(id, response);
+  });
+}
+
+void Server::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: poll again
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_id_++;
+    connections_.emplace(conn->id, std::move(conn));
+  }
+}
+
+bool Server::pump_reads(Connection& conn) {
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      conn.inbuf.append(buffer, static_cast<std::size_t>(n));
+      if (conn.inbuf.size() > kMaxLineBytes) return false;
+      continue;
+    }
+    if (n == 0) {
+      conn.eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t newline = conn.inbuf.find('\n', start);
+    if (newline == std::string::npos) break;
+    handle_line(conn, conn.inbuf.substr(start, newline - start));
+    start = newline + 1;
+  }
+  if (start > 0) conn.inbuf.erase(0, start);
+  return true;
+}
+
+bool Server::pump_writes(Connection& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n = ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void Server::drain_deferred() {
+  std::vector<std::pair<std::uint64_t, std::string>> ready;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mutex_);
+    ready.swap(deferred_);
+  }
+  for (auto& [id, line] : ready) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // client went away: drop
+    it->second->outbuf += line;
+    if (it->second->pending > 0) --it->second->pending;
+  }
+}
+
+void Server::close_connection(std::uint64_t id) {
+  const auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  ::close(it->second->fd);
+  connections_.erase(it);
+}
+
+void Server::serve() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // connection id per pollfd (0: none)
+  for (;;) {
+    drain_deferred();
+
+    const bool stopping = stopping_.load();
+    if (stopping) {
+      // Graceful drain: stop accepting, run every queued job, then flush.
+      if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      engine_.drain();     // blocks until all queued jobs are terminal
+      drain_deferred();    // completions posted during the drain
+      bool all_flushed = true;
+      std::vector<std::uint64_t> dead;
+      for (auto& [id, conn] : connections_) {
+        if (!pump_writes(*conn)) dead.push_back(id);
+        else if (!conn->outbuf.empty() || conn->pending > 0) {
+          all_flushed = false;
+        }
+      }
+      for (const std::uint64_t id : dead) close_connection(id);
+      if (all_flushed) return;
+    }
+
+    fds.clear();
+    fd_conn.clear();
+    if (listen_fd_ >= 0) {
+      fds.push_back({listen_fd_, POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    std::vector<std::uint64_t> flushed;
+    for (auto& [id, conn] : connections_) {
+      if (conn->eof && conn->outbuf.empty() && conn->pending == 0) {
+        flushed.push_back(id);
+        continue;
+      }
+      short events = conn->eof ? 0 : POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+      fd_conn.push_back(id);
+    }
+    for (const std::uint64_t id : flushed) close_connection(id);
+
+    // 100 ms tick while stopping so the flush loop re-checks promptly even
+    // if a wake byte was consumed before the last completion posted.
+    const int timeout_ms = stopping ? 100 : -1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      throw IoError("serve: poll() failed");
+    }
+
+    std::vector<std::uint64_t> dead;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      const pollfd& p = fds[i];
+      if (p.revents == 0) continue;
+      if (p.fd == listen_fd_) {
+        accept_clients();
+        continue;
+      }
+      if (p.fd == wake_read_fd_) {
+        char sink[256];
+        while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      const std::uint64_t id = fd_conn[i];
+      const auto it = connections_.find(id);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second;
+      bool alive = true;
+      if (p.revents & (POLLERR | POLLNVAL)) alive = false;
+      if (alive && (p.revents & (POLLIN | POLLHUP))) {
+        alive = pump_reads(conn);
+      }
+      if (alive && (p.revents & POLLOUT)) alive = pump_writes(conn);
+      if (!alive) dead.push_back(id);
+    }
+    for (const std::uint64_t id : dead) close_connection(id);
+  }
+}
+
+}  // namespace plin::serve

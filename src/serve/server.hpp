@@ -1,0 +1,89 @@
+// Server — the daemon's socket front-end: one poll()-driven IO thread
+// multiplexing every client connection over an AF_UNIX stream socket.
+//
+// Wire format: newline-delimited JSON (serve/protocol.hpp). The IO loop
+// never blocks on a client: reads are buffered per connection, writes are
+// queued per connection and drained as POLLOUT allows, and deferred
+// responses (submit with wait, wait) are completed via Engine::subscribe
+// callbacks that post onto a pending-response queue and wake the loop
+// through a self-pipe — worker threads never touch a socket.
+//
+// Shutdown: stop() (the SIGTERM handler calls it via the self-pipe, making
+// the signal path async-signal-safe) stops accepting, lets queued work
+// drain through the engine, flushes every pending response, then closes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+namespace plin::serve {
+
+struct ServerOptions {
+  std::string socket_path;  // required; unlinked + rebound on start
+  int listen_backlog = 128;
+};
+
+class Server {
+ public:
+  /// Binds and listens immediately (throws IoError on failure); serve()
+  /// then runs the IO loop on the calling thread until stop().
+  Server(Engine& engine, ServerOptions options);
+  ~Server();
+
+  /// Runs the IO loop until stop(); returns after the drain completed and
+  /// every pending response was flushed.
+  void serve();
+
+  /// Requests shutdown from any thread (or a signal handler: the only work
+  /// is one write() to the self-pipe).
+  void stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;     // generation id: stale callbacks are dropped
+    std::string inbuf;
+    std::string outbuf;
+    std::size_t pending = 0;  // deferred responses not yet delivered
+    bool eof = false;         // client closed; flush remaining, then close
+  };
+
+  void handle_line(Connection& conn, const std::string& line);
+  void queue_response(Connection& conn, const json::Value& response);
+  /// Registers an Engine::subscribe callback that answers `request` for
+  /// `key` once the job is terminal.
+  void defer_outcome(Connection& conn, const Request& request,
+                     const std::string& key, const std::string& status);
+  /// Thread-safe: posts a response for connection `id` and wakes the loop.
+  void post_deferred(std::uint64_t id, const json::Value& response);
+  void accept_clients();
+  bool pump_reads(Connection& conn);   // false: connection died
+  bool pump_writes(Connection& conn);  // false: connection died
+  void drain_deferred();
+  void close_connection(std::uint64_t id);
+
+  Engine& engine_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::mutex deferred_mutex_;
+  std::vector<std::pair<std::uint64_t, std::string>> deferred_;
+};
+
+}  // namespace plin::serve

@@ -234,6 +234,62 @@ TEST_F(PaperTrends, OneSocketDeploymentShowsPackageImbalance) {
   }
 }
 
+TEST_F(PaperTrends, MixedPrecisionBeatsFp64AcrossPaperCells) {
+  // Mixed-precision GEPP (fp32 factorization + fp64 refinement,
+  // docs/mixed_precision.md): at every paper cell the O(n^3) fp32
+  // factorization dominates the O(n^2)-per-sweep refinement, so mixed must
+  // be faster and cheaper than its fp64 twin — but never by more than the
+  // 2x fp32 peak (the communication floor and refinement overhead keep the
+  // speedup strictly below the arithmetic bound).
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    for (int ranks : hw::kPaperRankCounts) {
+      const hw::Placement placement =
+          hw::make_placement(ranks, hw::LoadLayout::kFullLoad, *machine_);
+      Workload mixed;
+      mixed.algorithm = Algorithm::kScalapack;
+      mixed.n = n;
+      mixed.nb = 64;
+      mixed.precision = Precision::kMixed;
+      const Prediction pm = simulator_->predict(mixed, placement);
+      const Prediction& pf = at(Algorithm::kScalapack, n, ranks);
+      const double speedup = pf.duration_s / pm.duration_s;
+      // The distributed corner is pivot-latency bound (same cells the
+      // strong-scaling test exempts): fp32 doesn't shrink message latency,
+      // and the refinement sweeps eat the small arithmetic win. There mixed
+      // must merely stay within noise of fp64.
+      const bool latency_bound =
+          (n == 8640 && ranks >= 576) || (n == 17280 && ranks == 1296);
+      if (latency_bound) {
+        EXPECT_GT(speedup, 0.95) << "n=" << n << " ranks=" << ranks;
+      } else {
+        EXPECT_GT(speedup, 1.05) << "n=" << n << " ranks=" << ranks;
+        EXPECT_LT(pm.total_j(), pf.total_j())
+            << "n=" << n << " ranks=" << ranks;
+      }
+      EXPECT_LT(speedup, 2.0) << "n=" << n << " ranks=" << ranks;
+      // Deterministic: the analytic model has no state.
+      const Prediction again = simulator_->predict(mixed, placement);
+      EXPECT_EQ(pm.duration_s, again.duration_s);
+      EXPECT_EQ(pm.total_j(), again.total_j());
+    }
+  }
+}
+
+TEST_F(PaperTrends, RefinementIterationModelMatchesExecutedSolver) {
+  // The executed mixed solver (solvers/gepp/mixed.cpp) converges in 3
+  // sweeps across the numeric-tier range; the model must reproduce that and
+  // hold it through Marconi scale, staying inside the enforced [2, 30] band
+  // even at absurd sizes.
+  for (std::size_t n : {96ul, 512ul, 1024ul}) {
+    EXPECT_EQ(refinement_iters(n), 3) << "n=" << n;
+  }
+  for (std::size_t n : hw::kPaperMatrixSizes) {
+    EXPECT_EQ(refinement_iters(n), 3) << "n=" << n;
+  }
+  EXPECT_GE(refinement_iters(2), 2);
+  EXPECT_LE(refinement_iters(1000000000000ul), 30);
+}
+
 TEST_F(PaperTrends, DramPowerGapFavoursScalapack) {
   // §5.4: the DRAM power gap is "even more significant" than the package
   // one, largest at low rank counts (up to ~42% in the paper).

@@ -9,6 +9,11 @@
 // bundle (docs/tracing.md) as human-readable tables: per-phase energy
 // attribution, communication totals and the critical-path breakdown.
 //
+// A third mode, `--store DIR`, inspects a campaign/serve result store:
+// journal health (duplicates, stale records, torn-tail recovery), the
+// record inventory, and — when the serve daemon left a stats snapshot
+// (<DIR>/serve_stats.json, docs/serve.md) — the cache and tenant counters.
+//
 //   ./powerlin_report [--markdown]   (--help for the flag reference)
 #include <cmath>
 #include <fstream>
@@ -17,6 +22,7 @@
 #include <sstream>
 #include <vector>
 
+#include "batch/store.hpp"
 #include "hwmodel/placement.hpp"
 #include "perfsim/simulator.hpp"
 #include "support/cli.hpp"
@@ -143,17 +149,87 @@ int report_trace(const std::string& dir) {
   return 0;
 }
 
+/// `--store DIR`: renders the store's journal health and record inventory,
+/// plus the serve daemon's stats snapshot when one exists.
+int report_store(const std::string& dir) {
+  const batch::ResultStore store(dir);
+  const batch::StoreStats stats = store.stats();
+
+  std::cout << "Result store: " << dir << "\n"
+            << "  records: " << store.size() << " (replayed "
+            << stats.replayed << " journal lines)\n"
+            << "  duplicate journal keys: " << stats.duplicate_keys << "\n"
+            << "  stale-format records skipped: " << stats.skipped_stale
+            << "\n"
+            << "  torn tail recovered: " << (stats.torn_tail ? "yes" : "no")
+            << "\n";
+
+  const std::string stats_path = dir + "/serve_stats.json";
+  std::ifstream is(stats_path, std::ios::binary);
+  if (!is) {
+    std::cout << "  (no serve stats snapshot: " << stats_path << ")\n";
+    return 0;
+  }
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+
+  const auto count = [](const json::Value& obj, std::string_view key) {
+    const json::Value* v = obj.find(key);
+    return v != nullptr ? static_cast<long>(v->as_number()) : 0L;
+  };
+
+  if (const json::Value* cache = doc.find("cache")) {
+    const long hits = count(*cache, "hits");
+    const long misses = count(*cache, "misses");
+    const long total = hits + misses;
+    std::cout << "\nCache (probe counters while the daemon ran):\n"
+              << "  hits " << hits << ", misses " << misses << ", inserts "
+              << count(*cache, "inserts") << ", hit ratio "
+              << format_fixed(total > 0 ? 100.0 * hits / total : 0.0, 1)
+              << "%\n";
+  }
+  if (const json::Value* engine = doc.find("scheduler")) {
+    std::cout << "Scheduler: " << count(*engine, "submitted")
+              << " submitted, " << count(*engine, "completed")
+              << " completed (" << count(*engine, "executed") << " executed, "
+              << count(*engine, "cache_hits") << " cache hits, "
+              << count(*engine, "coalesced") << " coalesced), "
+              << count(*engine, "failed") << " failed, "
+              << count(*engine, "rejected") << " rejected, "
+              << count(*engine, "retries") << " retries, "
+              << count(*engine, "timeouts") << " timeouts\n";
+  }
+  if (const json::Value* tenants = doc.find("tenants")) {
+    TextTable table({"tenant", "weight", "submitted", "completed", "hits",
+                     "coalesced", "rejected", "failed"});
+    for (const auto& [name, row] : tenants->as_object()) {
+      table.add_row({name, format_fixed(row.at("weight").as_number(), 1),
+                     std::to_string(count(row, "submitted")),
+                     std::to_string(count(row, "completed")),
+                     std::to_string(count(row, "cache_hits")),
+                     std::to_string(count(row, "coalesced")),
+                     std::to_string(count(row, "rejected")),
+                     std::to_string(count(row, "failed"))});
+    }
+    std::cout << "\nPer-tenant accounting:\n";
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   try {
-    args.require_known({"markdown", "trace", "version", "help"});
+    args.require_known({"markdown", "trace", "store", "version", "help"});
     if (args.get_bool("version", false)) {
       std::cout << "powerlin_report " << plin::kVersion << "\n";
       return 0;
     }
     if (args.has("trace")) return report_trace(args.get("trace", ""));
+    if (args.has("store")) return report_store(args.get("store", ""));
   } catch (const plin::Error& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;
@@ -163,6 +239,10 @@ int main(int argc, char** argv) {
                  "  --markdown   emit the claim table as GitHub markdown\n"
                  "  --trace DIR  render DIR/summary.json (a span-trace "
                  "bundle, docs/tracing.md)\n"
+                 "  --store DIR  inspect a result store: journal health, "
+                 "records, and the\n"
+                 "               serve daemon's stats snapshot when present "
+                 "(docs/serve.md)\n"
                  "  --version    print the release version and exit\n"
                  "  --help       this text\n";
     return 0;

@@ -37,8 +37,8 @@ One-off modes:
   --seed       generator seed (default 1)
   --reps       numeric repetitions (default 1)
   --precision  fp64 (default) | mixed (fp32 factorization + fp64 iterative
-               refinement; numeric tier, scalapack only —
-               docs/mixed_precision.md)
+               refinement; scalapack only — docs/mixed_precision.md; the
+               replay tier prices it with the refinement-iteration model)
   --tol        Jacobi tolerance (default 1e-12)
   --dominance  Jacobi diagonal dominance (default 0)
   --iterations Jacobi replay sweep count (default 100)
@@ -66,11 +66,6 @@ hw::LoadLayout parse_layout(const std::string& name) {
 }
 
 int run_replay(const CliArgs& args) {
-  if (args.get("precision", "fp64") != "fp64") {
-    std::cerr << "error: --precision mixed is numeric-tier only (perfsim "
-                 "has no refinement-iteration model yet)\n";
-    return 1;
-  }
   const hw::MachineSpec machine = hw::marconi_a3();
   const std::size_t n = static_cast<std::size_t>(args.get_int("n", 17280));
   const int ranks = static_cast<int>(args.get_int("ranks", 576));
@@ -88,6 +83,14 @@ int run_replay(const CliArgs& args) {
   } else {
     workload.algorithm = perfsim::Algorithm::kIme;
   }
+  workload.precision =
+      batch::parse_precision_token(args.get("precision", "fp64"));
+  if (workload.precision != perfsim::Precision::kFp64 &&
+      workload.algorithm != perfsim::Algorithm::kScalapack) {
+    std::cerr << "error: --precision mixed is a GEPP (scalapack) variant; "
+                 "IMe/Jacobi have no fp32 path\n";
+    return 1;
+  }
   const perfsim::Algorithm alg = workload.algorithm;
 
   const perfsim::Simulator simulator(machine);
@@ -95,7 +98,8 @@ int run_replay(const CliArgs& args) {
   const perfsim::Prediction p = simulator.predict(workload, placement);
 
   std::cout << "Replay-tier prediction on " << machine.name << ": "
-            << perfsim::to_string(alg) << ", n=" << n << ", "
+            << perfsim::to_string(alg) << " ("
+            << perfsim::to_string(workload.precision) << "), n=" << n << ", "
             << placement.describe() << "\n\n";
   TextTable table({"metric", "value"});
   table.add_row({"duration", format_duration(p.duration_s)});
@@ -187,7 +191,10 @@ int run_campaign_mode(const CliArgs& args) {
             << result.outcome.stopped << " stopped ("
             << result.records.size() << "/"
             << (result.records.size() + result.missing)
-            << " jobs in store)\n\n";
+            << " jobs in store)\n"
+            << "Store cache: " << result.store_stats.hits << " hits, "
+            << result.store_stats.misses << " misses, "
+            << result.store_stats.inserts << " inserts this invocation\n\n";
   batch::print_report_table(std::cout, result.records);
   if (!result.csv_path.empty()) {
     std::cout << "\nReports: " << result.csv_path << ", "

@@ -1,0 +1,130 @@
+// powerlin_serve — campaign-as-a-service daemon (docs/serve.md).
+//
+// Listens on a local AF_UNIX socket for newline-delimited JSON job
+// requests, schedules them across tenants with weighted fair-share atop a
+// bounded worker pool, dedupes identical specs against the content-
+// addressed result store, and journals every completion crash-safely: a
+// SIGKILL mid-run loses nothing that was acknowledged, and a restart
+// serves previously-completed jobs from the store without re-running them.
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish queued jobs,
+// flush every pending response, persist serve_stats.json, exit 0.
+#include <csignal>
+#include <iostream>
+#include <fstream>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+#include "support/error.hpp"
+#include "support/version.hpp"
+
+namespace {
+
+using namespace plin;  // NOLINT(build/namespaces) - tool main
+
+constexpr const char* kUsage = R"(powerlin_serve - campaign-as-a-service daemon
+
+Serves job requests over a local socket (newline-delimited JSON; protocol
+reference in docs/serve.md). Identical requests dedupe against the
+content-addressed result store; completed jobs are journaled before they
+are acknowledged, so kill -9 + restart never loses or re-runs a completed
+job.
+
+Usage:
+  powerlin_serve --socket=PATH --store=DIR [options]
+
+  --socket       AF_UNIX socket path to listen on (required)
+  --store        result-store directory (required; created if missing)
+  --workers      worker threads executing jobs (default 2)
+  --retries      extra attempts after a job failure (default 0)
+  --timeout      cooperative per-attempt budget in host seconds (default 0
+                 = unlimited; an over-budget result is discarded + retried)
+  --backoff      host seconds before retry k is k*backoff (default 0)
+  --max-queued   per-tenant admission limit on queued jobs (default 1024)
+  --max-inflight per-tenant cap on concurrently running jobs (default 0 =
+                 uncapped; fair-share still applies)
+  --stats        also print the stats JSON to stdout on exit
+  --version      print version
+  --help         this text
+
+On drain the daemon writes <store>/serve_stats.json (scheduler + tenant +
+cache counters); render it with `powerlin_report --store=DIR`.
+)";
+
+serve::Server* g_server = nullptr;
+
+void handle_signal(int) {
+  // Async-signal-safe: stop() only writes one byte to the self-pipe.
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  try {
+    args.require_known({"socket", "store", "workers", "retries", "timeout",
+                        "backoff", "max-queued", "max-inflight", "stats",
+                        "version", "help"});
+    if (args.get_bool("help", false)) {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (args.get_bool("version", false)) {
+      std::cout << "powerlin_serve " << plin::kVersion << "\n";
+      return 0;
+    }
+    const std::string socket_path = args.get("socket", "");
+    const std::string store_dir = args.get("store", "");
+    if (socket_path.empty() || store_dir.empty()) {
+      std::cerr << "error: --socket and --store are required (--help)\n";
+      return 1;
+    }
+
+    batch::ResultStore store(store_dir);
+    if (store.recovered_torn_tail()) {
+      std::cerr << "note: recovered a torn journal tail (previous daemon "
+                   "died mid-write); the torn line was dropped\n";
+    }
+
+    serve::EngineOptions options;
+    options.workers = static_cast<int>(args.get_int("workers", 2));
+    options.retries = static_cast<int>(args.get_int("retries", 0));
+    options.timeout_s = args.get_double("timeout", 0.0);
+    options.backoff_s = args.get_double("backoff", 0.0);
+    options.default_tenant.max_queued =
+        static_cast<int>(args.get_int("max-queued", 1024));
+    options.default_tenant.max_inflight =
+        static_cast<int>(args.get_int("max-inflight", 0));
+    serve::Engine engine(store, options);
+
+    serve::ServerOptions server_options;
+    server_options.socket_path = socket_path;
+    serve::Server server(engine, server_options);
+    g_server = &server;
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+
+    std::cerr << "powerlin_serve " << plin::kVersion << " listening on "
+              << socket_path << " (store " << store_dir << ", "
+              << options.workers << " workers, " << store.size()
+              << " records journaled)\n";
+    server.serve();
+    g_server = nullptr;
+
+    const std::string stats_text = json::serialize(engine.stats_json());
+    {
+      std::ofstream out(store_dir + "/serve_stats.json",
+                        std::ios::binary | std::ios::trunc);
+      out << stats_text << "\n";
+    }
+    if (args.get_bool("stats", false)) std::cout << stats_text << "\n";
+    std::cerr << "powerlin_serve drained: " << store.size()
+              << " records in the store\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
