@@ -100,10 +100,15 @@ void parse_grid(CampaignManifest& manifest, const KvLine& line) {
       for (const auto& t : tokens) {
         manifest.precisions.push_back(parse_precision_token(t));
       }
+    } else if (axis == "matrix") {
+      manifest.matrices.clear();
+      for (const auto& t : tokens) {
+        manifest.matrices.push_back(sparse::parse_kind_token(t));
+      }
     } else {
       fail(line, "unknown grid axis '" + axis +
                      "' (algorithm | n | ranks | layout | nb | seed | "
-                     "power_cap_w | precision)");
+                     "power_cap_w | precision | matrix)");
     }
   } catch (const InvalidArgument&) {
     throw;  // already carries line context or a precise token message
@@ -131,20 +136,30 @@ std::vector<JobSpec> CampaignManifest::expand() const {
                       algorithm != perfsim::Algorithm::kScalapack) {
                     continue;
                   }
-                  JobSpec spec;
-                  spec.tier = tier;
-                  spec.machine = machine;
-                  spec.algorithm = algorithm;
-                  spec.n = n;
-                  spec.ranks = ranks;
-                  spec.layout = layout;
-                  spec.nb = nb;
-                  spec.seed = seed;
-                  spec.repetitions = repetitions;
-                  spec.iterations = iterations;
-                  spec.power_cap_w = cap_w;
-                  spec.precision = precision;
-                  specs.push_back(std::move(spec));
+                  for (const sparse::SparseKind matrix : matrices) {
+                    // The matrix axis is a cg concept; on a mixed grid the
+                    // other algorithms take exactly one point regardless of
+                    // how many families the axis lists.
+                    if (matrix != sparse::SparseKind::kStencil5 &&
+                        algorithm != perfsim::Algorithm::kCg) {
+                      continue;
+                    }
+                    JobSpec spec;
+                    spec.tier = tier;
+                    spec.machine = machine;
+                    spec.algorithm = algorithm;
+                    spec.n = n;
+                    spec.ranks = ranks;
+                    spec.layout = layout;
+                    spec.nb = nb;
+                    spec.seed = seed;
+                    spec.repetitions = repetitions;
+                    spec.iterations = iterations;
+                    spec.power_cap_w = cap_w;
+                    spec.precision = precision;
+                    spec.matrix = matrix;
+                    specs.push_back(std::move(spec));
+                  }
                 }
               }
             }
@@ -157,16 +172,25 @@ std::vector<JobSpec> CampaignManifest::expand() const {
 }
 
 std::size_t CampaignManifest::job_count() const {
-  // Mirrors the skip in expand(): non-fp64 points exist for scalapack only.
+  // Mirrors the skips in expand(): non-fp64 points exist for scalapack
+  // only, non-default matrices for cg only.
   std::size_t fp64_points = 0;
   for (const perfsim::Precision precision : precisions) {
     if (precision == perfsim::Precision::kFp64) ++fp64_points;
   }
+  std::size_t default_matrix_points = 0;
+  for (const sparse::SparseKind matrix : matrices) {
+    if (matrix == sparse::SparseKind::kStencil5) ++default_matrix_points;
+  }
   std::size_t algorithm_points = 0;
   for (const perfsim::Algorithm algorithm : algorithms) {
-    algorithm_points += algorithm == perfsim::Algorithm::kScalapack
-                            ? precisions.size()
-                            : fp64_points;
+    const std::size_t precision_points =
+        algorithm == perfsim::Algorithm::kScalapack ? precisions.size()
+                                                    : fp64_points;
+    const std::size_t matrix_points =
+        algorithm == perfsim::Algorithm::kCg ? matrices.size()
+                                             : default_matrix_points;
+    algorithm_points += precision_points * matrix_points;
   }
   return algorithm_points * sizes.size() * rank_counts.size() *
          layouts.size() * blocks.size() * seeds.size() * power_caps_w.size();

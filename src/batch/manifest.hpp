@@ -1,8 +1,8 @@
 // Campaign manifests — the declarative analogue of the paper's SLURM batch
 // scripts. A manifest names the campaign, picks a tier and machine, sets
 // execution policy (workers, retries, timeout) and spans a grid over
-// algorithm / n / ranks / layout / nb / seed / power cap / precision.
-// Syntax is the
+// algorithm / n / ranks / layout / nb / seed / power cap / precision /
+// matrix. Syntax is the
 // support/kvfile line format; see docs/campaign.md for the reference.
 //
 //   campaign  ci-smoke
@@ -18,9 +18,9 @@
 //   grid layout    full half1 half2
 //
 // expand() walks the grid in declaration-independent canonical order
-// (algorithm, n, ranks, layout, nb, seed, cap, precision — outermost
-// first), so job order, and therefore every report derived from it, is
-// deterministic.
+// (algorithm, n, ranks, layout, nb, seed, cap, precision, matrix —
+// outermost first), so job order, and therefore every report derived from
+// it, is deterministic.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +52,9 @@ struct CampaignManifest {
   /// Precision axis; "mixed" expands for scalapack points only (numeric
   /// tier), so fp64-only campaigns are unaffected by its presence.
   std::vector<perfsim::Precision> precisions = {perfsim::Precision::kFp64};
+  /// Sparse-family axis; non-default kinds expand for cg points only, so
+  /// dense campaigns are unaffected by its presence.
+  std::vector<sparse::SparseKind> matrices = {sparse::SparseKind::kStencil5};
 
   /// Expands the grid into one JobSpec per point, canonical order.
   std::vector<JobSpec> expand() const;

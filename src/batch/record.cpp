@@ -22,6 +22,12 @@ json::Value to_json(const JobRecord& record) {
   if (record.spec.precision != perfsim::Precision::kFp64) {
     spec.set("precision", precision_token(record.spec.precision));
   }
+  // Same conditional rule for the sparse fields: only cg jobs carry them,
+  // so dense-only stores stay byte-stable across versions.
+  const bool is_cg = record.spec.algorithm == perfsim::Algorithm::kCg;
+  if (is_cg) {
+    spec.set("matrix", sparse::kind_token(record.spec.matrix));
+  }
 
   json::Array reps;
   reps.reserve(record.repetitions.size());
@@ -34,6 +40,10 @@ json::Value to_json(const JobRecord& record) {
     r.set("dram1_j", rep.dram_j[1]);
     r.set("residual", rep.residual);
     r.set("host_s", rep.host_s);
+    if (is_cg) {
+      r.set("cg_iters", rep.cg_iters);
+      r.set("nnz", static_cast<double>(rep.nnz));
+    }
     reps.push_back(std::move(r));
   }
 
@@ -63,6 +73,9 @@ JobRecord record_from_json(const json::Value& value) {
   if (const json::Value* precision = spec.find("precision")) {
     record.spec.precision = parse_precision_token(precision->as_string());
   }
+  if (const json::Value* matrix = spec.find("matrix")) {
+    record.spec.matrix = sparse::parse_kind_token(matrix->as_string());
+  }
 
   for (const json::Value& r : value.at("reps").as_array()) {
     RepetitionRecord rep;
@@ -73,6 +86,12 @@ JobRecord record_from_json(const json::Value& value) {
     rep.dram_j[1] = r.at("dram1_j").as_number();
     rep.residual = r.at("residual").as_number();
     rep.host_s = r.at("host_s").as_number();
+    if (const json::Value* iters = r.find("cg_iters")) {
+      rep.cg_iters = static_cast<int>(iters->as_number());
+    }
+    if (const json::Value* nnz = r.find("nnz")) {
+      rep.nnz = static_cast<std::size_t>(nnz->as_number());
+    }
     record.repetitions.push_back(rep);
   }
 

@@ -22,6 +22,8 @@ struct RepetitionRecord {
   double dram_j[2] = {0.0, 0.0};
   double residual = 0.0;
   double host_s = 0.0;
+  int cg_iters = 0;          // cg jobs only (serialized conditionally)
+  std::size_t nnz = 0;       // cg jobs only: global pattern nonzeros
 
   double total_j() const {
     return pkg_j[0] + pkg_j[1] + dram_j[0] + dram_j[1];

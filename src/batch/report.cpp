@@ -66,6 +66,29 @@ bool any_mixed(std::span<const JobRecord> records) {
   return false;
 }
 
+// Same contract for the sparse columns (matrix / cg_iters / nnz): they
+// appear only when a cg job is present.
+bool any_cg(std::span<const JobRecord> records) {
+  for (const JobRecord& record : records) {
+    if (record.spec.algorithm == perfsim::Algorithm::kCg) return true;
+  }
+  return false;
+}
+
+bool is_cg(const JobRecord& record) {
+  return record.spec.algorithm == perfsim::Algorithm::kCg;
+}
+
+/// First-repetition iteration count — CG is deterministic, so every
+/// repetition of a job reports the same value.
+int record_cg_iters(const JobRecord& record) {
+  return record.repetitions.empty() ? 0 : record.repetitions.front().cg_iters;
+}
+
+std::size_t record_nnz(const JobRecord& record) {
+  return record.repetitions.empty() ? 0 : record.repetitions.front().nnz;
+}
+
 }  // namespace
 
 std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
@@ -87,6 +110,7 @@ std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
 
 void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
+  const bool cg = any_cg(records);
   CsvWriter csv(os);
   std::vector<std::string> header = {
       "tier", "machine", "algorithm", "n", "ranks", "layout",
@@ -96,11 +120,21 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
       "total_mean_j", "total_stddev_j", "total_ci95_j",
       "pkg_mean_j", "dram_mean_j", "power_mean_w",
       "residual_worst"};
+  if (cg) {
+    header.insert(header.begin() + 3, "matrix");
+    header.push_back("cg_iters");
+    header.push_back("nnz");
+  }
   if (mixed) header.insert(header.begin() + 3, "precision");
   csv.write_row(header);
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
     std::vector<std::string> row = spec_cells(record.spec);
+    if (cg) {
+      row.insert(row.begin() + 3,
+                 is_cg(record) ? sparse::kind_token(record.spec.matrix)
+                               : "-");
+    }
     if (mixed) {
       row.insert(row.begin() + 3, precision_token(record.spec.precision));
     }
@@ -116,6 +150,12 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
     row.push_back(format_fixed(agg.dram_j.mean, 6));
     row.push_back(format_fixed(agg.power_w, 3));
     row.push_back(format_fixed(agg.worst_residual, 18));
+    if (cg) {
+      row.push_back(is_cg(record) ? std::to_string(record_cg_iters(record))
+                                  : "0");
+      row.push_back(is_cg(record) ? std::to_string(record_nnz(record))
+                                  : "0");
+    }
     csv.write_row(row);
   }
 }
@@ -123,15 +163,23 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
 void write_report_markdown(std::ostream& os,
                            std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
+  const bool cg = any_cg(records);
   os << "| tier | algorithm |" << (mixed ? " precision |" : "")
+     << (cg ? " matrix |" : "")
      << " n | ranks | layout | reps | duration | "
-        "energy | power | worst residual |\n";
-  os << "|---|---|" << (mixed ? "---|" : "") << "---|---|---|---|---|---|---|---|\n";
+        "energy | power | worst residual |"
+     << (cg ? " iters | nnz |" : "") << "\n";
+  os << "|---|---|" << (mixed ? "---|" : "") << (cg ? "---|" : "")
+     << "---|---|---|---|---|---|---|---|" << (cg ? "---|---|" : "") << "\n";
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
     os << "| " << to_string(record.spec.tier) << " | "
        << algorithm_token(record.spec.algorithm) << " | ";
     if (mixed) os << precision_token(record.spec.precision) << " | ";
+    if (cg) {
+      os << (is_cg(record) ? sparse::kind_token(record.spec.matrix) : "-")
+         << " | ";
+    }
     os << record.spec.n
        << " | " << record.spec.ranks << " | "
        << layout_token(record.spec.layout) << " | "
@@ -145,17 +193,32 @@ void write_report_markdown(std::ostream& os,
       os << " ± " << format_energy(agg.total_j.ci95_half);
     }
     os << " | " << format_power(agg.power_w) << " | "
-       << format_fixed(agg.worst_residual * 1e15, 2) << "e-15 |\n";
+       << format_fixed(agg.worst_residual * 1e15, 2) << "e-15 |";
+    if (cg) {
+      if (is_cg(record)) {
+        os << " " << record_cg_iters(record) << " | " << record_nnz(record)
+           << " |";
+      } else {
+        os << " - | - |";
+      }
+    }
+    os << "\n";
   }
 }
 
 void print_report_table(std::ostream& os,
                         std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
+  const bool cg = any_cg(records);
   std::vector<std::string> header = {
       "tier", "algorithm", "n", "ranks", "layout", "reps",
       "duration", "ci95", "PKG energy", "DRAM energy", "total",
       "power", "residual"};
+  if (cg) {
+    header.insert(header.begin() + 2, "matrix");
+    header.push_back("iters");
+    header.push_back("nnz");
+  }
   if (mixed) header.insert(header.begin() + 2, "precision");
   TextTable table(header);
   for (const JobRecord& record : records) {
@@ -176,6 +239,15 @@ void print_report_table(std::ostream& os,
         format_energy(agg.total_j.mean),
         format_power(agg.power_w),
         format_fixed(agg.worst_residual * 1e15, 2) + "e-15"};
+    if (cg) {
+      row.insert(row.begin() + 2,
+                 is_cg(record) ? sparse::kind_token(record.spec.matrix)
+                               : "-");
+      row.push_back(is_cg(record) ? std::to_string(record_cg_iters(record))
+                                  : "-");
+      row.push_back(is_cg(record) ? std::to_string(record_nnz(record))
+                                  : "-");
+    }
     if (mixed) {
       row.insert(row.begin() + 2, precision_token(record.spec.precision));
     }

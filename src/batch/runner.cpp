@@ -2,6 +2,7 @@
 
 #include "monitor/campaign.hpp"
 #include "perfsim/simulator.hpp"
+#include "sparse/generate.hpp"
 #include "support/error.hpp"
 #include "support/stopwatch.hpp"
 
@@ -23,6 +24,7 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
   mspec.repetitions = spec.repetitions;
   mspec.power_cap_w = spec.power_cap_w;
   mspec.precision = spec.precision;
+  mspec.matrix = spec.matrix;
 
   monitor::MonitorOptions moptions;
   if (!trace_dir.empty()) {
@@ -43,6 +45,8 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
     r.dram_j[1] = rep.measurement.dram_j[1];
     r.residual = rep.residual;
     r.host_s = rep.host_seconds;
+    r.cg_iters = rep.cg_iters;
+    r.nnz = rep.nnz;
     record.repetitions.push_back(r);
   }
   return record;
@@ -59,6 +63,7 @@ JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
   workload.nb = spec.nb;
   workload.iterations = spec.iterations;
   workload.precision = spec.precision;
+  workload.matrix = spec.matrix;
   const perfsim::Prediction p = simulator.predict(workload, placement);
   const double host_s = wall.elapsed_s();
 
@@ -73,6 +78,10 @@ JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
   r.dram_j[1] = p.dram_j[1];
   r.residual = 0.0;
   r.host_s = host_s;
+  if (spec.algorithm == perfsim::Algorithm::kCg) {
+    r.cg_iters = perfsim::cg_model_iters(workload.matrix, workload.tolerance);
+    r.nnz = sparse::pattern_nnz(workload.matrix, spec.n);
+  }
 
   JobRecord record;
   record.spec = spec;

@@ -39,6 +39,7 @@ const char* algorithm_token(perfsim::Algorithm algorithm) {
     case perfsim::Algorithm::kIme: return "ime";
     case perfsim::Algorithm::kScalapack: return "scalapack";
     case perfsim::Algorithm::kJacobi: return "jacobi";
+    case perfsim::Algorithm::kCg: return "cg";
   }
   return "ime";
 }
@@ -47,8 +48,9 @@ perfsim::Algorithm parse_algorithm_token(const std::string& token) {
   if (token == "ime") return perfsim::Algorithm::kIme;
   if (token == "scalapack") return perfsim::Algorithm::kScalapack;
   if (token == "jacobi") return perfsim::Algorithm::kJacobi;
+  if (token == "cg") return perfsim::Algorithm::kCg;
   throw InvalidArgument(
-      "unknown algorithm (use ime | scalapack | jacobi): " + token);
+      "unknown algorithm (use ime | scalapack | jacobi | cg): " + token);
 }
 
 const char* precision_token(perfsim::Precision precision) {
@@ -85,6 +87,12 @@ std::string JobSpec::canonical() const {
     out += "|precision=";
     out += precision_token(precision);
   }
+  // Same append-only rule: only cg jobs carry a matrix, so every
+  // pre-existing dense key stays valid.
+  if (algorithm == perfsim::Algorithm::kCg) {
+    out += "|matrix=";
+    out += sparse::kind_token(matrix);
+  }
   return out;
 }
 
@@ -115,6 +123,10 @@ std::string JobSpec::describe() const {
   if (precision != perfsim::Precision::kFp64) {
     out += " ";
     out += precision_token(precision);
+  }
+  if (algorithm == perfsim::Algorithm::kCg) {
+    out += " ";
+    out += sparse::kind_token(matrix);
   }
   return out;
 }

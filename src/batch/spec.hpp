@@ -33,7 +33,7 @@ Tier parse_tier(const std::string& token);
 const char* layout_token(hw::LoadLayout layout);
 hw::LoadLayout parse_layout_token(const std::string& token);
 
-/// Manifest tokens for algorithms ("ime" | "scalapack" | "jacobi").
+/// Manifest tokens for algorithms ("ime" | "scalapack" | "jacobi" | "cg").
 const char* algorithm_token(perfsim::Algorithm algorithm);
 perfsim::Algorithm parse_algorithm_token(const std::string& token);
 
@@ -58,6 +58,9 @@ struct JobSpec {
   /// fp64 (default) or mixed (fp32 factorization + fp64 refinement);
   /// numeric tier + scalapack only.
   perfsim::Precision precision = perfsim::Precision::kFp64;
+  /// Sparse family for cg jobs (sparse/generate.hpp tokens); ignored — and
+  /// kept out of the canonical string — for every other algorithm.
+  sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
 
   /// Canonical serialization: the hash pre-image, also usable as a fully
   /// qualified human-readable job id.

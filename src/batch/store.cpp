@@ -148,4 +148,12 @@ StoreStats ResultStore::stats() const {
   return stats;
 }
 
+std::vector<JobRecord> ResultStore::all_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [key, record] : records_) out.push_back(record);
+  return out;
+}
+
 }  // namespace plin::batch

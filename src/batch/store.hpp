@@ -91,6 +91,10 @@ class ResultStore {
   /// Snapshot of the cache counters (thread-safe).
   StoreStats stats() const;
 
+  /// Copies of every record, key-ordered (the std::map iteration order) —
+  /// the record inventory `powerlin_report --store` renders.
+  std::vector<JobRecord> all_records() const;
+
  private:
   void replay_journal();
 

@@ -1,0 +1,38 @@
+// Sparse-aware DRAM-traffic pricing: the bytes the CSR SpMV streams per
+// call, shared by the executing CG solver (which charges Comm::compute
+// with it) and the perfsim replay. Pricing the 4-byte index stream next to
+// the value stream is what makes SpMV traffic-dominated in the model —
+// ~10 bytes/flop in fp64 against the dense kernels' 0.04–1.0 — so the
+// sparse family stresses the hwmodel's DRAM term the way the memory-bound
+// regime demands (docs/sparse.md).
+#pragma once
+
+#include <cstddef>
+
+namespace plin::hw {
+
+/// Bytes of one stored matrix value (8 in fp64 campaigns, 4 in fp32 —
+/// per-machine pricing honors the same precision split as the dense BLAS).
+inline constexpr double csr_value_bytes(bool fp32 = false) {
+  return fp32 ? 4.0 : 8.0;
+}
+
+/// DRAM traffic of one CSR SpMV over `nnz` entries and `rows` owned rows:
+/// per entry, the stored value, its 4-byte column index, and the gathered
+/// x element (the worst-case cold-gather model — stencil reuse is priced
+/// into the kernel's efficiency, not the byte count); per row, the row_ptr
+/// offset and the y write (8 bytes each).
+inline constexpr double csr_spmv_bytes(double nnz, double rows,
+                                       bool fp32 = false) {
+  const double vb = csr_value_bytes(fp32);
+  return nnz * (vb + 4.0 + vb) + rows * 16.0;
+}
+
+/// The same traffic normalized per flop (SpMV does 2 flops per entry) —
+/// the bytes_per_flop a KernelProfile carries.
+inline constexpr double csr_spmv_bytes_per_flop(double nnz, double rows,
+                                                bool fp32 = false) {
+  return csr_spmv_bytes(nnz, rows, fp32) / (2.0 * nnz);
+}
+
+}  // namespace plin::hw

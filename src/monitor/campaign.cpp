@@ -5,9 +5,11 @@
 #include "linalg/generate.hpp"
 #include "linalg/kernels.hpp"
 #include "papisim/papi.hpp"
+#include "solvers/cg/cg.hpp"
 #include "solvers/gepp/mixed.hpp"
 #include "solvers/gepp/pdgesv.hpp"
 #include "solvers/ime/imep.hpp"
+#include "sparse/csr.hpp"
 #include "support/csv.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
@@ -36,6 +38,9 @@ std::string JobSpec::describe() const {
                     std::to_string(n) + " ranks=" + std::to_string(ranks) +
                     " " + hw::to_string(layout);
   if (precision == perfsim::Precision::kMixed) out += " mixed";
+  if (algorithm == perfsim::Algorithm::kCg) {
+    out += std::string(" ") + sparse::kind_token(matrix);
+  }
   return out;
 }
 
@@ -93,8 +98,15 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
   config.machine = machine;
   config.placement = hw::make_placement(spec.ranks, spec.layout, machine);
 
-  // Reference data for the residual check (numeric-tier sizes only).
-  const linalg::Matrix a = linalg::generate_system_matrix(spec.seed, spec.n);
+  // Reference data for the residual check (numeric-tier sizes only): the
+  // dense generated system for the dense solvers, the sparse family for CG.
+  const bool is_cg = spec.algorithm == perfsim::Algorithm::kCg;
+  const linalg::Matrix a =
+      is_cg ? linalg::Matrix(1, 1)
+            : linalg::generate_system_matrix(spec.seed, spec.n);
+  const sparse::CsrMatrix sa =
+      is_cg ? sparse::generate_matrix(spec.matrix, spec.seed, spec.n)
+            : sparse::CsrMatrix{};
   const std::vector<double> b = linalg::generate_rhs(spec.seed, spec.n);
 
   JobResult result;
@@ -124,7 +136,20 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
               }
               comm.barrier();
             }
-            if (spec.algorithm == perfsim::Algorithm::kIme) {
+            if (spec.algorithm == perfsim::Algorithm::kCg) {
+              solvers::CgOptions opt;
+              opt.kind = spec.matrix;
+              opt.n = spec.n;
+              opt.seed = spec.seed;
+              opt.tolerance = spec.tolerance;
+              const solvers::CgResult r = solve_pcg(comm, opt);
+              x = r.x;
+              if (comm.rank() == 0) {
+                PLIN_CHECK_MSG(r.converged, "campaign: cg did not converge");
+                rr.cg_iters = r.iterations;
+                rr.nnz = r.nnz;
+              }
+            } else if (spec.algorithm == perfsim::Algorithm::kIme) {
               solvers::ImepOptions opt;
               opt.n = spec.n;
               opt.seed = spec.seed;
@@ -150,7 +175,8 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
           });
       if (world.rank() == 0) {
         rr.measurement = measurement;
-        rr.residual = linalg::scaled_residual(a.view(), x, b);
+        rr.residual = is_cg ? sparse::scaled_residual(sa, x, b)
+                            : linalg::scaled_residual(a.view(), x, b);
       }
     });
     rr.host_seconds = wall.elapsed_s();
@@ -177,17 +203,33 @@ bool any_mixed(std::span<const JobResult> jobs) {
   return false;
 }
 
+/// Same byte-stability contract for the sparse columns: matrix / iters /
+/// nnz appear only once a CG job is in the report.
+bool any_cg(std::span<const JobResult> jobs) {
+  for (const JobResult& job : jobs) {
+    if (job.spec.algorithm == perfsim::Algorithm::kCg) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
   const bool mixed = any_mixed(jobs);
+  const bool cg = any_cg(jobs);
   std::vector<std::string> header = {"algorithm", "n", "ranks", "layout",
                                      "reps", "duration", "PKG energy",
                                      "DRAM energy", "total", "power",
                                      "residual"};
+  if (cg) {
+    header.insert(header.begin() + 1, "matrix");
+    header.push_back("iters");
+    header.push_back("nnz");
+  }
   if (mixed) header.insert(header.begin() + 1, "precision");
   TextTable table(header);
   for (const JobResult& job : jobs) {
+    const bool job_cg = job.spec.algorithm == perfsim::Algorithm::kCg;
     std::vector<std::string> row = {
         std::string(perfsim::to_string(job.spec.algorithm)),
         std::to_string(job.spec.n),
@@ -200,6 +242,13 @@ void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
         format_energy(job.mean_total_j()),
         format_power(job.mean_power_w()),
         format_fixed(job.worst_residual() * 1e15, 2) + "e-15"};
+    if (cg) {
+      row.insert(row.begin() + 1,
+                 job_cg ? sparse::kind_token(job.spec.matrix) : "-");
+      const RepetitionResult& first = job.repetitions.front();
+      row.push_back(job_cg ? std::to_string(first.cg_iters) : "-");
+      row.push_back(job_cg ? std::to_string(first.nnz) : "-");
+    }
     if (mixed) {
       row.insert(row.begin() + 1, perfsim::to_string(job.spec.precision));
     }
@@ -210,12 +259,18 @@ void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
 
 void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
   const bool mixed = any_mixed(jobs);
+  const bool cg = any_cg(jobs);
   CsvWriter csv(os);
   std::vector<std::string> header = {"algorithm", "n", "ranks", "layout",
                                      "repetition", "duration_s", "pkg0_j",
                                      "pkg1_j", "dram0_j", "dram1_j",
                                      "total_j", "power_w", "residual",
                                      "host_s"};
+  if (cg) {
+    header.insert(header.begin() + 1, "matrix");
+    header.push_back("cg_iters");
+    header.push_back("nnz");
+  }
   if (mixed) {
     header.insert(header.begin() + 1, "precision");
     header.push_back("refine_iters");
@@ -223,6 +278,7 @@ void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
   }
   csv.write_row(header);
   for (const JobResult& job : jobs) {
+    const bool job_cg = job.spec.algorithm == perfsim::Algorithm::kCg;
     for (std::size_t i = 0; i < job.repetitions.size(); ++i) {
       const RepetitionResult& rep = job.repetitions[i];
       const RunMeasurement& m = rep.measurement;
@@ -241,6 +297,12 @@ void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
           format_fixed(m.avg_power_w(), 3),
           format_fixed(rep.residual, 18),
           format_fixed(rep.host_seconds, 4)};
+      if (cg) {
+        row.insert(row.begin() + 1,
+                   job_cg ? sparse::kind_token(job.spec.matrix) : "-");
+        row.push_back(job_cg ? std::to_string(rep.cg_iters) : "0");
+        row.push_back(job_cg ? std::to_string(rep.nnz) : "0");
+      }
       if (mixed) {
         row.insert(row.begin() + 1, perfsim::to_string(job.spec.precision));
         row.push_back(std::to_string(rep.refine_iters));

@@ -18,6 +18,7 @@
 #include "monitor/white_box.hpp"
 #include "perfsim/prediction.hpp"
 #include "solvers/efficiency.hpp"
+#include "sparse/generate.hpp"
 #include "support/stats.hpp"
 
 namespace plin::monitor {
@@ -37,6 +38,10 @@ struct JobSpec {
   /// kMixed runs the fp32-factorize + fp64-refine GEPP variant instead of
   /// full fp64 (scalapack only; IMe and Jacobi have no mixed path).
   perfsim::Precision precision = perfsim::Precision::kFp64;
+  /// CG only: the sparse family the job solves (ignored by the dense
+  /// solvers) and the relative-residual convergence target.
+  sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
+  double tolerance = 1e-11;
 
   std::string describe() const;
 };
@@ -47,6 +52,8 @@ struct RepetitionResult {
   double host_seconds = 0.0; // wall time of this repetition (diagnostics)
   int refine_iters = 0;      // mixed precision: fp64 refinement sweeps
   bool fell_back = false;    // mixed precision: fp32 abandoned for fp64
+  int cg_iters = 0;          // CG: iterations to convergence
+  std::size_t nnz = 0;       // CG: global pattern nonzeros streamed
 };
 
 struct JobResult {

@@ -1,0 +1,135 @@
+// Analytic replay of the distributed CG solver (see solvers/cg/cg.cpp for
+// the executed twin). Each iteration is bulk synchronous: halo exchange of
+// the search-direction ghosts, local CSR SpMV priced with the sparse
+// DRAM-traffic term, two scalar allreduce dot products, and the axpy
+// updates; the iteration count comes from the classic CG error bound at
+// the family's Gershgorin condition estimate.
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/sparse.hpp"
+#include "perfsim/activity.hpp"
+#include "perfsim/simulator.hpp"
+#include "support/error.hpp"
+
+namespace plin::perfsim {
+
+int cg_model_iters(sparse::SparseKind kind, double tolerance) {
+  PLIN_CHECK_MSG(tolerance > 0.0 && tolerance < 1.0,
+                 "perfsim: cg tolerance out of range");
+  const double kappa = 2.0 * sparse::pattern_offdiag_sum(kind) + 1.0;
+  const double rho =
+      (std::sqrt(kappa) - 1.0) / (std::sqrt(kappa) + 1.0);
+  const double iters =
+      std::ceil(std::log(2.0 / tolerance) / -std::log(rho));
+  return std::max(1, static_cast<int>(iters));
+}
+
+Prediction predict_cg(const hw::MachineSpec& machine,
+                      const hw::Placement& placement, std::size_t n,
+                      sparse::SparseKind kind, double tolerance) {
+  PLIN_CHECK_MSG(n > 0, "perfsim: empty system");
+  const hw::ClusterLayout layout(machine, placement);
+  const hw::NetworkModel network(machine.network);
+  const int ranks = placement.ranks;
+  const double ovh = network.per_message_overhead();
+  const int sharers =
+      std::max(placement.ranks_socket0, placement.ranks_socket1);
+  const hw::LinkClass worst =
+      placement.nodes > 1
+          ? hw::LinkClass::kCrossNode
+          : (placement.sockets_used == 2 ? hw::LinkClass::kCrossSocket
+                                         : hw::LinkClass::kSameSocket);
+  std::vector<int> world_members;
+  for (int r = 0; r < ranks; ++r) world_members.push_back(r);
+
+  const int iterations = cg_model_iters(kind, tolerance);
+  const double nnz = static_cast<double>(sparse::pattern_nnz(kind, n));
+  const double nnz_rank = nnz / ranks;
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(ranks) - 1) / ranks;
+  const double rows = static_cast<double>(chunk);
+  const double chunk_bytes = 8.0 * rows;
+  const double x_bytes = chunk_bytes * static_cast<double>(ranks);
+
+  Prediction prediction;
+  const double bw_share =
+      machine.node.socket.dram_bandwidth_bs / std::max(1, sharers);
+
+  // Allocation: each rank's CSR slice (8-byte values + 4-byte indices +
+  // row offsets — the same streams CsrMatrix::size_bytes walks).
+  const double slice_bytes = 12.0 * nnz_rank + 8.0 * (rows + 1.0);
+  double T = slice_bytes / bw_share;
+
+  // Per iteration, on the critical path:
+  //   halo — each boundary rank trades ghost values with both neighbors;
+  //     the ghost count per side is the pattern's reach clipped to the
+  //     block (a rank cannot need more ghosts than a neighbor owns);
+  const double ghost_vals = static_cast<double>(
+      std::min(sparse::pattern_reach(kind, n), chunk));
+  const double t_halo =
+      ranks > 1
+          ? 2.0 * (ovh + network.transfer_time(worst, 8.0 * ghost_vals))
+          : 0.0;
+  //   SpMV — the sparse bytes/flop is a property of the matrix, not a
+  //     constant, so the profile is assembled per call;
+  const solvers::KernelProfile spmv_profile{
+      solvers::kSpmv.efficiency,
+      hw::csr_spmv_bytes_per_flop(nnz_rank, rows)};
+  const double spmv_flops = 2.0 * nnz_rank;
+  const double t_spmv =
+      kernel_time(machine, sharers, spmv_profile, spmv_flops).seconds;
+  //   two dot products — local partial + scalar allreduce each;
+  const double dot_flops = 2.0 * rows;
+  const double t_dot =
+      kernel_time(machine, sharers, solvers::kDot, dot_flops).seconds;
+  const double t_allreduce =
+      2.0 * tree_time(layout, network, world_members, 8.0);
+  //   axpy updates — x/r (4 flops per row) and the p refresh (2 per row).
+  const double axpy_flops = 6.0 * rows;
+  const double t_axpy =
+      kernel_time(machine, sharers, solvers::kAxpy, axpy_flops).seconds;
+
+  const double t_iter =
+      t_halo + t_spmv + 2.0 * (t_dot + t_allreduce) + t_axpy;
+  // Setup dots (||b|| and the nnz reduction) ride the same primitives.
+  T += 2.0 * (t_dot + t_allreduce);
+  T += static_cast<double>(iterations) * t_iter;
+
+  // Final solution rebuild: padded allgather (gather fan-in + broadcast,
+  // matching the executed tree collective) plus ingestion of the iterate.
+  const double t_gather =
+      ranks > 1 ? static_cast<double>(ranks - 1) * ovh +
+                      network.transfer_time(worst, chunk_bytes) +
+                      tree_time(layout, network, world_members, x_bytes) +
+                      x_bytes / bw_share
+                : 0.0;
+  T += t_gather;
+
+  prediction.duration_s = T;
+  prediction.comm_s =
+      static_cast<double>(iterations) * (t_halo + 2.0 * t_allreduce) +
+      2.0 * t_allreduce + t_gather;
+  prediction.compute_s = T - prediction.comm_s;
+
+  // Per-rank activity for energy.
+  const double iters_d = static_cast<double>(iterations);
+  std::vector<RankActivity> per_rank(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    RankActivity& a = per_rank[static_cast<std::size_t>(r)];
+    charge_kernel(a, machine, sharers, spmv_profile, iters_d * spmv_flops);
+    charge_kernel(a, machine, sharers, solvers::kDot,
+                  (2.0 * iters_d + 2.0) * dot_flops);
+    charge_kernel(a, machine, sharers, solvers::kAxpy, iters_d * axpy_flops);
+    a.membound_s += slice_bytes / bw_share + x_bytes / bw_share;
+    a.dram_bytes += slice_bytes;
+    // Halo traffic + allreduce hops + the final gather, spread evenly.
+    charge_messages(a, network, iters_d * (4.0 + 4.0) + 2.0,
+                    iters_d * (2.0 * 8.0 * ghost_vals + 4.0 * 8.0) +
+                        chunk_bytes + 2.0 * x_bytes / ranks);
+  }
+  fill_energy(prediction, machine, layout, per_rank, T);
+  return prediction;
+}
+
+}  // namespace plin::perfsim

@@ -5,9 +5,11 @@
 
 #include <cstddef>
 
+#include "sparse/generate.hpp"
+
 namespace plin::perfsim {
 
-enum class Algorithm { kIme, kScalapack, kJacobi };
+enum class Algorithm { kIme, kScalapack, kJacobi, kCg };
 
 const char* to_string(Algorithm algorithm);
 
@@ -29,6 +31,10 @@ struct Workload {
   /// (scalapack only — the refinement-iteration model in
   /// scalapack_model.cpp); every other algorithm requires kFp64.
   Precision precision = Precision::kFp64;
+  /// CG only: which sparse family the job solves, and the relative-residual
+  /// target that (with the family's spectrum) fixes the iteration count.
+  sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
+  double tolerance = 1e-11;
 };
 
 struct Prediction {

@@ -9,6 +9,7 @@ const char* to_string(Algorithm algorithm) {
     case Algorithm::kIme: return "IMe";
     case Algorithm::kScalapack: return "ScaLAPACK";
     case Algorithm::kJacobi: return "Jacobi";
+    case Algorithm::kCg: return "CG";
   }
   return "?";
 }
@@ -34,6 +35,9 @@ Prediction Simulator::predict(const Workload& workload,
     case Algorithm::kJacobi:
       return predict_jacobi(machine_, placement, workload.n,
                             workload.iterations);
+    case Algorithm::kCg:
+      return predict_cg(machine_, placement, workload.n, workload.matrix,
+                        workload.tolerance);
   }
   throw InvalidArgument("unknown algorithm");
 }

@@ -55,4 +55,19 @@ Prediction predict_scalapack_mixed(const hw::MachineSpec& machine,
 /// range; this model reproduces that and stays at 3 through Marconi scale).
 int refinement_iters(std::size_t n);
 
+/// Distributed-CG replay: per-iteration SpMV (priced with the sparse
+/// DRAM-traffic term from hwmodel/sparse.hpp), halo exchange, two scalar
+/// allreduce dots and the axpy updates, iterated cg_model_iters times, then
+/// the final solution allgather (docs/sparse.md).
+Prediction predict_cg(const hw::MachineSpec& machine,
+                      const hw::Placement& placement, std::size_t n,
+                      sparse::SparseKind kind, double tolerance);
+
+/// The analytic iteration-count model: the classic CG error bound
+/// ||e_k|| <= 2 ((sqrt(k)-1)/(sqrt(k)+1))^k ||e_0|| evaluated at the
+/// family's Gershgorin condition estimate kappa = 2 S + 1 (diagonal =
+/// row sum S + 1 puts the spectrum in [1, 2 S + 1]). An upper bound, so it
+/// tracks — without matching bit-for-bit — the executed iteration counts.
+int cg_model_iters(sparse::SparseKind kind, double tolerance);
+
 }  // namespace plin::perfsim

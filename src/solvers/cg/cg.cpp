@@ -1,0 +1,312 @@
+#include "solvers/cg/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hwmodel/sparse.hpp"
+#include "linalg/generate.hpp"
+#include "solvers/efficiency.hpp"
+#include "support/error.hpp"
+
+namespace plin::solvers {
+namespace {
+
+// Point-to-point tags of the CG protocol (halo negotiation + exchange).
+constexpr int kTagHaloCount = 901;
+constexpr int kTagHaloCols = 902;
+constexpr int kTagHaloData = 903;
+
+double dot_span(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace
+
+CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
+                  double tolerance, int max_iterations) {
+  PLIN_CHECK_MSG(a.rows == a.cols, "cg: A must be square");
+  const std::size_t n = a.rows;
+  PLIN_CHECK_MSG(b.size() == n, "cg: rhs size mismatch");
+  PLIN_CHECK_MSG(tolerance > 0.0 && max_iterations > 0,
+                 "cg: bad iteration controls");
+
+  CgResult result;
+  result.nnz = a.nnz();
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> p = r;
+  std::vector<double> q(n, 0.0);
+
+  const double b_norm = std::sqrt(dot_span(b, b));
+  if (b_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  double rr = dot_span(r, r);
+  for (int iter = 1; iter <= max_iterations; ++iter) {
+    sparse::spmv(a, p, q);
+    const double pq = dot_span(p, q);
+    PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
+    const double alpha = rr / pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      result.x[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rr_next = dot_span(r, r);
+    result.iterations = iter;
+    result.relative_residual = std::sqrt(rr_next) / b_norm;
+    if (result.relative_residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  return result;
+}
+
+CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
+  const std::size_t n = options.n;
+  PLIN_CHECK_MSG(n > 0, "cg: system dimension must be positive");
+  PLIN_CHECK_MSG(options.tolerance > 0.0 && options.max_iterations > 0,
+                 "cg: bad iteration controls");
+  const int ranks = comm.size();
+  const int rank = comm.rank();
+
+  // Contiguous row blocks, padded to a uniform chunk so the solution can be
+  // rebuilt with a fixed-size allgather (the Jacobi placement arithmetic).
+  const std::size_t chunk =
+      (n + static_cast<std::size_t>(ranks) - 1) / ranks;
+  const std::size_t lo = std::min(n, chunk * static_cast<std::size_t>(rank));
+  const std::size_t hi = std::min(n, lo + chunk);
+  const std::size_t local_rows = hi - lo;
+
+  // -- local slice of the system -------------------------------------------
+  comm.prof_phase_begin("cg:generate");
+  sparse::CsrMatrix local =
+      sparse::generate_rows(options.kind, options.seed, n, lo, hi);
+  std::vector<double> local_b(local_rows, 0.0);
+  for (std::size_t li = 0; li < local_rows; ++li) {
+    local_b[li] = linalg::rhs_entry(options.seed, n, lo + li);
+  }
+  comm.memory_touch(local.size_bytes());
+  comm.prof_phase_end();
+
+  // -- halo negotiation -----------------------------------------------------
+  // Ghost columns: every off-block column the local rows reference, sorted
+  // ascending. owner(col) = col / chunk is monotone in col, so the sorted
+  // ghost list is contiguous per owning rank — each peer's values land in
+  // one slice of the ghost region.
+  comm.prof_phase_begin("cg:halo-setup");
+  std::vector<std::uint32_t> ghosts;
+  for (const std::uint32_t col : local.col_idx) {
+    if (col < lo || col >= hi) ghosts.push_back(col);
+  }
+  std::sort(ghosts.begin(), ghosts.end());
+  ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+
+  // Remap the local matrix to compact indexing: [owned rows | ghost slots].
+  for (std::uint32_t& col : local.col_idx) {
+    if (col >= lo && col < hi) {
+      col = static_cast<std::uint32_t>(col - lo);
+    } else {
+      const auto it = std::lower_bound(ghosts.begin(), ghosts.end(), col);
+      col = static_cast<std::uint32_t>(
+          local_rows + static_cast<std::size_t>(it - ghosts.begin()));
+    }
+  }
+  local.cols = local_rows + ghosts.size();
+
+  struct InPeer {
+    int peer = 0;
+    std::size_t offset = 0;  // slice of the ghost region this peer fills
+    std::size_t count = 0;
+  };
+  struct OutPeer {
+    int peer = 0;
+    std::vector<std::size_t> rows;  // owned local indices this peer needs
+  };
+  std::vector<InPeer> in_peers;
+  {
+    std::size_t at = 0;
+    while (at < ghosts.size()) {
+      const int owner = static_cast<int>(ghosts[at] / chunk);
+      std::size_t end = at;
+      while (end < ghosts.size() &&
+             static_cast<int>(ghosts[end] / chunk) == owner) {
+        ++end;
+      }
+      in_peers.push_back(InPeer{owner, at, end - at});
+      at = end;
+    }
+  }
+  // Every rank tells every other rank how many of its entries it needs
+  // (possibly zero), then the column lists follow. Sends are buffered, so
+  // the symmetric all-to-all cannot deadlock.
+  for (int p = 0; p < ranks; ++p) {
+    if (p == rank) continue;
+    std::uint64_t count = 0;
+    const InPeer* in = nullptr;
+    for (const InPeer& candidate : in_peers) {
+      if (candidate.peer == p) {
+        in = &candidate;
+        count = candidate.count;
+        break;
+      }
+    }
+    comm.send_value(count, p, kTagHaloCount);
+    if (in != nullptr) {
+      comm.send(std::span<const std::uint32_t>(ghosts.data() + in->offset,
+                                               in->count),
+                p, kTagHaloCols);
+    }
+  }
+  std::vector<OutPeer> out_peers;
+  for (int p = 0; p < ranks; ++p) {
+    if (p == rank) continue;
+    const auto count = comm.recv_value<std::uint64_t>(p, kTagHaloCount);
+    if (count == 0) continue;
+    std::vector<std::uint32_t> wanted(count, 0);
+    comm.recv(std::span<std::uint32_t>(wanted), p, kTagHaloCols);
+    OutPeer out;
+    out.peer = p;
+    out.rows.reserve(count);
+    for (const std::uint32_t col : wanted) {
+      PLIN_CHECK_MSG(col >= lo && col < hi, "cg: halo request out of block");
+      out.rows.push_back(col - lo);
+    }
+    out_peers.push_back(std::move(out));
+  }
+  comm.prof_phase_end();
+
+  // -- CG iteration ---------------------------------------------------------
+  const double flops_dot = 2.0 * static_cast<double>(local_rows);
+  const auto charge_dot = [&] {
+    comm.compute(xmpi::ComputeCost{flops_dot,
+                                   flops_dot * kDot.bytes_per_flop,
+                                   kDot.efficiency});
+  };
+  const auto global_dot = [&](std::span<const double> a,
+                              std::span<const double> b) {
+    comm.prof_phase_begin("cg:dot");
+    const double partial = dot_span(a, b);
+    charge_dot();
+    const double sum = comm.allreduce_value(partial, xmpi::ReduceOp::kSum);
+    comm.prof_phase_end();
+    return sum;
+  };
+
+  CgResult result;
+  {
+    const double local_nnz = static_cast<double>(local.nnz());
+    result.nnz = static_cast<std::size_t>(
+        comm.allreduce_value(local_nnz, xmpi::ReduceOp::kSum));
+  }
+  std::vector<double> x(local_rows, 0.0);
+  std::vector<double> r = local_b;
+  std::vector<double> q(local_rows, 0.0);
+  // p carries the ghost region the remapped SpMV gathers from.
+  std::vector<double> p_ext(local_rows + ghosts.size(), 0.0);
+  const std::span<double> p_owned(p_ext.data(), local_rows);
+  std::copy(r.begin(), r.end(), p_ext.begin());
+  std::vector<double> halo_out;
+
+  const auto exchange_halo = [&] {
+    if (in_peers.empty() && out_peers.empty()) return;
+    comm.prof_phase_begin("cg:halo");
+    for (const OutPeer& out : out_peers) {
+      halo_out.resize(out.rows.size());
+      for (std::size_t i = 0; i < out.rows.size(); ++i) {
+        halo_out[i] = p_ext[out.rows[i]];
+      }
+      comm.send(std::span<const double>(halo_out), out.peer, kTagHaloData);
+    }
+    for (const InPeer& in : in_peers) {
+      comm.recv(std::span<double>(p_ext.data() + local_rows + in.offset,
+                                  in.count),
+                in.peer, kTagHaloData);
+    }
+    comm.prof_phase_end();
+  };
+
+  const double bb = global_dot(local_b, local_b);
+  const double b_norm = std::sqrt(bb);
+  if (b_norm == 0.0) {
+    result.converged = true;
+    result.x.assign(n, 0.0);
+    return result;
+  }
+  double rr = bb;  // r == b at x = 0
+
+  const double flops_spmv = 2.0 * static_cast<double>(local.nnz());
+  const double bytes_spmv = hw::csr_spmv_bytes(
+      static_cast<double>(local.nnz()), static_cast<double>(local_rows));
+
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    exchange_halo();
+
+    comm.prof_phase_begin("cg:spmv");
+    sparse::spmv(local, p_ext, q);
+    comm.compute(xmpi::ComputeCost{flops_spmv, bytes_spmv, kSpmv.efficiency});
+    comm.prof_phase_end();
+
+    const double pq = global_dot(p_owned, q);
+    PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
+    const double alpha = rr / pq;
+
+    comm.prof_phase_begin("cg:axpy");
+    for (std::size_t i = 0; i < local_rows; ++i) {
+      x[i] += alpha * p_ext[i];
+      r[i] -= alpha * q[i];
+    }
+    const double flops_axpy = 4.0 * static_cast<double>(local_rows);
+    comm.compute(xmpi::ComputeCost{flops_axpy,
+                                   flops_axpy * kAxpy.bytes_per_flop,
+                                   kAxpy.efficiency});
+    comm.prof_phase_end();
+
+    const double rr_next = global_dot(r, r);
+    result.iterations = iter;
+    result.relative_residual = std::sqrt(rr_next) / b_norm;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rr_next / rr;
+    rr = rr_next;
+
+    comm.prof_phase_begin("cg:axpy");
+    for (std::size_t i = 0; i < local_rows; ++i) {
+      p_ext[i] = r[i] + beta * p_ext[i];
+    }
+    const double flops_update = 2.0 * static_cast<double>(local_rows);
+    comm.compute(xmpi::ComputeCost{flops_update,
+                                   flops_update * kAxpy.bytes_per_flop,
+                                   kAxpy.efficiency});
+    comm.prof_phase_end();
+  }
+
+  // -- rebuild the replicated solution --------------------------------------
+  comm.prof_phase_begin("cg:gather");
+  result.x.assign(n, 0.0);
+  if (ranks > 1) {
+    std::vector<double> mine(chunk, 0.0);
+    std::copy(x.begin(), x.end(), mine.begin());
+    std::vector<double> gathered(chunk * static_cast<std::size_t>(ranks),
+                                 0.0);
+    comm.allgather(std::span<const double>(mine),
+                   std::span<double>(gathered));
+    std::copy(gathered.begin(),
+              gathered.begin() + static_cast<std::ptrdiff_t>(n),
+              result.x.begin());
+  } else {
+    std::copy(x.begin(), x.end(), result.x.begin());
+  }
+  comm.prof_phase_end();
+  return result;
+}
+
+}  // namespace plin::solvers

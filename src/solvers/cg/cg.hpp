@@ -1,0 +1,55 @@
+// Conjugate gradient on CSR matrices — the memory-bound workload family
+// next to the dense GEPP/IMe verticals (docs/sparse.md). All generated
+// families are SPD by construction (sparse/generate.hpp), so plain
+// (unpreconditioned) CG converges with the textbook guarantee.
+//
+// The distributed solver owns contiguous row blocks (the same
+// chunk = ceil(n / P) arithmetic placement as Jacobi), generates its block
+// locally from (kind, seed, n), and runs the iteration with
+//   - a halo exchange: before each SpMV, each rank ships the p-vector
+//     entries its neighbors' off-block columns reference (requests are
+//     negotiated once at setup; per-iteration traffic is exactly the ghost
+//     values, not whole replicas);
+//   - scalar allreduces for the three dot products. Each rank reduces its
+//     owned range in index order and the combine bracketing is the
+//     schedule-invariant one from xmpi, so iterate trajectories — and
+//     therefore iteration counts, residuals, and the solution bit pattern —
+//     are identical across worker counts, executors, and collective modes
+//     (the same determinism contract every other solver honors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/generate.hpp"
+#include "xmpi/comm.hpp"
+
+namespace plin::solvers {
+
+struct CgOptions {
+  sparse::SparseKind kind = sparse::SparseKind::kStencil5;
+  std::size_t n = 0;
+  std::uint64_t seed = 1;
+  /// Relative-residual termination: ||r||_2 <= tolerance * ||b||_2.
+  double tolerance = 1e-11;
+  int max_iterations = 1000;
+};
+
+struct CgResult {
+  std::vector<double> x;       // full solution, replicated on every rank
+  int iterations = 0;
+  bool converged = false;
+  double relative_residual = 0.0;  // ||r||_2 / ||b||_2 at exit
+  std::size_t nnz = 0;             // global pattern nnz actually streamed
+};
+
+/// Sequential reference: CG on an explicit matrix and right-hand side.
+CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
+                  double tolerance, int max_iterations);
+
+/// Distributed CG on `comm`; the system is generated from
+/// (kind, seed, n) like the other solvers. Call from every rank.
+CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options);
+
+}  // namespace plin::solvers

@@ -49,6 +49,15 @@ inline constexpr KernelProfile kSubstitution{0.30, 1.0};
 /// streams the whole matrix once per call, so bandwidth-bound like the
 /// substitution kernels.
 inline constexpr KernelProfile kGemv{0.30, 1.0};
+/// CSR SpMV: the irregular x-gather caps useful issue width well below the
+/// dense kernels. bytes_per_flop is *not* a constant for SpMV — it depends
+/// on nnz/rows — so callers price it per matrix with
+/// hw::csr_spmv_bytes_per_flop and use only this efficiency.
+inline constexpr KernelProfile kSpmv{0.22, 10.0};
+/// Fused dot product (two loads per multiply-add).
+inline constexpr KernelProfile kDot{0.30, 8.0};
+/// axpy-style vector update (two loads + one store per multiply-add).
+inline constexpr KernelProfile kAxpy{0.30, 12.0};
 
 /// Flop-count coefficient applied to the Inhibition Method's charged work.
 /// The paper states the latest IMe costs 3/2 n^3 + O(n^2); our streamlined

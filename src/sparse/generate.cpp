@@ -1,0 +1,249 @@
+#include "sparse/generate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace plin::sparse {
+namespace {
+
+/// SplitMix64 finalizer (the same stateless hash linalg/generate.cpp
+/// uses), so entry (i, j) is independent of evaluation order and rank
+/// count.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double unit_uniform(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+/// Symmetric hashed value in [-1, 1]: a function of the *unordered* index
+/// pair, so v(i, j) == v(j, i) by construction.
+double pair_value(std::uint64_t seed, std::size_t n, std::size_t i,
+                  std::size_t j) {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  const std::uint64_t h =
+      mix(mix(seed ^ (0xC5C5ULL + lo)) ^ (hi * 0x9E37ULL + n));
+  return 2.0 * unit_uniform(h) - 1.0;
+}
+
+/// Seed-independent presence test for the random family (~1/4 of the
+/// window), symmetric in (i, j).
+bool random_present(std::size_t n, std::size_t i, std::size_t j) {
+  const std::size_t lo = std::min(i, j);
+  const std::size_t hi = std::max(i, j);
+  const std::uint64_t h = mix(mix(0xD6D6ULL + lo) ^ (hi * 0x85EBULL + n));
+  return (h & 3) == 0;
+}
+
+std::size_t grid_side_2d(std::size_t n) {
+  std::size_t g = 1;
+  while (g * g < n) ++g;
+  return g;
+}
+
+std::size_t grid_side_3d(std::size_t n) {
+  std::size_t g = 1;
+  while (g * g * g < n) ++g;
+  return g;
+}
+
+/// Invokes f(j) for every off-diagonal column j of row i (in no particular
+/// order) — the single source of truth for the pattern, shared by
+/// generation and the nnz count.
+template <typename F>
+void for_row_cols(SparseKind kind, std::size_t n, std::size_t i, F&& f) {
+  switch (kind) {
+    case SparseKind::kStencil5:
+    case SparseKind::kStencil9: {
+      const std::size_t g = grid_side_2d(n);
+      const long gx = static_cast<long>(i % g);
+      const long gy = static_cast<long>(i / g);
+      const long side = static_cast<long>(g);
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          if (kind == SparseKind::kStencil5 && dx != 0 && dy != 0) continue;
+          const long x = gx + dx;
+          const long y = gy + dy;
+          if (x < 0 || x >= side || y < 0 || y >= side) continue;
+          const std::size_t j = static_cast<std::size_t>(y * side + x);
+          if (j < n) f(j);
+        }
+      }
+      break;
+    }
+    case SparseKind::kStencil27: {
+      const std::size_t g = grid_side_3d(n);
+      const long side = static_cast<long>(g);
+      const long gx = static_cast<long>(i % g);
+      const long gy = static_cast<long>((i / g) % g);
+      const long gz = static_cast<long>(i / (g * g));
+      for (long dz = -1; dz <= 1; ++dz) {
+        for (long dy = -1; dy <= 1; ++dy) {
+          for (long dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0 && dz == 0) continue;
+            const long x = gx + dx;
+            const long y = gy + dy;
+            const long z = gz + dz;
+            if (x < 0 || x >= side || y < 0 || y >= side || z < 0 ||
+                z >= side) {
+              continue;
+            }
+            const std::size_t j =
+                static_cast<std::size_t>((z * side + y) * side + x);
+            if (j < n) f(j);
+          }
+        }
+      }
+      break;
+    }
+    case SparseKind::kBanded:
+    case SparseKind::kRandom: {
+      const std::size_t w = kind == SparseKind::kBanded ? kBandedHalfWidth
+                                                        : kRandomHalfWidth;
+      const std::size_t lo = i > w ? i - w : 0;
+      const std::size_t hi = std::min(n - 1, i + w);
+      for (std::size_t j = lo; j <= hi; ++j) {
+        if (j == i) continue;
+        if (kind == SparseKind::kRandom && !random_present(n, i, j)) continue;
+        f(j);
+      }
+      break;
+    }
+  }
+}
+
+double offdiag_value(SparseKind kind, std::uint64_t seed, std::size_t n,
+                     std::size_t i, std::size_t j) {
+  switch (kind) {
+    case SparseKind::kStencil5:
+    case SparseKind::kStencil9:
+    case SparseKind::kStencil27:
+      return -1.0;
+    case SparseKind::kBanded:
+    case SparseKind::kRandom:
+      return pair_value(seed, n, i, j);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+const char* kind_token(SparseKind kind) {
+  switch (kind) {
+    case SparseKind::kStencil5: return "stencil5";
+    case SparseKind::kStencil9: return "stencil9";
+    case SparseKind::kStencil27: return "stencil27";
+    case SparseKind::kBanded: return "banded";
+    case SparseKind::kRandom: return "random";
+  }
+  return "stencil5";
+}
+
+SparseKind parse_kind_token(const std::string& token) {
+  if (token == "stencil5") return SparseKind::kStencil5;
+  if (token == "stencil9") return SparseKind::kStencil9;
+  if (token == "stencil27") return SparseKind::kStencil27;
+  if (token == "banded") return SparseKind::kBanded;
+  if (token == "random") return SparseKind::kRandom;
+  throw InvalidArgument(
+      "unknown matrix kind (use stencil5 | stencil9 | stencil27 | banded | "
+      "random): " +
+      token);
+}
+
+CsrMatrix generate_rows(SparseKind kind, std::uint64_t seed, std::size_t n,
+                        std::size_t row_lo, std::size_t row_hi) {
+  PLIN_CHECK_MSG(n > 0, "sparse generate: empty system");
+  PLIN_CHECK_MSG(row_lo <= row_hi && row_hi <= n,
+                 "sparse generate: bad row range");
+  CsrMatrix a;
+  a.rows = row_hi - row_lo;
+  a.cols = n;
+  a.row_ptr.reserve(a.rows + 1);
+  a.row_ptr.push_back(0);
+  std::vector<std::size_t> cols;
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    cols.clear();
+    for_row_cols(kind, n, i, [&](std::size_t j) { cols.push_back(j); });
+    std::sort(cols.begin(), cols.end());
+    double abs_sum = 0.0;
+    for (const std::size_t j : cols) {
+      abs_sum += std::fabs(offdiag_value(kind, seed, n, i, j));
+    }
+    // Strict diagonal dominance with a uniform margin of 1: symmetric +
+    // dominant + positive diagonal => SPD, truncation-safe.
+    const double diag = abs_sum + 1.0;
+    bool diag_emitted = false;
+    for (const std::size_t j : cols) {
+      if (!diag_emitted && j > i) {
+        a.col_idx.push_back(static_cast<std::uint32_t>(i));
+        a.values.push_back(diag);
+        diag_emitted = true;
+      }
+      a.col_idx.push_back(static_cast<std::uint32_t>(j));
+      a.values.push_back(offdiag_value(kind, seed, n, i, j));
+    }
+    if (!diag_emitted) {
+      a.col_idx.push_back(static_cast<std::uint32_t>(i));
+      a.values.push_back(diag);
+    }
+    a.row_ptr.push_back(a.values.size());
+  }
+  return a;
+}
+
+CsrMatrix generate_matrix(SparseKind kind, std::uint64_t seed,
+                          std::size_t n) {
+  return generate_rows(kind, seed, n, 0, n);
+}
+
+std::size_t pattern_nnz(SparseKind kind, std::size_t n) {
+  PLIN_CHECK_MSG(n > 0, "sparse generate: empty system");
+  std::size_t count = n;  // one diagonal entry per row
+  for (std::size_t i = 0; i < n; ++i) {
+    for_row_cols(kind, n, i, [&](std::size_t) { ++count; });
+  }
+  return count;
+}
+
+std::size_t pattern_reach(SparseKind kind, std::size_t n) {
+  switch (kind) {
+    case SparseKind::kStencil5:
+      return grid_side_2d(n);
+    case SparseKind::kStencil9:
+      return grid_side_2d(n) + 1;
+    case SparseKind::kStencil27: {
+      const std::size_t g = grid_side_3d(n);
+      return g * g + g + 1;
+    }
+    case SparseKind::kBanded:
+      return kBandedHalfWidth;
+    case SparseKind::kRandom:
+      return kRandomHalfWidth;
+  }
+  return 0;
+}
+
+double pattern_offdiag_sum(SparseKind kind) {
+  switch (kind) {
+    case SparseKind::kStencil5: return 4.0;
+    case SparseKind::kStencil9: return 8.0;
+    case SparseKind::kStencil27: return 26.0;
+    // Hashed families: window slots * fill probability * E|v| = 0.5.
+    case SparseKind::kBanded:
+      return static_cast<double>(2 * kBandedHalfWidth) * 0.5;
+    case SparseKind::kRandom:
+      return static_cast<double>(2 * kRandomHalfWidth) * 0.25 * 0.5;
+  }
+  return 1.0;
+}
+
+}  // namespace plin::sparse

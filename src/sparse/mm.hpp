@@ -1,0 +1,28 @@
+// Matrix Market (.mtx) export/import for CSR matrices, so campaign
+// matrices are reproducible and inspectable outside the binary (and by
+// third-party tools). The writer emits the "coordinate real general"
+// format with 1-based indices and round-trip-exact %.17g values; the
+// reader accepts entries in any order (normalize() restores the CSR
+// invariant) and rejects malformed headers or out-of-range coordinates.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace plin::sparse {
+
+/// Writes `a` in Matrix Market coordinate format. Entries appear in CSR
+/// order (row-major, columns ascending), so equal matrices produce
+/// byte-identical files.
+void save_matrix_market(const CsrMatrix& a, std::ostream& out);
+void save_matrix_market(const CsrMatrix& a, const std::string& path);
+
+/// Parses a Matrix Market coordinate file ("real" or "integer" field,
+/// "general" symmetry). Duplicate coordinates are summed; the result is
+/// normalized and validated. Throws IoError on malformed input.
+CsrMatrix load_matrix_market(std::istream& in);
+CsrMatrix load_matrix_market(const std::string& path);
+
+}  // namespace plin::sparse

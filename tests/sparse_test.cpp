@@ -1,0 +1,306 @@
+// Tests for the CSR sparse layer: structural validation and repair,
+// SpMV against a dense reference, the deterministic SPD generators behind
+// the CG workload family, and the Matrix Market round trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sparse/csr.hpp"
+#include "sparse/generate.hpp"
+#include "sparse/mm.hpp"
+#include "support/error.hpp"
+
+namespace plin::sparse {
+namespace {
+
+/// Dense lookup into a CSR matrix (0.0 where no entry exists).
+double entry(const CsrMatrix& a, std::size_t i, std::size_t j) {
+  for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+    if (a.col_idx[k] == j) return a.values[k];
+  }
+  return 0.0;
+}
+
+TEST(CsrTest, EmptyMatrixAndEmptyRowsValidate) {
+  const CsrMatrix empty = make_empty(4, 7);
+  EXPECT_EQ(empty.nnz(), 0u);
+  empty.validate();
+
+  // Interior empty rows are fine too.
+  CsrMatrix a;
+  a.rows = 3;
+  a.cols = 3;
+  a.row_ptr = {0, 1, 1, 2};  // row 1 is empty
+  a.col_idx = {0, 2};
+  a.values = {2.0, 3.0};
+  a.validate();
+
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y(3, -1.0);
+  spmv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+}
+
+TEST(CsrTest, SingleRowAndSingleColumn) {
+  CsrMatrix row;
+  row.rows = 1;
+  row.cols = 4;
+  row.row_ptr = {0, 3};
+  row.col_idx = {0, 2, 3};
+  row.values = {1.0, 2.0, 3.0};
+  row.validate();
+  std::vector<double> y(1);
+  spmv(row, std::vector<double>{1.0, 10.0, 100.0, 1000.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 + 200.0 + 3000.0);
+
+  CsrMatrix col;
+  col.rows = 3;
+  col.cols = 1;
+  col.row_ptr = {0, 1, 1, 2};
+  col.col_idx = {0, 0};
+  col.values = {5.0, -2.0};
+  col.validate();
+  std::vector<double> z(3);
+  spmv(col, std::vector<double>{2.0}, z);
+  EXPECT_DOUBLE_EQ(z[0], 10.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.0);
+  EXPECT_DOUBLE_EQ(z[2], -4.0);
+  EXPECT_DOUBLE_EQ(inf_norm(col), 5.0);
+}
+
+TEST(CsrTest, ValidateRejectsMalformedStructure) {
+  CsrMatrix a;
+  a.rows = 2;
+  a.cols = 2;
+  a.row_ptr = {0, 1, 2};
+  a.col_idx = {0, 1};
+  a.values = {1.0, 1.0};
+  a.validate();  // baseline is fine
+
+  CsrMatrix bad = a;
+  bad.row_ptr = {0, 2, 1};  // non-monotone offsets
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = a;
+  bad.col_idx[1] = 9;  // column out of range
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = a;
+  bad.row_ptr = {0, 1};  // wrong offset count
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = a;
+  bad.values.pop_back();  // streams disagree
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = a;
+  bad.rows = 1;
+  bad.cols = 2;
+  bad.row_ptr = {0, 2};
+  bad.col_idx = {1, 0};  // unsorted row
+  bad.values = {1.0, 2.0};
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(CsrTest, NormalizeSortsAndMergesDuplicates) {
+  CsrMatrix a;
+  a.rows = 2;
+  a.cols = 3;
+  a.row_ptr = {0, 4, 5};
+  a.col_idx = {2, 0, 2, 1, 0};  // row 0 unsorted with a duplicate column 2
+  a.values = {1.0, 5.0, 2.5, -1.0, 7.0};
+  EXPECT_THROW(a.validate(), Error);
+  a.normalize();
+  a.validate();
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(entry(a, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(entry(a, 0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(entry(a, 0, 2), 3.5);  // 1.0 + 2.5 merged
+  EXPECT_DOUBLE_EQ(entry(a, 1, 0), 7.0);
+}
+
+TEST(CsrTest, SpmvMatchesDenseMatvec) {
+  const std::size_t n = 64;
+  const CsrMatrix a = generate_matrix(SparseKind::kBanded, 11, n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<double>(i) + 0.5);
+  }
+  std::vector<double> y(n);
+  spmv(a, x, y);
+  // Dense reference via the entry() probe.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) acc += entry(a, i, j) * x[j];
+    EXPECT_NEAR(y[i], acc, 1e-12) << "row " << i;
+  }
+}
+
+TEST(CsrTest, SpmvAndResidualRejectBadShapes) {
+  const CsrMatrix a = generate_matrix(SparseKind::kStencil5, 1, 16);
+  std::vector<double> short_x(8);
+  std::vector<double> y(16);
+  EXPECT_THROW(spmv(a, short_x, y), Error);
+
+  // scaled_residual requires a square system.
+  CsrMatrix rect = make_empty(2, 3);
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> b = {0.0, 0.0};
+  EXPECT_THROW((void)scaled_residual(rect, x, b), Error);
+}
+
+class GeneratorParam : public ::testing::TestWithParam<SparseKind> {};
+
+TEST_P(GeneratorParam, SymmetricDiagonallyDominantAndCountable) {
+  const SparseKind kind = GetParam();
+  const std::size_t n = 90;  // not a perfect square or cube: clipped edges
+  const CsrMatrix a = generate_matrix(kind, 7, n);
+  a.validate();
+  EXPECT_EQ(a.rows, n);
+  EXPECT_EQ(a.cols, n);
+  EXPECT_EQ(a.nnz(), pattern_nnz(kind, n));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double offdiag = 0.0;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      const std::size_t j = a.col_idx[k];
+      // Symmetry: every entry has its mirror with the identical value.
+      EXPECT_DOUBLE_EQ(a.values[k], entry(a, j, i))
+          << "asymmetric at (" << i << ", " << j << ")";
+      if (j != i) offdiag += std::fabs(a.values[k]);
+    }
+    // Diagonal = |off-diagonal| sum + 1 (strict dominance, margin 1).
+    EXPECT_NEAR(entry(a, i, i), offdiag + 1.0, 1e-12) << "row " << i;
+  }
+}
+
+TEST_P(GeneratorParam, RowBlocksTileTheFullMatrix) {
+  const SparseKind kind = GetParam();
+  const std::size_t n = 75;
+  const CsrMatrix full = generate_matrix(kind, 3, n);
+  // Concatenating uneven row blocks must reproduce the full matrix exactly
+  // (the property the distributed CG generation relies on).
+  std::size_t row = 0;
+  for (const std::size_t hi : {20ul, 21ul, 75ul}) {
+    const CsrMatrix block = generate_rows(kind, 3, n, row, hi);
+    EXPECT_EQ(block.rows, hi - row);
+    for (std::size_t i = 0; i < block.rows; ++i) {
+      const std::size_t g = row + i;
+      ASSERT_EQ(block.row_ptr[i + 1] - block.row_ptr[i],
+                full.row_ptr[g + 1] - full.row_ptr[g]);
+      for (std::size_t k = 0; k < block.row_ptr[i + 1] - block.row_ptr[i];
+           ++k) {
+        EXPECT_EQ(block.col_idx[block.row_ptr[i] + k],
+                  full.col_idx[full.row_ptr[g] + k]);
+        EXPECT_EQ(block.values[block.row_ptr[i] + k],
+                  full.values[full.row_ptr[g] + k]);
+      }
+    }
+    row = hi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GeneratorParam,
+                         ::testing::Values(SparseKind::kStencil5,
+                                           SparseKind::kStencil9,
+                                           SparseKind::kStencil27,
+                                           SparseKind::kBanded,
+                                           SparseKind::kRandom));
+
+TEST(GeneratorTest, RandomPatternIsSeedIndependent) {
+  const std::size_t n = 120;
+  const CsrMatrix a = generate_matrix(SparseKind::kRandom, 1, n);
+  const CsrMatrix b = generate_matrix(SparseKind::kRandom, 999, n);
+  ASSERT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.col_idx, b.col_idx);  // same pattern...
+  EXPECT_NE(a.values, b.values);    // ...different values
+}
+
+TEST(GeneratorTest, TokensRoundTripAndRejectUnknown) {
+  for (const SparseKind kind :
+       {SparseKind::kStencil5, SparseKind::kStencil9, SparseKind::kStencil27,
+        SparseKind::kBanded, SparseKind::kRandom}) {
+    EXPECT_EQ(parse_kind_token(kind_token(kind)), kind);
+  }
+  EXPECT_THROW(parse_kind_token("dense"), InvalidArgument);
+}
+
+TEST(GeneratorTest, PatternReachBoundsColumnDistance) {
+  for (const SparseKind kind :
+       {SparseKind::kStencil5, SparseKind::kStencil9, SparseKind::kStencil27,
+        SparseKind::kBanded, SparseKind::kRandom}) {
+    const std::size_t n = 100;
+    const std::size_t reach = pattern_reach(kind, n);
+    const CsrMatrix a = generate_matrix(kind, 5, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+        const std::size_t j = a.col_idx[k];
+        const std::size_t dist = j > i ? j - i : i - j;
+        EXPECT_LE(dist, reach) << kind_token(kind);
+      }
+    }
+  }
+}
+
+TEST(MatrixMarketTest, RoundTripIsExact) {
+  const CsrMatrix a = generate_matrix(SparseKind::kRandom, 13, 60);
+  std::ostringstream os;
+  save_matrix_market(a, os);
+  std::istringstream is(os.str());
+  const CsrMatrix back = load_matrix_market(is);
+  EXPECT_EQ(back.rows, a.rows);
+  EXPECT_EQ(back.cols, a.cols);
+  EXPECT_EQ(back.row_ptr, a.row_ptr);
+  EXPECT_EQ(back.col_idx, a.col_idx);
+  EXPECT_EQ(back.values, a.values);  // %.17g round-trips doubles exactly
+}
+
+TEST(MatrixMarketTest, WriterIsByteStable) {
+  const CsrMatrix a = generate_matrix(SparseKind::kBanded, 2, 24);
+  std::ostringstream first;
+  std::ostringstream second;
+  save_matrix_market(a, first);
+  save_matrix_market(a, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(MatrixMarketTest, ReaderNormalizesUnsortedInputAndSumsDuplicates) {
+  std::istringstream is(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% comment line\n"
+      "\n"
+      "2 2 4\n"
+      "1 2 3.0\n"
+      "1 1 1.0\n"
+      "2 2 5.0\n"
+      "1 2 0.5\n");
+  const CsrMatrix a = load_matrix_market(is);
+  a.validate();
+  EXPECT_EQ(a.nnz(), 3u);  // duplicate (1,2) summed
+  EXPECT_DOUBLE_EQ(entry(a, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(entry(a, 0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(entry(a, 1, 1), 5.0);
+}
+
+TEST(MatrixMarketTest, ReaderRejectsGarbage) {
+  std::istringstream no_banner("1 1 1\n1 1 2.0\n");
+  EXPECT_THROW((void)load_matrix_market(no_banner), IoError);
+
+  std::istringstream bad_coord(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW((void)load_matrix_market(bad_coord), IoError);
+
+  std::istringstream truncated(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW((void)load_matrix_market(truncated), IoError);
+}
+
+}  // namespace
+}  // namespace plin::sparse

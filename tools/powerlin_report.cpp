@@ -22,6 +22,7 @@
 #include <sstream>
 #include <vector>
 
+#include "batch/report.hpp"
 #include "batch/store.hpp"
 #include "hwmodel/placement.hpp"
 #include "perfsim/simulator.hpp"
@@ -163,6 +164,11 @@ int report_store(const std::string& dir) {
             << "\n"
             << "  torn tail recovered: " << (stats.torn_tail ? "yes" : "no")
             << "\n";
+
+  if (store.size() > 0) {
+    std::cout << "\nRecord inventory:\n";
+    batch::print_report_table(std::cout, store.all_records());
+  }
 
   const std::string stats_path = dir + "/serve_stats.json";
   std::ifstream is(stats_path, std::ios::binary);

@@ -15,6 +15,7 @@
 #include "monitor/campaign.hpp"
 #include "perfsim/simulator.hpp"
 #include "solvers/jacobi/jacobi.hpp"
+#include "sparse/generate.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 #include "support/units.hpp"
@@ -29,7 +30,7 @@ constexpr const char* kUsage = R"(powerlin_run — energy profiling driver
 
 One-off modes:
   --tier       numeric (execute on xmpi, default) | replay (perfsim)
-  --algorithm  ime (default) | scalapack | jacobi
+  --algorithm  ime (default) | scalapack | jacobi | cg
   --n          matrix dimension (default 512 numeric / 17280 replay)
   --ranks      MPI ranks (default 16 numeric / 576 replay)
   --layout     full (default) | half1 | half2
@@ -39,9 +40,11 @@ One-off modes:
   --precision  fp64 (default) | mixed (fp32 factorization + fp64 iterative
                refinement; scalapack only — docs/mixed_precision.md; the
                replay tier prices it with the refinement-iteration model)
-  --tol        Jacobi tolerance (default 1e-12)
+  --tol        Jacobi tolerance (default 1e-12); CG tolerance (default 1e-11)
   --dominance  Jacobi diagonal dominance (default 0)
   --iterations Jacobi replay sweep count (default 100)
+  --matrix     CG sparse family: stencil5 (default) | stencil9 | stencil27 |
+               banded | random (docs/sparse.md)
   --out        directory for per-processor monitor files (numeric)
   --trace-dir  archive the span-trace bundle of the run into this directory
                (numeric tier; first repetition only — docs/tracing.md)
@@ -80,6 +83,11 @@ int run_replay(const CliArgs& args) {
   } else if (algorithm == "jacobi") {
     workload.algorithm = perfsim::Algorithm::kJacobi;
     workload.iterations = static_cast<int>(args.get_int("iterations", 100));
+  } else if (algorithm == "cg") {
+    workload.algorithm = perfsim::Algorithm::kCg;
+    workload.matrix =
+        sparse::parse_kind_token(args.get("matrix", "stencil5"));
+    workload.tolerance = args.get_double("tol", 1e-11);
   } else {
     workload.algorithm = perfsim::Algorithm::kIme;
   }
@@ -148,8 +156,15 @@ int run_numeric(const CliArgs& args) {
   }
 
   monitor::JobSpec spec;
-  spec.algorithm = algorithm == "scalapack" ? perfsim::Algorithm::kScalapack
-                                            : perfsim::Algorithm::kIme;
+  if (algorithm == "scalapack") {
+    spec.algorithm = perfsim::Algorithm::kScalapack;
+  } else if (algorithm == "cg") {
+    spec.algorithm = perfsim::Algorithm::kCg;
+    spec.matrix = sparse::parse_kind_token(args.get("matrix", "stencil5"));
+    spec.tolerance = args.get_double("tol", 1e-11);
+  } else {
+    spec.algorithm = perfsim::Algorithm::kIme;
+  }
   spec.n = n;
   spec.ranks = ranks;
   spec.layout = layout;
@@ -215,8 +230,9 @@ int main(int argc, char** argv) {
   try {
     args.require_known({"tier", "algorithm", "n", "ranks", "layout", "nb",
                         "seed", "reps", "precision", "tol", "dominance",
-                        "iterations", "out", "campaign", "store", "workers",
-                        "max-jobs", "trace-dir", "version", "help"});
+                        "iterations", "matrix", "out", "campaign", "store",
+                        "workers", "max-jobs", "trace-dir", "version",
+                        "help"});
     if (args.get_bool("help", false)) {
       std::cout << kUsage;
       return 0;
