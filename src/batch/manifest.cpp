@@ -105,10 +105,15 @@ void parse_grid(CampaignManifest& manifest, const KvLine& line) {
       for (const auto& t : tokens) {
         manifest.matrices.push_back(sparse::parse_kind_token(t));
       }
+    } else if (axis == "precond") {
+      manifest.preconds.clear();
+      for (const auto& t : tokens) {
+        manifest.preconds.push_back(solvers::parse_precond_token(t));
+      }
     } else {
       fail(line, "unknown grid axis '" + axis +
                      "' (algorithm | n | ranks | layout | nb | seed | "
-                     "power_cap_w | precision | matrix)");
+                     "power_cap_w | precision | matrix | precond)");
     }
   } catch (const InvalidArgument&) {
     throw;  // already carries line context or a precise token message
@@ -144,21 +149,30 @@ std::vector<JobSpec> CampaignManifest::expand() const {
                         algorithm != perfsim::Algorithm::kCg) {
                       continue;
                     }
-                    JobSpec spec;
-                    spec.tier = tier;
-                    spec.machine = machine;
-                    spec.algorithm = algorithm;
-                    spec.n = n;
-                    spec.ranks = ranks;
-                    spec.layout = layout;
-                    spec.nb = nb;
-                    spec.seed = seed;
-                    spec.repetitions = repetitions;
-                    spec.iterations = iterations;
-                    spec.power_cap_w = cap_w;
-                    spec.precision = precision;
-                    spec.matrix = matrix;
-                    specs.push_back(std::move(spec));
+                    for (const solvers::CgPrecond precond : preconds) {
+                      // Same rule for the precond axis: preconditioned
+                      // points exist for cg only.
+                      if (precond != solvers::CgPrecond::kNone &&
+                          algorithm != perfsim::Algorithm::kCg) {
+                        continue;
+                      }
+                      JobSpec spec;
+                      spec.tier = tier;
+                      spec.machine = machine;
+                      spec.algorithm = algorithm;
+                      spec.n = n;
+                      spec.ranks = ranks;
+                      spec.layout = layout;
+                      spec.nb = nb;
+                      spec.seed = seed;
+                      spec.repetitions = repetitions;
+                      spec.iterations = iterations;
+                      spec.power_cap_w = cap_w;
+                      spec.precision = precision;
+                      spec.matrix = matrix;
+                      spec.precond = precond;
+                      specs.push_back(std::move(spec));
+                    }
                   }
                 }
               }
@@ -182,15 +196,21 @@ std::size_t CampaignManifest::job_count() const {
   for (const sparse::SparseKind matrix : matrices) {
     if (matrix == sparse::SparseKind::kStencil5) ++default_matrix_points;
   }
+  std::size_t default_precond_points = 0;
+  for (const solvers::CgPrecond precond : preconds) {
+    if (precond == solvers::CgPrecond::kNone) ++default_precond_points;
+  }
   std::size_t algorithm_points = 0;
   for (const perfsim::Algorithm algorithm : algorithms) {
     const std::size_t precision_points =
         algorithm == perfsim::Algorithm::kScalapack ? precisions.size()
                                                     : fp64_points;
+    const bool is_cg = algorithm == perfsim::Algorithm::kCg;
     const std::size_t matrix_points =
-        algorithm == perfsim::Algorithm::kCg ? matrices.size()
-                                             : default_matrix_points;
-    algorithm_points += precision_points * matrix_points;
+        is_cg ? matrices.size() : default_matrix_points;
+    const std::size_t precond_points =
+        is_cg ? preconds.size() : default_precond_points;
+    algorithm_points += precision_points * matrix_points * precond_points;
   }
   return algorithm_points * sizes.size() * rank_counts.size() *
          layouts.size() * blocks.size() * seeds.size() * power_caps_w.size();

@@ -2,7 +2,7 @@
 // scripts. A manifest names the campaign, picks a tier and machine, sets
 // execution policy (workers, retries, timeout) and spans a grid over
 // algorithm / n / ranks / layout / nb / seed / power cap / precision /
-// matrix. Syntax is the
+// matrix / precond. Syntax is the
 // support/kvfile line format; see docs/campaign.md for the reference.
 //
 //   campaign  ci-smoke
@@ -18,9 +18,9 @@
 //   grid layout    full half1 half2
 //
 // expand() walks the grid in declaration-independent canonical order
-// (algorithm, n, ranks, layout, nb, seed, cap, precision, matrix —
-// outermost first), so job order, and therefore every report derived from
-// it, is deterministic.
+// (algorithm, n, ranks, layout, nb, seed, cap, precision, matrix, precond
+// — outermost first), so job order, and therefore every report derived
+// from it, is deterministic.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +55,8 @@ struct CampaignManifest {
   /// Sparse-family axis; non-default kinds expand for cg points only, so
   /// dense campaigns are unaffected by its presence.
   std::vector<sparse::SparseKind> matrices = {sparse::SparseKind::kStencil5};
+  /// Preconditioner axis; non-default values expand for cg points only.
+  std::vector<solvers::CgPrecond> preconds = {solvers::CgPrecond::kNone};
 
   /// Expands the grid into one JobSpec per point, canonical order.
   std::vector<JobSpec> expand() const;

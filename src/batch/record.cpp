@@ -27,6 +27,11 @@ json::Value to_json(const JobRecord& record) {
   const bool is_cg = record.spec.algorithm == perfsim::Algorithm::kCg;
   if (is_cg) {
     spec.set("matrix", sparse::kind_token(record.spec.matrix));
+    // The precond axis only for preconditioned cg jobs — plain-cg stores
+    // stay byte-stable (mirrors JobSpec::canonical()).
+    if (record.spec.precond != solvers::CgPrecond::kNone) {
+      spec.set("precond", solvers::precond_token(record.spec.precond));
+    }
   }
 
   json::Array reps;
@@ -43,6 +48,8 @@ json::Value to_json(const JobRecord& record) {
     if (is_cg) {
       r.set("cg_iters", rep.cg_iters);
       r.set("nnz", static_cast<double>(rep.nnz));
+      r.set("halo_msgs", static_cast<double>(rep.halo_messages));
+      r.set("halo_bytes", static_cast<double>(rep.halo_bytes));
     }
     reps.push_back(std::move(r));
   }
@@ -76,6 +83,9 @@ JobRecord record_from_json(const json::Value& value) {
   if (const json::Value* matrix = spec.find("matrix")) {
     record.spec.matrix = sparse::parse_kind_token(matrix->as_string());
   }
+  if (const json::Value* precond = spec.find("precond")) {
+    record.spec.precond = solvers::parse_precond_token(precond->as_string());
+  }
 
   for (const json::Value& r : value.at("reps").as_array()) {
     RepetitionRecord rep;
@@ -91,6 +101,12 @@ JobRecord record_from_json(const json::Value& value) {
     }
     if (const json::Value* nnz = r.find("nnz")) {
       rep.nnz = static_cast<std::size_t>(nnz->as_number());
+    }
+    if (const json::Value* msgs = r.find("halo_msgs")) {
+      rep.halo_messages = static_cast<std::uint64_t>(msgs->as_number());
+    }
+    if (const json::Value* bytes = r.find("halo_bytes")) {
+      rep.halo_bytes = static_cast<std::uint64_t>(bytes->as_number());
     }
     record.repetitions.push_back(rep);
   }

@@ -24,6 +24,10 @@ struct RepetitionRecord {
   double host_s = 0.0;
   int cg_iters = 0;          // cg jobs only (serialized conditionally)
   std::size_t nnz = 0;       // cg jobs only: global pattern nonzeros
+  /// cg jobs only: aggregate per-iteration halo traffic (send-side counts;
+  /// zero when the partition has an empty halo or on the replay tier).
+  std::uint64_t halo_messages = 0;
+  std::uint64_t halo_bytes = 0;
 
   double total_j() const {
     return pkg_j[0] + pkg_j[1] + dram_j[0] + dram_j[1];

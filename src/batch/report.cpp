@@ -79,6 +79,15 @@ bool is_cg(const JobRecord& record) {
   return record.spec.algorithm == perfsim::Algorithm::kCg;
 }
 
+// And for the precond column: it appears only when a preconditioned job is
+// present, so plain-cg reports keep their historical layout.
+bool any_precond(std::span<const JobRecord> records) {
+  for (const JobRecord& record : records) {
+    if (record.spec.precond != solvers::CgPrecond::kNone) return true;
+  }
+  return false;
+}
+
 /// First-repetition iteration count — CG is deterministic, so every
 /// repetition of a job reports the same value.
 int record_cg_iters(const JobRecord& record) {
@@ -87,6 +96,16 @@ int record_cg_iters(const JobRecord& record) {
 
 std::size_t record_nnz(const JobRecord& record) {
   return record.repetitions.empty() ? 0 : record.repetitions.front().nnz;
+}
+
+std::uint64_t record_halo_msgs(const JobRecord& record) {
+  return record.repetitions.empty() ? 0
+                                    : record.repetitions.front().halo_messages;
+}
+
+std::uint64_t record_halo_bytes(const JobRecord& record) {
+  return record.repetitions.empty() ? 0
+                                    : record.repetitions.front().halo_bytes;
 }
 
 }  // namespace
@@ -111,6 +130,7 @@ std::vector<JobRecord> collect_records(std::span<const JobSpec> specs,
 void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
   const bool cg = any_cg(records);
+  const bool precond = any_precond(records);
   CsvWriter csv(os);
   std::vector<std::string> header = {
       "tier", "machine", "algorithm", "n", "ranks", "layout",
@@ -122,8 +142,11 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
       "residual_worst"};
   if (cg) {
     header.insert(header.begin() + 3, "matrix");
+    if (precond) header.insert(header.begin() + 4, "precond");
     header.push_back("cg_iters");
     header.push_back("nnz");
+    header.push_back("halo_msgs");
+    header.push_back("halo_bytes");
   }
   if (mixed) header.insert(header.begin() + 3, "precision");
   csv.write_row(header);
@@ -134,6 +157,12 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
       row.insert(row.begin() + 3,
                  is_cg(record) ? sparse::kind_token(record.spec.matrix)
                                : "-");
+      if (precond) {
+        row.insert(row.begin() + 4,
+                   is_cg(record)
+                       ? solvers::precond_token(record.spec.precond)
+                       : "-");
+      }
     }
     if (mixed) {
       row.insert(row.begin() + 3, precision_token(record.spec.precision));
@@ -155,6 +184,8 @@ void write_report_csv(std::ostream& os, std::span<const JobRecord> records) {
                                   : "0");
       row.push_back(is_cg(record) ? std::to_string(record_nnz(record))
                                   : "0");
+      row.push_back(std::to_string(record_halo_msgs(record)));
+      row.push_back(std::to_string(record_halo_bytes(record)));
     }
     csv.write_row(row);
   }
@@ -164,13 +195,15 @@ void write_report_markdown(std::ostream& os,
                            std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
   const bool cg = any_cg(records);
+  const bool precond = any_precond(records);
   os << "| tier | algorithm |" << (mixed ? " precision |" : "")
-     << (cg ? " matrix |" : "")
+     << (cg ? " matrix |" : "") << (precond ? " precond |" : "")
      << " n | ranks | layout | reps | duration | "
         "energy | power | worst residual |"
-     << (cg ? " iters | nnz |" : "") << "\n";
+     << (cg ? " iters | nnz | halo msgs | halo bytes |" : "") << "\n";
   os << "|---|---|" << (mixed ? "---|" : "") << (cg ? "---|" : "")
-     << "---|---|---|---|---|---|---|---|" << (cg ? "---|---|" : "") << "\n";
+     << (precond ? "---|" : "") << "---|---|---|---|---|---|---|---|"
+     << (cg ? "---|---|---|---|" : "") << "\n";
   for (const JobRecord& record : records) {
     const JobAggregate agg = aggregate(record);
     os << "| " << to_string(record.spec.tier) << " | "
@@ -178,6 +211,11 @@ void write_report_markdown(std::ostream& os,
     if (mixed) os << precision_token(record.spec.precision) << " | ";
     if (cg) {
       os << (is_cg(record) ? sparse::kind_token(record.spec.matrix) : "-")
+         << " | ";
+    }
+    if (precond) {
+      os << (is_cg(record) ? solvers::precond_token(record.spec.precond)
+                           : "-")
          << " | ";
     }
     os << record.spec.n
@@ -197,9 +235,10 @@ void write_report_markdown(std::ostream& os,
     if (cg) {
       if (is_cg(record)) {
         os << " " << record_cg_iters(record) << " | " << record_nnz(record)
-           << " |";
+           << " | " << record_halo_msgs(record) << " | "
+           << record_halo_bytes(record) << " |";
       } else {
-        os << " - | - |";
+        os << " - | - | - | - |";
       }
     }
     os << "\n";
@@ -210,14 +249,18 @@ void print_report_table(std::ostream& os,
                         std::span<const JobRecord> records) {
   const bool mixed = any_mixed(records);
   const bool cg = any_cg(records);
+  const bool precond = any_precond(records);
   std::vector<std::string> header = {
       "tier", "algorithm", "n", "ranks", "layout", "reps",
       "duration", "ci95", "PKG energy", "DRAM energy", "total",
       "power", "residual"};
   if (cg) {
     header.insert(header.begin() + 2, "matrix");
+    if (precond) header.insert(header.begin() + 3, "precond");
     header.push_back("iters");
     header.push_back("nnz");
+    header.push_back("halo msgs");
+    header.push_back("halo bytes");
   }
   if (mixed) header.insert(header.begin() + 2, "precision");
   TextTable table(header);
@@ -243,9 +286,19 @@ void print_report_table(std::ostream& os,
       row.insert(row.begin() + 2,
                  is_cg(record) ? sparse::kind_token(record.spec.matrix)
                                : "-");
+      if (precond) {
+        row.insert(row.begin() + 3,
+                   is_cg(record)
+                       ? solvers::precond_token(record.spec.precond)
+                       : "-");
+      }
       row.push_back(is_cg(record) ? std::to_string(record_cg_iters(record))
                                   : "-");
       row.push_back(is_cg(record) ? std::to_string(record_nnz(record))
+                                  : "-");
+      row.push_back(is_cg(record) ? std::to_string(record_halo_msgs(record))
+                                  : "-");
+      row.push_back(is_cg(record) ? std::to_string(record_halo_bytes(record))
                                   : "-");
     }
     if (mixed) {

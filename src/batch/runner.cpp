@@ -25,6 +25,7 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
   mspec.power_cap_w = spec.power_cap_w;
   mspec.precision = spec.precision;
   mspec.matrix = spec.matrix;
+  mspec.precond = spec.precond;
 
   monitor::MonitorOptions moptions;
   if (!trace_dir.empty()) {
@@ -47,6 +48,8 @@ JobRecord run_numeric(const JobSpec& spec, const hw::MachineSpec& machine,
     r.host_s = rep.host_seconds;
     r.cg_iters = rep.cg_iters;
     r.nnz = rep.nnz;
+    r.halo_messages = rep.halo_messages;
+    r.halo_bytes = rep.halo_bytes;
     record.repetitions.push_back(r);
   }
   return record;
@@ -64,6 +67,7 @@ JobRecord run_replay(const JobSpec& spec, const hw::MachineSpec& machine) {
   workload.iterations = spec.iterations;
   workload.precision = spec.precision;
   workload.matrix = spec.matrix;
+  workload.precond = spec.precond;
   const perfsim::Prediction p = simulator.predict(workload, placement);
   const double host_s = wall.elapsed_s();
 

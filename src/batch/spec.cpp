@@ -92,6 +92,12 @@ std::string JobSpec::canonical() const {
   if (algorithm == perfsim::Algorithm::kCg) {
     out += "|matrix=";
     out += sparse::kind_token(matrix);
+    // And once more: the precond axis appears only for preconditioned cg
+    // jobs, so every unpreconditioned key (dense or sparse) is untouched.
+    if (precond != solvers::CgPrecond::kNone) {
+      out += "|precond=";
+      out += solvers::precond_token(precond);
+    }
   }
   return out;
 }
@@ -127,6 +133,10 @@ std::string JobSpec::describe() const {
   if (algorithm == perfsim::Algorithm::kCg) {
     out += " ";
     out += sparse::kind_token(matrix);
+    if (precond != solvers::CgPrecond::kNone) {
+      out += " ";
+      out += solvers::precond_token(precond);
+    }
   }
   return out;
 }

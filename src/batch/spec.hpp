@@ -16,6 +16,7 @@
 #include "hwmodel/machine.hpp"
 #include "hwmodel/placement.hpp"
 #include "perfsim/prediction.hpp"
+#include "solvers/cg/precond.hpp"
 
 namespace plin::batch {
 
@@ -61,6 +62,9 @@ struct JobSpec {
   /// Sparse family for cg jobs (sparse/generate.hpp tokens); ignored — and
   /// kept out of the canonical string — for every other algorithm.
   sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
+  /// CG preconditioner axis; appended to the canonical string only when a
+  /// cg job is preconditioned, so every pre-existing key stays valid.
+  solvers::CgPrecond precond = solvers::CgPrecond::kNone;
 
   /// Canonical serialization: the hash pre-image, also usable as a fully
   /// qualified human-readable job id.

@@ -35,4 +35,14 @@ inline constexpr double csr_spmv_bytes_per_flop(double nnz, double rows,
   return csr_spmv_bytes(nnz, rows, fp32) / (2.0 * nnz);
 }
 
+/// Analytic mirror of the CG interior/boundary row split (solvers/cg):
+/// a row is boundary iff it reaches outside the owned block, and the
+/// pattern families bound that to `reach` rows at each block edge — so at
+/// most 2 * reach of a rank's `rows` rows are boundary. The replay prices
+/// the overlapped iteration as max(halo, interior SpMV) + boundary SpMV
+/// with this split (docs/sparse.md).
+inline constexpr double csr_boundary_rows(double reach, double rows) {
+  return 2.0 * reach < rows ? 2.0 * reach : rows;
+}
+
 }  // namespace plin::hw

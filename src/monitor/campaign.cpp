@@ -40,6 +40,9 @@ std::string JobSpec::describe() const {
   if (precision == perfsim::Precision::kMixed) out += " mixed";
   if (algorithm == perfsim::Algorithm::kCg) {
     out += std::string(" ") + sparse::kind_token(matrix);
+    if (precond != solvers::CgPrecond::kNone) {
+      out += std::string(" ") + solvers::precond_token(precond);
+    }
   }
   return out;
 }
@@ -117,7 +120,7 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
     config.trace_dir = rep == 0 ? options.trace_dir : std::string();
     Stopwatch wall;
     RepetitionResult rr;
-    xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
+    const xmpi::RunResult run = xmpi::Runtime::run(config, [&](xmpi::Comm& world) {
       std::vector<double> x;
       const RunMeasurement measurement = monitored_run(
           world, options, [&](xmpi::Comm& comm) {
@@ -142,6 +145,7 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
               opt.n = spec.n;
               opt.seed = spec.seed;
               opt.tolerance = spec.tolerance;
+              opt.precond = spec.precond;
               const solvers::CgResult r = solve_pcg(comm, opt);
               x = r.x;
               if (comm.rank() == 0) {
@@ -179,6 +183,8 @@ JobResult run_job(const hw::MachineSpec& machine, const JobSpec& spec,
                             : linalg::scaled_residual(a.view(), x, b);
       }
     });
+    rr.halo_messages = run.traffic.halo_messages;
+    rr.halo_bytes = run.traffic.halo_bytes;
     rr.host_seconds = wall.elapsed_s();
     // Refinement targets n*eps backward error — up to an order looser than
     // the fp64 direct solve's gate, still fp64-grade accuracy.
@@ -212,19 +218,32 @@ bool any_cg(std::span<const JobResult> jobs) {
   return false;
 }
 
+/// The precond column appears only once a preconditioned job is present —
+/// plain-CG campaigns keep printing their historical bytes.
+bool any_precond(std::span<const JobResult> jobs) {
+  for (const JobResult& job : jobs) {
+    if (job.spec.precond != solvers::CgPrecond::kNone) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
   const bool mixed = any_mixed(jobs);
   const bool cg = any_cg(jobs);
+  const bool precond = any_precond(jobs);
   std::vector<std::string> header = {"algorithm", "n", "ranks", "layout",
                                      "reps", "duration", "PKG energy",
                                      "DRAM energy", "total", "power",
                                      "residual"};
   if (cg) {
     header.insert(header.begin() + 1, "matrix");
+    if (precond) header.insert(header.begin() + 2, "precond");
     header.push_back("iters");
     header.push_back("nnz");
+    header.push_back("halo msgs");
+    header.push_back("halo bytes");
   }
   if (mixed) header.insert(header.begin() + 1, "precision");
   TextTable table(header);
@@ -245,9 +264,15 @@ void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
     if (cg) {
       row.insert(row.begin() + 1,
                  job_cg ? sparse::kind_token(job.spec.matrix) : "-");
+      if (precond) {
+        row.insert(row.begin() + 2,
+                   job_cg ? solvers::precond_token(job.spec.precond) : "-");
+      }
       const RepetitionResult& first = job.repetitions.front();
       row.push_back(job_cg ? std::to_string(first.cg_iters) : "-");
       row.push_back(job_cg ? std::to_string(first.nnz) : "-");
+      row.push_back(job_cg ? std::to_string(first.halo_messages) : "-");
+      row.push_back(job_cg ? std::to_string(first.halo_bytes) : "-");
     }
     if (mixed) {
       row.insert(row.begin() + 1, perfsim::to_string(job.spec.precision));
@@ -260,6 +285,7 @@ void print_campaign_table(std::ostream& os, std::span<const JobResult> jobs) {
 void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
   const bool mixed = any_mixed(jobs);
   const bool cg = any_cg(jobs);
+  const bool precond = any_precond(jobs);
   CsvWriter csv(os);
   std::vector<std::string> header = {"algorithm", "n", "ranks", "layout",
                                      "repetition", "duration_s", "pkg0_j",
@@ -268,8 +294,11 @@ void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
                                      "host_s"};
   if (cg) {
     header.insert(header.begin() + 1, "matrix");
+    if (precond) header.insert(header.begin() + 2, "precond");
     header.push_back("cg_iters");
     header.push_back("nnz");
+    header.push_back("halo_msgs");
+    header.push_back("halo_bytes");
   }
   if (mixed) {
     header.insert(header.begin() + 1, "precision");
@@ -300,8 +329,14 @@ void write_campaign_csv(std::ostream& os, std::span<const JobResult> jobs) {
       if (cg) {
         row.insert(row.begin() + 1,
                    job_cg ? sparse::kind_token(job.spec.matrix) : "-");
+        if (precond) {
+          row.insert(row.begin() + 2,
+                     job_cg ? solvers::precond_token(job.spec.precond) : "-");
+        }
         row.push_back(job_cg ? std::to_string(rep.cg_iters) : "0");
         row.push_back(job_cg ? std::to_string(rep.nnz) : "0");
+        row.push_back(std::to_string(rep.halo_messages));
+        row.push_back(std::to_string(rep.halo_bytes));
       }
       if (mixed) {
         row.insert(row.begin() + 1, perfsim::to_string(job.spec.precision));

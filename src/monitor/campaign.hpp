@@ -17,6 +17,7 @@
 #include "hwmodel/placement.hpp"
 #include "monitor/white_box.hpp"
 #include "perfsim/prediction.hpp"
+#include "solvers/cg/precond.hpp"
 #include "solvers/efficiency.hpp"
 #include "sparse/generate.hpp"
 #include "support/stats.hpp"
@@ -42,6 +43,8 @@ struct JobSpec {
   /// solvers) and the relative-residual convergence target.
   sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
   double tolerance = 1e-11;
+  /// CG only: the preconditioner axis (none | jacobi).
+  solvers::CgPrecond precond = solvers::CgPrecond::kNone;
 
   std::string describe() const;
 };
@@ -54,6 +57,11 @@ struct RepetitionResult {
   bool fell_back = false;    // mixed precision: fp32 abandoned for fp64
   int cg_iters = 0;          // CG: iterations to convergence
   std::size_t nnz = 0;       // CG: global pattern nonzeros streamed
+  /// CG: aggregate per-iteration halo traffic of the run (send-side counts
+  /// from TrafficCounters — zero for the dense solvers and for CG systems
+  /// whose partition has an empty halo, e.g. block-diagonal families).
+  std::uint64_t halo_messages = 0;
+  std::uint64_t halo_bytes = 0;
 };
 
 struct JobResult {

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 
+#include "solvers/cg/precond.hpp"
 #include "sparse/generate.hpp"
 
 namespace plin::perfsim {
@@ -35,6 +36,8 @@ struct Workload {
   /// target that (with the family's spectrum) fixes the iteration count.
   sparse::SparseKind matrix = sparse::SparseKind::kStencil5;
   double tolerance = 1e-11;
+  /// CG only: the campaign's preconditioner axis (none | jacobi).
+  solvers::CgPrecond precond = solvers::CgPrecond::kNone;
 };
 
 struct Prediction {

@@ -37,7 +37,7 @@ Prediction Simulator::predict(const Workload& workload,
                             workload.iterations);
     case Algorithm::kCg:
       return predict_cg(machine_, placement, workload.n, workload.matrix,
-                        workload.tolerance);
+                        workload.tolerance, workload.precond);
   }
   throw InvalidArgument("unknown algorithm");
 }

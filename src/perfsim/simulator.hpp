@@ -55,13 +55,17 @@ Prediction predict_scalapack_mixed(const hw::MachineSpec& machine,
 /// range; this model reproduces that and stays at 3 through Marconi scale).
 int refinement_iters(std::size_t n);
 
-/// Distributed-CG replay: per-iteration SpMV (priced with the sparse
-/// DRAM-traffic term from hwmodel/sparse.hpp), halo exchange, two scalar
-/// allreduce dots and the axpy updates, iterated cg_model_iters times, then
-/// the final solution allgather (docs/sparse.md).
+/// Distributed-CG replay of the default fused/overlapped path: per
+/// iteration max(halo exchange, interior SpMV) + boundary SpMV (priced
+/// with the sparse DRAM-traffic term from hwmodel/sparse.hpp and the
+/// csr_boundary_rows split), one fused small-vector allreduce carrying the
+/// iteration's dot products (3 scalars, 5 under Jacobi), and the axpy
+/// updates — iterated cg_model_iters times, then the final solution
+/// allgather (docs/sparse.md).
 Prediction predict_cg(const hw::MachineSpec& machine,
                       const hw::Placement& placement, std::size_t n,
-                      sparse::SparseKind kind, double tolerance);
+                      sparse::SparseKind kind, double tolerance,
+                      solvers::CgPrecond precond = solvers::CgPrecond::kNone);
 
 /// The analytic iteration-count model: the classic CG error bound
 /// ||e_k|| <= 2 ((sqrt(k)-1)/(sqrt(k)+1))^k ||e_0|| evaluated at the

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "hwmodel/sparse.hpp"
 #include "linalg/generate.hpp"
 #include "solvers/efficiency.hpp"
+#include "sparse/spmv_kernel.hpp"
 #include "support/error.hpp"
 
 namespace plin::solvers {
@@ -22,10 +24,59 @@ double dot_span(std::span<const double> a, std::span<const double> b) {
   return sum;
 }
 
+CgPath resolve_path(CgPath path) {
+  if (path != CgPath::kAuto) return path;
+  if (const char* raw = std::getenv("PLIN_CG_PATH")) {
+    if (*raw != '\0') return parse_path_token(raw);
+  }
+  return CgPath::kFused;
+}
+
+/// 1 / diag(A) for the owned rows; `col_of(li)` maps a local row to the
+/// column index its diagonal carries (global before the halo remap, local
+/// after). The generated diagonal is the absolute off-diagonal row sum
+/// plus one, so it is always >= 1.
+template <typename ColOf>
+std::vector<double> inverse_diagonal(const sparse::CsrMatrix& a,
+                                     ColOf&& col_of) {
+  std::vector<double> inv(a.rows, 0.0);
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    const std::size_t want = col_of(r);
+    for (std::size_t k = a.row_ptr[r]; k < a.row_ptr[r + 1]; ++k) {
+      if (a.col_idx[k] == want) {
+        PLIN_CHECK_MSG(a.values[k] > 0.0,
+                       "cg: jacobi needs a positive diagonal");
+        inv[r] = 1.0 / a.values[k];
+        break;
+      }
+    }
+    PLIN_CHECK_MSG(inv[r] > 0.0, "cg: jacobi needs a full diagonal");
+  }
+  return inv;
+}
+
 }  // namespace
 
+const char* path_token(CgPath path) {
+  switch (path) {
+    case CgPath::kBlocking: return "blocking";
+    case CgPath::kOverlap: return "overlap";
+    case CgPath::kAuto:
+    case CgPath::kFused: break;
+  }
+  return "fused";
+}
+
+CgPath parse_path_token(const std::string& token) {
+  if (token == "blocking") return CgPath::kBlocking;
+  if (token == "overlap") return CgPath::kOverlap;
+  if (token == "fused") return CgPath::kFused;
+  throw InvalidArgument(
+      "unknown cg path (use blocking | overlap | fused): " + token);
+}
+
 CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
-                  double tolerance, int max_iterations) {
+                  double tolerance, int max_iterations, CgPrecond precond) {
   PLIN_CHECK_MSG(a.rows == a.cols, "cg: A must be square");
   const std::size_t n = a.rows;
   PLIN_CHECK_MSG(b.size() == n, "cg: rhs size mismatch");
@@ -36,7 +87,6 @@ CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
   result.nnz = a.nnz();
   result.x.assign(n, 0.0);
   std::vector<double> r = b;  // r = b - A*0
-  std::vector<double> p = r;
   std::vector<double> q(n, 0.0);
 
   const double b_norm = std::sqrt(dot_span(b, b));
@@ -44,26 +94,61 @@ CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
     result.converged = true;
     return result;
   }
-  double rr = dot_span(r, r);
+
+  if (precond == CgPrecond::kNone) {
+    std::vector<double> p = r;
+    double rr = dot_span(r, r);
+    for (int iter = 1; iter <= max_iterations; ++iter) {
+      sparse::spmv(a, p, q);
+      const double pq = dot_span(p, q);
+      PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
+      const double alpha = rr / pq;
+      for (std::size_t i = 0; i < n; ++i) {
+        result.x[i] += alpha * p[i];
+        r[i] -= alpha * q[i];
+      }
+      const double rr_next = dot_span(r, r);
+      result.iterations = iter;
+      result.relative_residual = std::sqrt(rr_next) / b_norm;
+      if (result.relative_residual <= tolerance) {
+        result.converged = true;
+        break;
+      }
+      const double beta = rr_next / rr;
+      rr = rr_next;
+      for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    }
+    return result;
+  }
+
+  // Jacobi PCG: M = diag(A), z = M^{-1} r, direction updates from z.
+  const std::vector<double> inv_diag =
+      inverse_diagonal(a, [](std::size_t row) { return row; });
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  std::vector<double> p = z;
+  double rz = dot_span(r, z);
   for (int iter = 1; iter <= max_iterations; ++iter) {
     sparse::spmv(a, p, q);
     const double pq = dot_span(p, q);
     PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
-    const double alpha = rr / pq;
+    const double alpha = rz / pq;
     for (std::size_t i = 0; i < n; ++i) {
       result.x[i] += alpha * p[i];
       r[i] -= alpha * q[i];
     }
-    const double rr_next = dot_span(r, r);
+    const double rr = dot_span(r, r);
     result.iterations = iter;
-    result.relative_residual = std::sqrt(rr_next) / b_norm;
+    result.relative_residual = std::sqrt(rr) / b_norm;
     if (result.relative_residual <= tolerance) {
       result.converged = true;
       break;
     }
-    const double beta = rr_next / rr;
-    rr = rr_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot_span(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
   return result;
 }
@@ -73,6 +158,10 @@ CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
   PLIN_CHECK_MSG(n > 0, "cg: system dimension must be positive");
   PLIN_CHECK_MSG(options.tolerance > 0.0 && options.max_iterations > 0,
                  "cg: bad iteration controls");
+  const CgPath path = resolve_path(options.path);
+  const bool overlap = path != CgPath::kBlocking;
+  const bool fused = path == CgPath::kFused;
+  const bool jacobi = options.precond == CgPrecond::kJacobi;
   const int ranks = comm.size();
   const int rank = comm.rank();
 
@@ -91,6 +180,12 @@ CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
   std::vector<double> local_b(local_rows, 0.0);
   for (std::size_t li = 0; li < local_rows; ++li) {
     local_b[li] = linalg::rhs_entry(options.seed, n, lo + li);
+  }
+  std::vector<double> inv_diag;
+  if (jacobi) {
+    // Columns are still global here, so row li's diagonal sits at lo + li.
+    inv_diag = inverse_diagonal(
+        local, [lo](std::size_t row) { return lo + row; });
   }
   comm.memory_touch(local.size_bytes());
   comm.prof_phase_end();
@@ -180,20 +275,47 @@ CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
     }
     out_peers.push_back(std::move(out));
   }
+
+  // Interior/boundary row split for the overlapped paths: a row is
+  // boundary iff it gathers from the ghost region (remapped columns
+  // >= local_rows). Computing a row in the interior pass or the boundary
+  // pass yields the same bits (spmv_rows keeps the per-row accumulation of
+  // the full spmv), so the split moves timing only.
+  std::vector<std::uint32_t> interior_rows;
+  std::vector<std::uint32_t> boundary_rows;
+  std::size_t nnz_boundary = 0;
+  if (overlap) {
+    for (std::size_t li = 0; li < local_rows; ++li) {
+      bool boundary = false;
+      for (std::size_t k = local.row_ptr[li]; k < local.row_ptr[li + 1];
+           ++k) {
+        if (local.col_idx[k] >= local_rows) {
+          boundary = true;
+          break;
+        }
+      }
+      if (boundary) {
+        boundary_rows.push_back(static_cast<std::uint32_t>(li));
+        nnz_boundary += local.row_ptr[li + 1] - local.row_ptr[li];
+      } else {
+        interior_rows.push_back(static_cast<std::uint32_t>(li));
+      }
+    }
+  }
   comm.prof_phase_end();
 
   // -- CG iteration ---------------------------------------------------------
   const double flops_dot = 2.0 * static_cast<double>(local_rows);
-  const auto charge_dot = [&] {
-    comm.compute(xmpi::ComputeCost{flops_dot,
-                                   flops_dot * kDot.bytes_per_flop,
+  const auto charge_dots = [&](double count) {
+    comm.compute(xmpi::ComputeCost{count * flops_dot,
+                                   count * flops_dot * kDot.bytes_per_flop,
                                    kDot.efficiency});
   };
   const auto global_dot = [&](std::span<const double> a,
                               std::span<const double> b) {
     comm.prof_phase_begin("cg:dot");
     const double partial = dot_span(a, b);
-    charge_dot();
+    charge_dots(1.0);
     const double sum = comm.allreduce_value(partial, xmpi::ReduceOp::kSum);
     comm.prof_phase_end();
     return sum;
@@ -208,28 +330,116 @@ CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
   std::vector<double> x(local_rows, 0.0);
   std::vector<double> r = local_b;
   std::vector<double> q(local_rows, 0.0);
+  std::vector<double> z;  // jacobi only: z = M^{-1} r
+  if (jacobi) z.assign(local_rows, 0.0);
   // p carries the ghost region the remapped SpMV gathers from.
   std::vector<double> p_ext(local_rows + ghosts.size(), 0.0);
   const std::span<double> p_owned(p_ext.data(), local_rows);
-  std::copy(r.begin(), r.end(), p_ext.begin());
   std::vector<double> halo_out;
+  std::vector<xmpi::Request> halo_requests;
 
-  const auto exchange_halo = [&] {
+  const auto pack_and_send = [&](const OutPeer& out, bool nonblocking) {
+    halo_out.resize(out.rows.size());
+    for (std::size_t i = 0; i < out.rows.size(); ++i) {
+      halo_out[i] = p_ext[out.rows[i]];
+    }
+    // Both sends are buffered (the payload is on the wire before the call
+    // returns), so reusing halo_out across peers is safe either way.
+    if (nonblocking) {
+      comm.isend_halo(std::span<const double>(halo_out), out.peer,
+                      kTagHaloData);
+    } else {
+      comm.send_halo(std::span<const double>(halo_out), out.peer,
+                     kTagHaloData);
+    }
+  };
+
+  /// The PR 9 reference: ship every ghost segment, then block on each
+  /// incoming slice before any SpMV work starts.
+  const auto exchange_halo_blocking = [&] {
     if (in_peers.empty() && out_peers.empty()) return;
     comm.prof_phase_begin("cg:halo");
-    for (const OutPeer& out : out_peers) {
-      halo_out.resize(out.rows.size());
-      for (std::size_t i = 0; i < out.rows.size(); ++i) {
-        halo_out[i] = p_ext[out.rows[i]];
-      }
-      comm.send(std::span<const double>(halo_out), out.peer, kTagHaloData);
-    }
+    for (const OutPeer& out : out_peers) pack_and_send(out, false);
     for (const InPeer& in : in_peers) {
       comm.recv(std::span<double>(p_ext.data() + local_rows + in.offset,
                                   in.count),
                 in.peer, kTagHaloData);
     }
     comm.prof_phase_end();
+  };
+
+  const auto halo_post = [&] {
+    if (in_peers.empty() && out_peers.empty()) return;
+    comm.prof_phase_begin("cg:halo-post");
+    for (const InPeer& in : in_peers) {
+      halo_requests.push_back(comm.irecv(
+          std::span<double>(p_ext.data() + local_rows + in.offset, in.count),
+          in.peer, kTagHaloData));
+    }
+    for (const OutPeer& out : out_peers) pack_and_send(out, true);
+    comm.prof_phase_end();
+  };
+
+  const auto halo_wait = [&] {
+    if (halo_requests.empty()) return;
+    comm.prof_phase_begin("cg:halo-wait");
+    xmpi::wait_all(std::span<xmpi::Request>(halo_requests));
+    halo_requests.clear();
+    comm.prof_phase_end();
+  };
+
+  const double nnz_total = static_cast<double>(local.nnz());
+  const double nnz_interior_d =
+      nnz_total - static_cast<double>(nnz_boundary);
+  // csr_spmv_bytes is linear in (nnz, rows), so the interior and boundary
+  // charges sum exactly to the blocking path's single charge.
+  const double bytes_interior = hw::csr_spmv_bytes(
+      nnz_interior_d, static_cast<double>(interior_rows.size()));
+  const double bytes_boundary = hw::csr_spmv_bytes(
+      static_cast<double>(nnz_boundary),
+      static_cast<double>(boundary_rows.size()));
+  const double bytes_spmv = hw::csr_spmv_bytes(
+      nnz_total, static_cast<double>(local_rows));
+
+  /// q = A p for one iteration, down the configured halo path.
+  const auto apply_operator = [&] {
+    if (!overlap) {
+      exchange_halo_blocking();
+      comm.prof_phase_begin("cg:spmv");
+      sparse::spmv(local, p_ext, q);
+      comm.compute(
+          xmpi::ComputeCost{2.0 * nnz_total, bytes_spmv, kSpmv.efficiency});
+      comm.prof_phase_end();
+      return;
+    }
+    halo_post();
+    comm.prof_phase_begin("cg:interior");
+    sparse::spmv_rows(local, p_ext, q,
+                      std::span<const std::uint32_t>(interior_rows));
+    comm.compute(xmpi::ComputeCost{2.0 * nnz_interior_d, bytes_interior,
+                                   kSpmv.efficiency});
+    comm.prof_phase_end();
+    halo_wait();
+    comm.prof_phase_begin("cg:boundary");
+    sparse::spmv_rows(local, p_ext, q,
+                      std::span<const std::uint32_t>(boundary_rows));
+    comm.compute(xmpi::ComputeCost{
+        2.0 * static_cast<double>(nnz_boundary), bytes_boundary,
+        kSpmv.efficiency});
+    comm.prof_phase_end();
+  };
+
+  const auto apply_precond = [&] {
+    comm.prof_phase_begin("cg:precond");
+    for (std::size_t i = 0; i < local_rows; ++i) z[i] = inv_diag[i] * r[i];
+    const double rows_d = static_cast<double>(local_rows);
+    comm.compute(xmpi::ComputeCost{rows_d, 24.0 * rows_d, kAxpy.efficiency});
+    comm.prof_phase_end();
+  };
+
+  const auto charge_axpy = [&](double flops) {
+    comm.compute(xmpi::ComputeCost{flops, flops * kAxpy.bytes_per_flop,
+                                   kAxpy.efficiency});
   };
 
   const double bb = global_dot(local_b, local_b);
@@ -239,53 +449,133 @@ CgResult solve_pcg(xmpi::Comm& comm, const CgOptions& options) {
     result.x.assign(n, 0.0);
     return result;
   }
-  double rr = bb;  // r == b at x = 0
 
-  const double flops_spmv = 2.0 * static_cast<double>(local.nnz());
-  const double bytes_spmv = hw::csr_spmv_bytes(
-      static_cast<double>(local.nnz()), static_cast<double>(local_rows));
+  // Residual-replacement guard for the fused recurrences. The recurrence
+  // ||r'||^2 = ||r||^2 - 2 a (r.q) + a^2 (q.q) is exact for the *exact*
+  // update, but the stored r drifts from it by rounding, and the drift
+  // freezes into a constant absolute offset of order eps * ||b||^2 (the
+  // scale of the early iterations' terms). Below this floor the recurrence
+  // value is noise — feeding it into beta makes the direction recurrence
+  // unstable (beta > 1 runaway), the classic attainable-accuracy limit of
+  // single-reduction CG. The guard re-measures ||r||^2 directly whenever
+  // the recurrence value dips under a generous multiple of the floor; the
+  // inputs are replicated bitwise, so every rank takes the same branch and
+  // determinism is preserved. 1e-12 leaves ~3 decades of margin over the
+  // observed eps-scale offset while keeping the one-round fast path for
+  // the whole trajectory above a relative residual of 1e-6.
+  const double rec_floor = 1e-12 * bb;
+
+  double rr = bb;   // ||r||^2 (r == b at x = 0)
+  double rz = 0.0;  // jacobi: r . M^{-1} r
+  if (jacobi) {
+    apply_precond();
+    std::copy(z.begin(), z.end(), p_ext.begin());
+    rz = global_dot(r, z);
+  } else {
+    std::copy(r.begin(), r.end(), p_ext.begin());
+  }
+  // The r.M^{-1}r recurrence carries the same frozen offset at its own
+  // initial scale.
+  const double rz_floor = jacobi ? 1e-12 * rz : 0.0;
 
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    exchange_halo();
+    apply_operator();
 
-    comm.prof_phase_begin("cg:spmv");
-    sparse::spmv(local, p_ext, q);
-    comm.compute(xmpi::ComputeCost{flops_spmv, bytes_spmv, kSpmv.efficiency});
-    comm.prof_phase_end();
-
-    const double pq = global_dot(p_owned, q);
-    PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
-    const double alpha = rr / pq;
+    double alpha = 0.0;
+    double rr_next = 0.0;
+    // Fused-round scalars: [p.q, r.q, q.q] (+ [z.q, q.M^{-1}q] under
+    // jacobi). One accumulation pass brackets each sum exactly like its
+    // standalone dot_span, and the small-vector allreduce combines
+    // element-wise in rank order — each element is bitwise what the scalar
+    // round would have produced.
+    double fused_g[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+    if (fused) {
+      comm.prof_phase_begin("cg:dot");
+      const std::size_t terms = jacobi ? 5 : 3;
+      double partial[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+      for (std::size_t i = 0; i < local_rows; ++i) {
+        partial[0] += p_ext[i] * q[i];
+        partial[1] += r[i] * q[i];
+        partial[2] += q[i] * q[i];
+        if (jacobi) {
+          partial[3] += z[i] * q[i];
+          partial[4] += q[i] * inv_diag[i] * q[i];
+        }
+      }
+      // One pass streams each distinct vector once (p, r, q [, z, d]), so
+      // the DRAM term is per *vector*, not per dot — half the per-term
+      // traffic of standalone dots, and the compute-side payoff of fusing.
+      comm.compute(xmpi::ComputeCost{
+          static_cast<double>(terms) * flops_dot,
+          (jacobi ? 5.0 : 3.0) * 8.0 * static_cast<double>(local_rows),
+          kDot.efficiency});
+      comm.allreduce(std::span<const double>(partial, terms),
+                     std::span<double>(fused_g, terms), xmpi::ReduceOp::kSum);
+      comm.prof_phase_end();
+      const double pq = fused_g[0];
+      PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
+      alpha = (jacobi ? rz : rr) / pq;
+    } else {
+      const double pq = global_dot(p_owned, q);
+      PLIN_CHECK_MSG(pq > 0.0, "cg: matrix is not positive definite");
+      alpha = (jacobi ? rz : rr) / pq;
+    }
 
     comm.prof_phase_begin("cg:axpy");
     for (std::size_t i = 0; i < local_rows; ++i) {
       x[i] += alpha * p_ext[i];
       r[i] -= alpha * q[i];
     }
-    const double flops_axpy = 4.0 * static_cast<double>(local_rows);
-    comm.compute(xmpi::ComputeCost{flops_axpy,
-                                   flops_axpy * kAxpy.bytes_per_flop,
-                                   kAxpy.efficiency});
+    charge_axpy(4.0 * static_cast<double>(local_rows));
     comm.prof_phase_end();
 
-    const double rr_next = global_dot(r, r);
+    if (fused) {
+      // ||r - a q||^2 = ||r||^2 - 2 a (r.q) + a^2 (q.q), guarded by the
+      // residual-replacement floor above: once the value is small enough
+      // for the frozen rounding offset to matter, re-measure directly
+      // (deterministically — the recurrence inputs are replicated bitwise,
+      // so every rank takes the same branch).
+      rr_next =
+          rr - 2.0 * alpha * fused_g[1] + alpha * alpha * fused_g[2];
+      if (rr_next <= rec_floor) rr_next = global_dot(r, r);
+    } else {
+      rr_next = global_dot(r, r);
+    }
     result.iterations = iter;
     result.relative_residual = std::sqrt(rr_next) / b_norm;
     if (result.relative_residual <= options.tolerance) {
       result.converged = true;
       break;
     }
-    const double beta = rr_next / rr;
+
+    double beta = 0.0;
+    if (jacobi) {
+      apply_precond();
+      double rz_next = 0.0;
+      if (fused) {
+        // Same recurrence through M^{-1}: (r-aq).M^{-1}(r-aq)
+        //   = rz - 2 a (z.q) + a^2 (q.M^{-1}q), with the same
+        //   residual-replacement guard (z holds M^{-1} r_new here, so the
+        //   direct re-measure is well-defined).
+        rz_next =
+            rz - 2.0 * alpha * fused_g[3] + alpha * alpha * fused_g[4];
+        if (rz_next <= rz_floor) rz_next = global_dot(r, z);
+      } else {
+        rz_next = global_dot(r, z);
+      }
+      beta = rz_next / rz;
+      rz = rz_next;
+    } else {
+      beta = rr_next / rr;
+    }
     rr = rr_next;
 
     comm.prof_phase_begin("cg:axpy");
+    const std::vector<double>& direction_src = jacobi ? z : r;
     for (std::size_t i = 0; i < local_rows; ++i) {
-      p_ext[i] = r[i] + beta * p_ext[i];
+      p_ext[i] = direction_src[i] + beta * p_ext[i];
     }
-    const double flops_update = 2.0 * static_cast<double>(local_rows);
-    comm.compute(xmpi::ComputeCost{flops_update,
-                                   flops_update * kAxpy.bytes_per_flop,
-                                   kAxpy.efficiency});
+    charge_axpy(2.0 * static_cast<double>(local_rows));
     comm.prof_phase_end();
   }
 

@@ -5,27 +5,56 @@
 //
 // The distributed solver owns contiguous row blocks (the same
 // chunk = ceil(n / P) arithmetic placement as Jacobi), generates its block
-// locally from (kind, seed, n), and runs the iteration with
-//   - a halo exchange: before each SpMV, each rank ships the p-vector
-//     entries its neighbors' off-block columns reference (requests are
-//     negotiated once at setup; per-iteration traffic is exactly the ghost
-//     values, not whole replicas);
-//   - scalar allreduces for the three dot products. Each rank reduces its
-//     owned range in index order and the combine bracketing is the
-//     schedule-invariant one from xmpi, so iterate trajectories — and
-//     therefore iteration counts, residuals, and the solution bit pattern —
-//     are identical across worker counts, executors, and collective modes
-//     (the same determinism contract every other solver honors).
+// locally from (kind, seed, n), and runs the iteration down one of three
+// paths (CgPath below):
+//   - kBlocking: the reference shape — a fully blocking halo exchange
+//     before each SpMV, then separate scalar allreduces per dot product.
+//   - kOverlap: local rows are split once at setup into *interior* rows
+//     (touch no ghost column) and *boundary* rows; per iteration the halo
+//     irecv/isends are posted, the interior SpMV runs while the ghost
+//     values are in flight, and the boundary rows finish after wait_all.
+//     Per-row accumulation order is unchanged, so solution and iteration
+//     count are bit-identical to kBlocking at every P — only the simulated
+//     time (and hence energy) moves.
+//   - kFused (default): the overlapped halo plus *fused iteration
+//     collectives* — the per-iteration scalar allreduces collapse into one
+//     small-vector allreduce (element-wise, rank-order-preserving combine,
+//     so each element is bitwise the value the scalar round would have
+//     produced), and ||r||^2 advances by the standard recurrence
+//     rr' = rr - 2 a (r.q) + a^2 (q.q) instead of a second round. The
+//     recurrence carries a frozen eps * ||b||^2-scale rounding offset (the
+//     attainable-accuracy limit of single-reduction CG), so it is guarded
+//     by residual replacement: once the recurrence value dips under
+//     1e-12 * ||b||^2, ||r||^2 is re-measured with a direct round — every
+//     rank takes the same branch because the recurrence inputs are
+//     replicated bitwise. The recurrence legitimately re-brackets the
+//     residual trajectory, so kFused may terminate +-1 iteration from the
+//     reference paths.
+// Every path honors the repo's determinism contract: at a fixed path and
+// fixed PLIN_SPARSE_KERNEL, results are bit-identical across worker
+// counts, executors and collective modes.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "solvers/cg/precond.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/generate.hpp"
 #include "xmpi/comm.hpp"
 
 namespace plin::solvers {
+
+/// Which iteration shape solve_pcg runs (see the header comment). kAuto
+/// resolves PLIN_CG_PATH={blocking,overlap,fused} and defaults to kFused.
+enum class CgPath { kAuto, kBlocking, kOverlap, kFused };
+
+/// "blocking" / "overlap" / "fused" (kAuto has no token — it resolves).
+const char* path_token(CgPath path);
+
+/// Parses a PLIN_CG_PATH token; throws InvalidArgument otherwise.
+CgPath parse_path_token(const std::string& token);
 
 struct CgOptions {
   sparse::SparseKind kind = sparse::SparseKind::kStencil5;
@@ -34,6 +63,8 @@ struct CgOptions {
   /// Relative-residual termination: ||r||_2 <= tolerance * ||b||_2.
   double tolerance = 1e-11;
   int max_iterations = 1000;
+  CgPath path = CgPath::kAuto;
+  CgPrecond precond = CgPrecond::kNone;
 };
 
 struct CgResult {
@@ -44,9 +75,11 @@ struct CgResult {
   std::size_t nnz = 0;             // global pattern nnz actually streamed
 };
 
-/// Sequential reference: CG on an explicit matrix and right-hand side.
+/// Sequential reference: (preconditioned) CG on an explicit matrix and
+/// right-hand side, with direct (unfused) dot products.
 CgResult solve_cg(const sparse::CsrMatrix& a, const std::vector<double>& b,
-                  double tolerance, int max_iterations);
+                  double tolerance, int max_iterations,
+                  CgPrecond precond = CgPrecond::kNone);
 
 /// Distributed CG on `comm`; the system is generated from
 /// (kind, seed, n) like the other solvers. Call from every rank.

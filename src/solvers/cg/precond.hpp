@@ -1,0 +1,32 @@
+// The CG preconditioner axis, split out of cg.hpp so the light layers
+// (perfsim workloads, batch specs, manifests) can name it without pulling
+// the solver's xmpi dependencies — the same layering the perfsim
+// Algorithm/Precision enums follow.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace plin::solvers {
+
+/// The campaign's `precond` axis: none, or the Jacobi (diagonal)
+/// preconditioner M = diag(A). Jacobi trades an extra per-row vector op
+/// (and one more fused scalar) per iteration against the iteration count —
+/// the first point on the ROADMAP item-4 cost-vs-count energy trade
+/// (docs/sparse.md).
+enum class CgPrecond { kNone, kJacobi };
+
+/// Manifest/CLI tokens ("none" | "jacobi").
+inline const char* precond_token(CgPrecond precond) {
+  return precond == CgPrecond::kJacobi ? "jacobi" : "none";
+}
+
+inline CgPrecond parse_precond_token(const std::string& token) {
+  if (token == "none") return CgPrecond::kNone;
+  if (token == "jacobi") return CgPrecond::kJacobi;
+  throw InvalidArgument("unknown preconditioner (use none | jacobi): " +
+                        token);
+}
+
+}  // namespace plin::solvers

@@ -64,29 +64,6 @@ CsrMatrix make_empty(std::size_t rows, std::size_t cols) {
   return a;
 }
 
-void spmv(const CsrMatrix& a, std::span<const double> x,
-          std::span<double> y) {
-  PLIN_CHECK_MSG(x.size() == a.cols && y.size() == a.rows,
-                 "spmv: vector shape mismatch");
-  const std::uint32_t* cols = a.col_idx.data();
-  const double* vals = a.values.data();
-  for (std::size_t r = 0; r < a.rows; ++r) {
-    const std::size_t lo = a.row_ptr[r];
-    const std::size_t hi = a.row_ptr[r + 1];
-    // Two independent accumulators hide the gather latency and let the
-    // compiler keep the value/index streams in flight.
-    double acc0 = 0.0;
-    double acc1 = 0.0;
-    std::size_t k = lo;
-    for (; k + 1 < hi; k += 2) {
-      acc0 += vals[k] * x[cols[k]];
-      acc1 += vals[k + 1] * x[cols[k + 1]];
-    }
-    if (k < hi) acc0 += vals[k] * x[cols[k]];
-    y[r] = acc0 + acc1;
-  }
-}
-
 double inf_norm(const CsrMatrix& a) {
   double norm = 0.0;
   for (std::size_t r = 0; r < a.rows; ++r) {

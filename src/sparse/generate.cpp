@@ -117,6 +117,14 @@ void for_row_cols(SparseKind kind, std::size_t n, std::size_t i, F&& f) {
       }
       break;
     }
+    case SparseKind::kBlockDiag: {
+      const std::size_t base = (i / kDiagBlock) * kDiagBlock;
+      const std::size_t hi = std::min(n, base + kDiagBlock);
+      for (std::size_t j = base; j < hi; ++j) {
+        if (j != i) f(j);
+      }
+      break;
+    }
   }
 }
 
@@ -129,6 +137,7 @@ double offdiag_value(SparseKind kind, std::uint64_t seed, std::size_t n,
       return -1.0;
     case SparseKind::kBanded:
     case SparseKind::kRandom:
+    case SparseKind::kBlockDiag:
       return pair_value(seed, n, i, j);
   }
   return 0.0;
@@ -143,6 +152,7 @@ const char* kind_token(SparseKind kind) {
     case SparseKind::kStencil27: return "stencil27";
     case SparseKind::kBanded: return "banded";
     case SparseKind::kRandom: return "random";
+    case SparseKind::kBlockDiag: return "blockdiag";
   }
   return "stencil5";
 }
@@ -153,9 +163,10 @@ SparseKind parse_kind_token(const std::string& token) {
   if (token == "stencil27") return SparseKind::kStencil27;
   if (token == "banded") return SparseKind::kBanded;
   if (token == "random") return SparseKind::kRandom;
+  if (token == "blockdiag") return SparseKind::kBlockDiag;
   throw InvalidArgument(
       "unknown matrix kind (use stencil5 | stencil9 | stencil27 | banded | "
-      "random): " +
+      "random | blockdiag): " +
       token);
 }
 
@@ -228,6 +239,8 @@ std::size_t pattern_reach(SparseKind kind, std::size_t n) {
       return kBandedHalfWidth;
     case SparseKind::kRandom:
       return kRandomHalfWidth;
+    case SparseKind::kBlockDiag:
+      return std::min(kDiagBlock - 1, n - 1);
   }
   return 0;
 }
@@ -242,6 +255,8 @@ double pattern_offdiag_sum(SparseKind kind) {
       return static_cast<double>(2 * kBandedHalfWidth) * 0.5;
     case SparseKind::kRandom:
       return static_cast<double>(2 * kRandomHalfWidth) * 0.25 * 0.5;
+    case SparseKind::kBlockDiag:
+      return static_cast<double>(kDiagBlock - 1) * 0.5;
   }
   return 1.0;
 }

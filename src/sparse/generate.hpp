@@ -33,16 +33,24 @@ enum class SparseKind {
   kStencil27,  // 3D 27-point stencil on a ceil(cbrt(n))^3 grid
   kBanded,     // symmetric band, half-width 8, hashed values in [-1, 1]
   kRandom,     // symmetric windowed random pattern, half-width 32, ~1/4 fill
+  kBlockDiag,  // dense 64x64 diagonal blocks, hashed values in [-1, 1]
 };
 
 /// Manifest/CLI tokens ("stencil5" | "stencil9" | "stencil27" | "banded" |
-/// "random").
+/// "random" | "blockdiag").
 const char* kind_token(SparseKind kind);
 SparseKind parse_kind_token(const std::string& token);
 
 /// Half-widths of the two hashed families (exposed for the halo model).
 inline constexpr std::size_t kBandedHalfWidth = 8;
 inline constexpr std::size_t kRandomHalfWidth = 32;
+
+/// Block edge of the block-diagonal family. Rows couple only inside their
+/// 64-aligned block, so any row-block distribution whose chunk is a
+/// multiple of 64 has an *empty halo* — the zero-message CG fast path —
+/// and every row carries ~64 entries, wide enough to feed the 8-lane SIMD
+/// SpMV kernel full blocks (docs/sparse.md).
+inline constexpr std::size_t kDiagBlock = 64;
 
 /// Rows [row_lo, row_hi) of the global n x n system, with global column
 /// indices and a local row_ptr starting at 0 — what each CG rank builds

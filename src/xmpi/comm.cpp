@@ -162,7 +162,7 @@ void Comm::memory_touch(double bytes) {
 }
 
 void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
-                     bool control) {
+                     bool control, bool halo) {
   PLIN_CHECK_MSG(dst >= 0 && dst < size(), "send destination out of range");
   PLIN_CHECK_MSG(dst != rank_, "send to self is not supported");
   if (world_->aborted()) throw Aborted();
@@ -204,6 +204,10 @@ void Comm::send_impl(std::span<const std::byte> data, int dst, int tag,
   } else {
     traffic.data_messages += 1;
     traffic.data_bytes += data.size();
+    if (halo) {
+      traffic.halo_messages += 1;
+      traffic.halo_bytes += data.size();
+    }
   }
   state.peers.record_send(dst_world, data.size());
 }

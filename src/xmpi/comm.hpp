@@ -164,6 +164,16 @@ class Comm {
     send_impl(std::as_bytes(data), dst, tag, /*control=*/false);
   }
 
+  /// send(), but the message is also counted as halo-exchange traffic
+  /// (TrafficCounters::halo_*) — the per-iteration ghost payloads the CG
+  /// solver ships. Identical timing/energy accounting to send().
+  template <typename T>
+  void send_halo(std::span<const T> data, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_impl(std::as_bytes(data), dst, tag, /*control=*/false,
+              /*halo=*/true);
+  }
+
   template <typename T>
   void send_value(const T& value, int dst, int tag) {
     send(std::span<const T>(&value, 1), dst, tag);
@@ -203,6 +213,10 @@ class Comm {
   /// semantics — our transport is buffered by construction).
   template <typename T>
   class Request isend(std::span<const T> data, int dst, int tag);
+
+  /// isend(), counted as halo-exchange traffic like send_halo().
+  template <typename T>
+  class Request isend_halo(std::span<const T> data, int dst, int tag);
 
   /// Nonblocking receive: registers the buffer; completion (and the
   /// virtual-time accounting of the receive) happens at test()/wait().
@@ -343,7 +357,7 @@ class Comm {
   void prof_collective_end();
 
   void send_impl(std::span<const std::byte> data, int dst, int tag,
-                 bool control);
+                 bool control, bool halo = false);
   RecvInfo recv_impl(std::span<std::byte> data, int src, int tag);
   void bcast_impl(std::span<std::byte> data, int root, int stream);
 
@@ -417,6 +431,13 @@ template <typename T>
 Request Comm::isend(std::span<const T> data, int dst, int tag) {
   static_assert(std::is_trivially_copyable_v<T>);
   send_impl(std::as_bytes(data), dst, tag, /*control=*/false);
+  return Request(this, {}, dst, tag, /*pending_recv=*/false);
+}
+
+template <typename T>
+Request Comm::isend_halo(std::span<const T> data, int dst, int tag) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  send_impl(std::as_bytes(data), dst, tag, /*control=*/false, /*halo=*/true);
   return Request(this, {}, dst, tag, /*pending_recv=*/false);
 }
 

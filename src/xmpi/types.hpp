@@ -103,6 +103,12 @@ struct TrafficCounters {
   /// the scalable schedules spread out (bench_collectives).
   std::uint64_t recv_messages = 0;
   std::uint64_t recv_bytes = 0;
+  /// Halo-exchange payloads (Comm::send_halo / isend_halo) — a subset of
+  /// the data_* counters above, tracked separately so campaign reports can
+  /// surface the per-iteration ghost traffic a CG job actually shipped
+  /// (docs/sparse.md).
+  std::uint64_t halo_messages = 0;
+  std::uint64_t halo_bytes = 0;
 
   /// The paper measures volume in "number of floating points".
   double data_floats() const { return static_cast<double>(data_bytes) / 8.0; }
@@ -118,7 +124,9 @@ struct TrafficCounters {
                            control_messages - other.control_messages,
                            control_bytes - other.control_bytes,
                            recv_messages - other.recv_messages,
-                           recv_bytes - other.recv_bytes};
+                           recv_bytes - other.recv_bytes,
+                           halo_messages - other.halo_messages,
+                           halo_bytes - other.halo_bytes};
   }
 };
 

@@ -146,6 +146,8 @@ TrafficCounters World::total_traffic() const {
     total.control_bytes += rank.traffic.control_bytes;
     total.recv_messages += rank.traffic.recv_messages;
     total.recv_bytes += rank.traffic.recv_bytes;
+    total.halo_messages += rank.traffic.halo_messages;
+    total.halo_bytes += rank.traffic.halo_bytes;
   }
   return total;
 }

@@ -164,6 +164,28 @@ TEST(ManifestTest, AcceptsMixedPrecisionOnReplayTier) {
   EXPECT_THROW(parse_manifest("grid precision fp16\n"), InvalidArgument);
 }
 
+TEST(ManifestTest, PrecondAxisExpandsForCgOnly) {
+  const CampaignManifest m = parse_manifest(R"(
+machine   mini:8x4
+grid algorithm ime cg
+grid n         96
+grid precond   none jacobi
+)");
+  const std::vector<JobSpec> jobs = m.expand();
+  // 1 ime point + 1 cg point x 2 preconditioners.
+  EXPECT_EQ(m.job_count(), 3u);
+  ASSERT_EQ(jobs.size(), 3u);
+  std::size_t jacobi = 0;
+  for (const JobSpec& job : jobs) {
+    if (job.precond == solvers::CgPrecond::kJacobi) {
+      ++jacobi;
+      EXPECT_EQ(job.algorithm, perfsim::Algorithm::kCg);
+    }
+  }
+  EXPECT_EQ(jacobi, 1u);
+  EXPECT_THROW(parse_manifest("grid precond ilu\n"), InvalidArgument);
+}
+
 // --- spec keys --------------------------------------------------------------
 
 TEST(SpecTest, KeyIsStableAcrossProcesses) {
@@ -232,6 +254,32 @@ TEST(SpecTest, DefaultPrecisionKeepsPreExistingStoreKeys) {
   EXPECT_NE(mixed.describe().find("mixed"), std::string::npos);
 }
 
+TEST(SpecTest, DefaultPrecondKeepsPreExistingStoreKeys) {
+  // The precond axis follows the same append-only rule as precision and
+  // matrix: absent for the default, so every key journaled before the axis
+  // existed (dense or unpreconditioned cg) still hits the cache.
+  JobSpec cg;
+  cg.algorithm = perfsim::Algorithm::kCg;
+  const std::string plain = cg.canonical();
+  EXPECT_EQ(plain.find("precond"), std::string::npos);
+  EXPECT_NE(plain.find("|matrix="), std::string::npos);
+
+  JobSpec jacobi = cg;
+  jacobi.precond = solvers::CgPrecond::kJacobi;
+  const std::string preconditioned = jacobi.canonical();
+  EXPECT_NE(preconditioned.find("|precond=jacobi"), std::string::npos);
+  // Ordered after the matrix token, as documented.
+  EXPECT_LT(preconditioned.find("|matrix="),
+            preconditioned.find("|precond=jacobi"));
+  EXPECT_NE(jacobi.key(), cg.key());
+  EXPECT_NE(jacobi.describe().find("jacobi"), std::string::npos);
+
+  // Dense jobs never mention a preconditioner, even if the field is set.
+  JobSpec dense;
+  dense.precond = solvers::CgPrecond::kJacobi;
+  EXPECT_EQ(dense.canonical().find("precond"), std::string::npos);
+}
+
 TEST(SpecTest, MachineNamesResolve) {
   EXPECT_GT(machine_from_name("marconi").total_nodes, 0);
   EXPECT_GT(machine_from_name("epyc").total_nodes, 0);
@@ -285,6 +333,34 @@ TEST(RecordTest, MixedPrecisionRoundTripsThroughJson) {
   const JobRecord fp64 = sample_record();
   EXPECT_EQ(json::serialize(to_json(fp64)).find("\"precision\""),
             std::string::npos);
+}
+
+TEST(RecordTest, CgPrecondAndHaloTrafficRoundTripThroughJson) {
+  JobRecord record = sample_record();
+  record.spec.algorithm = perfsim::Algorithm::kCg;
+  record.spec.precond = solvers::CgPrecond::kJacobi;
+  for (RepetitionRecord& rep : record.repetitions) {
+    rep.cg_iters = 42;
+    rep.nnz = 1234;
+    rep.halo_messages = 168;
+    rep.halo_bytes = 56448;
+  }
+  const std::string text = json::serialize(to_json(record));
+  EXPECT_NE(text.find("\"precond\""), std::string::npos);
+  EXPECT_NE(text.find("\"halo_msgs\""), std::string::npos);
+  EXPECT_NE(text.find("\"halo_bytes\""), std::string::npos);
+  const JobRecord back = record_from_json(json::parse(text));
+  EXPECT_EQ(back.spec.precond, solvers::CgPrecond::kJacobi);
+  EXPECT_EQ(back.key(), record.key());
+  ASSERT_EQ(back.repetitions.size(), 2u);
+  EXPECT_EQ(back.repetitions[0].halo_messages, 168u);
+  EXPECT_EQ(back.repetitions[0].halo_bytes, 56448u);
+
+  // Dense records stay byte-stable: none of the cg fields are emitted.
+  const std::string dense = json::serialize(to_json(sample_record()));
+  EXPECT_EQ(dense.find("\"precond\""), std::string::npos);
+  EXPECT_EQ(dense.find("\"halo_msgs\""), std::string::npos);
+  EXPECT_EQ(dense.find("\"halo_bytes\""), std::string::npos);
 }
 
 TEST(RecordTest, RejectsKeyMismatch) {

@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 
 #include "hwmodel/placement.hpp"
 #include "linalg/generate.hpp"
 #include "perfsim/simulator.hpp"
 #include "solvers/cg/cg.hpp"
 #include "sparse/generate.hpp"
+#include "sparse/spmv_kernel.hpp"
 #include "support/error.hpp"
 #include "xmpi/runtime.hpp"
 
@@ -58,6 +60,9 @@ TEST_P(CgFamilyParam, DistributedMatchesSequential) {
     options.kind = kind;
     options.n = n;
     options.seed = seed;
+    // The sequential reference runs direct (unfused) dot products, so the
+    // iteration-count comparison needs the matching distributed shape.
+    options.path = CgPath::kBlocking;
     const CgResult r = solve_pcg(comm, options);
     EXPECT_TRUE(r.converged);
     EXPECT_EQ(r.x.size(), n);
@@ -91,7 +96,8 @@ struct CgRun {
   double energy_j = 0.0;
 };
 
-CgRun run_cg(const xmpi::RunConfig& config, std::size_t n) {
+CgRun run_cg(const xmpi::RunConfig& config, std::size_t n,
+             CgPath path = CgPath::kAuto) {
   CgRun out;
   const xmpi::RunResult run =
       xmpi::Runtime::run(config, [&](xmpi::Comm& comm) {
@@ -99,6 +105,7 @@ CgRun run_cg(const xmpi::RunConfig& config, std::size_t n) {
         options.kind = SparseKind::kStencil5;
         options.n = n;
         options.seed = 9;
+        options.path = path;
         const CgResult r = solve_pcg(comm, options);
         EXPECT_TRUE(r.converged);
         if (comm.rank() == 0) {
@@ -159,6 +166,8 @@ TEST(CgDeterminism, SingleRankMatchesMultiRankTrajectory) {
   // Not bitwise (partial-sum bracketing differs with the rank count), but
   // the iteration count is a sensitive trajectory probe: it must be stable
   // across world sizes for the campaign's iters column to be meaningful.
+  // Pinned to the reference path — the fused recurrence may legitimately
+  // re-bracket termination by one iteration (checked separately below).
   const std::size_t n = 160;
   std::vector<int> iteration_counts;
   for (const int ranks : {1, 3, 8}) {
@@ -167,6 +176,7 @@ TEST(CgDeterminism, SingleRankMatchesMultiRankTrajectory) {
       options.kind = SparseKind::kStencil5;
       options.n = n;
       options.seed = 9;
+      options.path = CgPath::kBlocking;
       const CgResult r = solve_pcg(comm, options);
       EXPECT_TRUE(r.converged);
       if (comm.rank() == 0) iteration_counts.push_back(r.iterations);
@@ -175,6 +185,221 @@ TEST(CgDeterminism, SingleRankMatchesMultiRankTrajectory) {
   ASSERT_EQ(iteration_counts.size(), 3u);
   EXPECT_EQ(iteration_counts[0], iteration_counts[1]);
   EXPECT_EQ(iteration_counts[1], iteration_counts[2]);
+}
+
+TEST(CgPaths, OverlapBitIdenticalToBlockingAtEveryP) {
+  // The tentpole contract: splitting each SpMV into interior + boundary
+  // rows around an in-flight halo must not move a single bit, at any rank
+  // count — including ragged blocks (160 % 3, 160 % 6, 160 % 12 != 0).
+  const std::size_t n = 160;
+  for (const int ranks : {1, 3, 6, 12}) {
+    const CgRun blocking = run_cg(mini_config(ranks), n, CgPath::kBlocking);
+    const CgRun overlap = run_cg(mini_config(ranks), n, CgPath::kOverlap);
+    EXPECT_EQ(overlap.iterations, blocking.iterations) << "P=" << ranks;
+    ASSERT_EQ(overlap.x.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(overlap.x[i], blocking.x[i])
+          << "P=" << ranks << " x[" << i << "]";
+    }
+    // Overlap must not be slower than the blocking schedule it hides.
+    EXPECT_LE(overlap.duration_s, blocking.duration_s) << "P=" << ranks;
+  }
+}
+
+TEST(CgPaths, FusedTracksBlockingWithinOneIteration) {
+  // The fused recurrence legitimately re-brackets the residual trajectory;
+  // the guarded residual replacement keeps it honest, so termination may
+  // move by at most one iteration and the exit residual still meets the
+  // tolerance.
+  const std::size_t n = 160;
+  for (const int ranks : {1, 3, 6, 12}) {
+    const CgRun blocking = run_cg(mini_config(ranks), n, CgPath::kBlocking);
+    const CgRun fused = run_cg(mini_config(ranks), n, CgPath::kFused);
+    EXPECT_LE(std::abs(fused.iterations - blocking.iterations), 1)
+        << "P=" << ranks;
+    // Fewer allreduce rounds must show up as simulated time saved — except
+    // at P = 1, where rounds are free and the extra recurrence terms make
+    // fusion a (tiny) net compute cost.
+    if (ranks > 1) {
+      EXPECT_LT(fused.duration_s, blocking.duration_s) << "P=" << ranks;
+    }
+  }
+}
+
+TEST(CgPaths, SingleRankBlockingMatchesSequentialBitwise) {
+  // At P = 1 the distributed blocking path degenerates to the sequential
+  // loop (empty halo, identity allreduce, same dot bracketing) — so the
+  // agreement is exact, not merely near.
+  const std::size_t n = 150;
+  const std::uint64_t seed = 17;
+  const sparse::CsrMatrix a =
+      sparse::generate_matrix(SparseKind::kStencil5, seed, n);
+  const std::vector<double> b = linalg::generate_rhs(seed, n);
+  const CgResult reference = solve_cg(a, b, 1e-11, 1000);
+  ASSERT_TRUE(reference.converged);
+
+  CgResult distributed;
+  xmpi::Runtime::run(mini_config(1), [&](xmpi::Comm& comm) {
+    CgOptions options;
+    options.kind = SparseKind::kStencil5;
+    options.n = n;
+    options.seed = seed;
+    options.path = CgPath::kBlocking;
+    const CgResult r = solve_pcg(comm, options);
+    if (comm.rank() == 0) distributed = r;
+  });
+  EXPECT_EQ(distributed.iterations, reference.iterations);
+  EXPECT_DOUBLE_EQ(distributed.relative_residual,
+                   reference.relative_residual);
+  ASSERT_EQ(distributed.x.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(distributed.x[i], reference.x[i]) << "x[" << i << "]";
+  }
+}
+
+TEST(CgEdge, MoreRanksThanRowsConvergesOnEveryPath) {
+  // n < P leaves the high ranks without rows: empty chunks must post no
+  // halo traffic, contribute zero partials and still participate in every
+  // collective.
+  const std::size_t n = 8;
+  const sparse::CsrMatrix a =
+      sparse::generate_matrix(SparseKind::kStencil5, 3, n);
+  const std::vector<double> b = linalg::generate_rhs(3, n);
+  for (const CgPath path :
+       {CgPath::kBlocking, CgPath::kOverlap, CgPath::kFused}) {
+    CgResult result;
+    xmpi::Runtime::run(mini_config(12), [&](xmpi::Comm& comm) {
+      CgOptions options;
+      options.kind = SparseKind::kStencil5;
+      options.n = n;
+      options.seed = 3;
+      options.path = path;
+      const CgResult r = solve_pcg(comm, options);
+      EXPECT_TRUE(r.converged) << path_token(path);
+      if (comm.rank() == 0) result = r;
+    });
+    ASSERT_EQ(result.x.size(), n) << path_token(path);
+    EXPECT_LT(sparse::scaled_residual(a, result.x, b), 1e-12)
+        << path_token(path);
+  }
+}
+
+TEST(CgEdge, BlockDiagAlignedChunksSendNoHaloMessages) {
+  // blockdiag couples rows only inside 64-row diagonal blocks; with the
+  // chunk size a multiple of 64 (n = 256 over 4 ranks -> chunk 64) every
+  // partition boundary falls between blocks, the halo is empty, and the
+  // overlap path's zero-message fast path must be exercised: no per-
+  // iteration halo traffic at all.
+  const std::size_t n = 256;
+  CgResult result;
+  const xmpi::RunResult run =
+      xmpi::Runtime::run(mini_config(4), [&](xmpi::Comm& comm) {
+        CgOptions options;
+        options.kind = SparseKind::kBlockDiag;
+        options.n = n;
+        options.seed = 7;
+        options.path = CgPath::kOverlap;
+        const CgResult r = solve_pcg(comm, options);
+        EXPECT_TRUE(r.converged);
+        if (comm.rank() == 0) result = r;
+      });
+  EXPECT_EQ(run.traffic.halo_messages, 0u);
+  EXPECT_EQ(run.traffic.halo_bytes, 0u);
+  // The collectives (and the final gather) still ran.
+  EXPECT_GT(run.traffic.data_messages, 0u);
+
+  // Contrast: the stencil couples across every partition boundary, so the
+  // same shape reports per-iteration halo traffic — and the halo counters
+  // are a strict subset of the data counters.
+  const xmpi::RunResult coupled =
+      xmpi::Runtime::run(mini_config(4), [&](xmpi::Comm& comm) {
+        CgOptions options;
+        options.kind = SparseKind::kStencil5;
+        options.n = n;
+        options.seed = 7;
+        const CgResult r = solve_pcg(comm, options);
+        EXPECT_TRUE(r.converged);
+      });
+  EXPECT_GT(coupled.traffic.halo_messages, 0u);
+  EXPECT_GT(coupled.traffic.halo_bytes, 0u);
+  EXPECT_LT(coupled.traffic.halo_messages, coupled.traffic.data_messages);
+  EXPECT_LT(coupled.traffic.halo_bytes, coupled.traffic.data_bytes);
+}
+
+TEST(CgKernel, SimdKernelKeepsTheDeterminismContract) {
+  // The bit-identity contract is per kernel: with kSimd pinned, runtime
+  // knobs (workers, executor, collective mode) must not move a bit either.
+  sparse::SpmvConfig config;
+  config.kernel = sparse::SpmvKernel::kSimd;
+  sparse::set_spmv_config(config);
+  const std::size_t n = 160;
+
+  xmpi::RunConfig base = mini_config(6);
+  base.workers = 2;
+  xmpi::RunConfig more_workers = mini_config(6);
+  more_workers.workers = 5;
+  xmpi::RunConfig scalable = mini_config(6);
+  scalable.transport.collectives = xmpi::CollectiveMode::kScalable;
+
+  const CgRun reference = run_cg(base, n);
+  ASSERT_EQ(reference.x.size(), n);
+  for (const xmpi::RunConfig& other_config : {more_workers, scalable}) {
+    const CgRun other = run_cg(other_config, n);
+    EXPECT_EQ(other.iterations, reference.iterations);
+    ASSERT_EQ(other.x.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(other.x[i], reference.x[i]) << "x[" << i << "]";
+    }
+  }
+  sparse::reset_spmv_config();
+}
+
+TEST(CgPrecond, JacobiMatchesSequentialAndConvergesFused) {
+  // kRandom has a genuinely varying diagonal, so the Jacobi preconditioner
+  // is a real (non-scalar) transformation there.
+  const std::size_t n = 150;
+  const std::uint64_t seed = 17;
+  const sparse::CsrMatrix a =
+      sparse::generate_matrix(SparseKind::kRandom, seed, n);
+  const std::vector<double> b = linalg::generate_rhs(seed, n);
+  const CgResult reference =
+      solve_cg(a, b, 1e-11, 1000, CgPrecond::kJacobi);
+  ASSERT_TRUE(reference.converged);
+  EXPECT_LE(reference.relative_residual, 1e-11);
+
+  CgResult distributed;
+  xmpi::Runtime::run(mini_config(4), [&](xmpi::Comm& comm) {
+    CgOptions options;
+    options.kind = SparseKind::kRandom;
+    options.n = n;
+    options.seed = seed;
+    options.precond = CgPrecond::kJacobi;
+    options.path = CgPath::kBlocking;
+    const CgResult r = solve_pcg(comm, options);
+    EXPECT_TRUE(r.converged);
+    if (comm.rank() == 0) distributed = r;
+  });
+  EXPECT_EQ(distributed.iterations, reference.iterations);
+  ASSERT_EQ(distributed.x.size(), n);
+  EXPECT_LT(sparse::scaled_residual(a, distributed.x, b), 1e-12);
+
+  // The fused path fuses the two extra preconditioned terms into the same
+  // single round and still has to land the tolerance.
+  CgResult fused;
+  xmpi::Runtime::run(mini_config(4), [&](xmpi::Comm& comm) {
+    CgOptions options;
+    options.kind = SparseKind::kRandom;
+    options.n = n;
+    options.seed = seed;
+    options.precond = CgPrecond::kJacobi;
+    options.path = CgPath::kFused;
+    const CgResult r = solve_pcg(comm, options);
+    EXPECT_TRUE(r.converged);
+    if (comm.rank() == 0) fused = r;
+  });
+  EXPECT_LE(std::abs(fused.iterations - reference.iterations), 1);
+  ASSERT_EQ(fused.x.size(), n);
+  EXPECT_LT(sparse::scaled_residual(a, fused.x, b), 1e-12);
 }
 
 TEST(CgSequential, ZeroRhsSolvesImmediately) {

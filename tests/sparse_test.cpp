@@ -9,6 +9,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/generate.hpp"
 #include "sparse/mm.hpp"
+#include "sparse/spmv_kernel.hpp"
 #include "support/error.hpp"
 
 namespace plin::sparse {
@@ -208,7 +209,31 @@ INSTANTIATE_TEST_SUITE_P(Families, GeneratorParam,
                                            SparseKind::kStencil9,
                                            SparseKind::kStencil27,
                                            SparseKind::kBanded,
-                                           SparseKind::kRandom));
+                                           SparseKind::kRandom,
+                                           SparseKind::kBlockDiag));
+
+TEST(GeneratorTest, BlockDiagCouplesOnlyInsideAlignedBlocks) {
+  // n = 150: two full 64-row blocks plus a clipped 22-row tail. Every
+  // entry must stay inside its row's 64-aligned block — the property that
+  // makes 64-aligned partitions halo-free in the distributed CG.
+  const std::size_t n = 150;
+  const CsrMatrix a = generate_matrix(SparseKind::kBlockDiag, 3, n);
+  a.validate();
+  EXPECT_EQ(a.nnz(), pattern_nnz(SparseKind::kBlockDiag, n));
+  EXPECT_EQ(pattern_reach(SparseKind::kBlockDiag, n), kDiagBlock - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t base = (i / kDiagBlock) * kDiagBlock;
+    const std::size_t hi = std::min(n, base + kDiagBlock);
+    EXPECT_EQ(a.row_ptr[i + 1] - a.row_ptr[i], hi - base) << "row " << i;
+    for (std::size_t k = a.row_ptr[i]; k < a.row_ptr[i + 1]; ++k) {
+      EXPECT_GE(a.col_idx[k], base) << "row " << i;
+      EXPECT_LT(a.col_idx[k], hi) << "row " << i;
+    }
+  }
+  // Tiny matrices degenerate to a single dense block.
+  EXPECT_EQ(pattern_reach(SparseKind::kBlockDiag, 5), 4u);
+  EXPECT_EQ(pattern_nnz(SparseKind::kBlockDiag, 5), 25u);
+}
 
 TEST(GeneratorTest, RandomPatternIsSeedIndependent) {
   const std::size_t n = 120;
@@ -222,7 +247,7 @@ TEST(GeneratorTest, RandomPatternIsSeedIndependent) {
 TEST(GeneratorTest, TokensRoundTripAndRejectUnknown) {
   for (const SparseKind kind :
        {SparseKind::kStencil5, SparseKind::kStencil9, SparseKind::kStencil27,
-        SparseKind::kBanded, SparseKind::kRandom}) {
+        SparseKind::kBanded, SparseKind::kRandom, SparseKind::kBlockDiag}) {
     EXPECT_EQ(parse_kind_token(kind_token(kind)), kind);
   }
   EXPECT_THROW(parse_kind_token("dense"), InvalidArgument);
@@ -231,7 +256,8 @@ TEST(GeneratorTest, TokensRoundTripAndRejectUnknown) {
 TEST(GeneratorTest, PatternReachBoundsColumnDistance) {
   for (const SparseKind kind :
        {SparseKind::kStencil5, SparseKind::kStencil9, SparseKind::kStencil27,
-        SparseKind::kBanded, SparseKind::kRandom}) {
+        SparseKind::kBanded, SparseKind::kRandom,
+        SparseKind::kBlockDiag}) {
     const std::size_t n = 100;
     const std::size_t reach = pattern_reach(kind, n);
     const CsrMatrix a = generate_matrix(kind, 5, n);
@@ -241,6 +267,89 @@ TEST(GeneratorTest, PatternReachBoundsColumnDistance) {
         const std::size_t dist = j > i ? j - i : i - j;
         EXPECT_LE(dist, reach) << kind_token(kind);
       }
+    }
+  }
+}
+
+TEST(SpmvKernelTest, TokensRoundTripAndIsaIsKnown) {
+  EXPECT_EQ(parse_kernel_token("scalar"), SpmvKernel::kScalar);
+  EXPECT_EQ(parse_kernel_token("simd"), SpmvKernel::kSimd);
+  EXPECT_EQ(parse_kernel_token(kernel_token(SpmvKernel::kScalar)),
+            SpmvKernel::kScalar);
+  EXPECT_EQ(parse_kernel_token(kernel_token(SpmvKernel::kSimd)),
+            SpmvKernel::kSimd);
+  EXPECT_THROW(parse_kernel_token("avx"), InvalidArgument);
+  const std::string isa = simd_isa();
+  EXPECT_TRUE(isa == "avx512" || isa == "avx2" || isa == "generic") << isa;
+  // The compiled-in default is the reference kernel every checked-in
+  // baseline was produced with.
+  EXPECT_EQ(SpmvConfig::defaults().kernel, SpmvKernel::kScalar);
+}
+
+TEST(SpmvKernelTest, SimdMatchesScalarToRoundingAndIsDeterministic) {
+  const std::size_t n = 257;  // forces remainder lanes on most rows
+  for (const SparseKind kind :
+       {SparseKind::kStencil5, SparseKind::kBanded, SparseKind::kRandom,
+        SparseKind::kBlockDiag}) {
+    const CsrMatrix a = generate_matrix(kind, 11, n);
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = std::cos(static_cast<double>(i) * 0.37) * 2.0 - 0.5;
+    }
+    std::vector<double> scalar_y(n);
+    spmv(a, x, scalar_y);
+
+    SpmvConfig config;
+    config.kernel = SpmvKernel::kSimd;
+    set_spmv_config(config);
+    std::vector<double> simd_y(n);
+    std::vector<double> simd_y2(n);
+    spmv(a, x, simd_y);
+    spmv(a, x, simd_y2);
+    reset_spmv_config();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      // Different bracketing, same math: rounding-level agreement only...
+      EXPECT_NEAR(simd_y[i], scalar_y[i],
+                  1e-13 * (std::fabs(scalar_y[i]) + 1.0))
+          << kind_token(kind) << " row " << i;
+      // ...but the simd kernel itself is bit-reproducible.
+      EXPECT_EQ(simd_y[i], simd_y2[i]) << kind_token(kind) << " row " << i;
+    }
+  }
+}
+
+TEST(SpmvKernelTest, SpmvRowsPartitionReproducesFullSpmvBitwise) {
+  // The CG overlap path computes interior rows, then boundary rows, as two
+  // spmv_rows calls — under either kernel the union must be bitwise the
+  // full spmv (per-row accumulation does not depend on which call ran it).
+  const std::size_t n = 180;
+  const CsrMatrix a = generate_matrix(SparseKind::kStencil5, 21, n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<double>(i) * 1.7) + 0.25;
+  }
+  for (const SpmvKernel kernel : {SpmvKernel::kScalar, SpmvKernel::kSimd}) {
+    SpmvConfig config;
+    config.kernel = kernel;
+    set_spmv_config(config);
+    std::vector<double> full(n);
+    spmv(a, x, full);
+
+    // An interleaved split (evens as "interior", odds as "boundary") is
+    // harsher than any contiguous boundary split.
+    std::vector<std::uint32_t> evens;
+    std::vector<std::uint32_t> odds;
+    for (std::uint32_t r = 0; r < n; ++r) {
+      (r % 2 == 0 ? evens : odds).push_back(r);
+    }
+    std::vector<double> split(n, -7.0);
+    spmv_rows(a, x, split, evens);
+    spmv_rows(a, x, split, odds);
+    reset_spmv_config();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(split[i], full[i])
+          << kernel_token(kernel) << " row " << i;
     }
   }
 }

@@ -44,7 +44,8 @@ One-off modes:
   --dominance  Jacobi diagonal dominance (default 0)
   --iterations Jacobi replay sweep count (default 100)
   --matrix     CG sparse family: stencil5 (default) | stencil9 | stencil27 |
-               banded | random (docs/sparse.md)
+               banded | random | blockdiag (docs/sparse.md)
+  --precond    CG preconditioner: none (default) | jacobi (diagonal)
   --out        directory for per-processor monitor files (numeric)
   --trace-dir  archive the span-trace bundle of the run into this directory
                (numeric tier; first repetition only — docs/tracing.md)
@@ -88,6 +89,8 @@ int run_replay(const CliArgs& args) {
     workload.matrix =
         sparse::parse_kind_token(args.get("matrix", "stencil5"));
     workload.tolerance = args.get_double("tol", 1e-11);
+    workload.precond =
+        solvers::parse_precond_token(args.get("precond", "none"));
   } else {
     workload.algorithm = perfsim::Algorithm::kIme;
   }
@@ -162,6 +165,7 @@ int run_numeric(const CliArgs& args) {
     spec.algorithm = perfsim::Algorithm::kCg;
     spec.matrix = sparse::parse_kind_token(args.get("matrix", "stencil5"));
     spec.tolerance = args.get_double("tol", 1e-11);
+    spec.precond = solvers::parse_precond_token(args.get("precond", "none"));
   } else {
     spec.algorithm = perfsim::Algorithm::kIme;
   }
@@ -230,7 +234,8 @@ int main(int argc, char** argv) {
   try {
     args.require_known({"tier", "algorithm", "n", "ranks", "layout", "nb",
                         "seed", "reps", "precision", "tol", "dominance",
-                        "iterations", "matrix", "out", "campaign", "store",
+                        "iterations", "matrix", "precond", "out", "campaign",
+                        "store",
                         "workers", "max-jobs", "trace-dir", "version",
                         "help"});
     if (args.get_bool("help", false)) {
